@@ -1,0 +1,102 @@
+"""Table VII — the latency/false-positive trade-off of alpha and beta.
+
+Paper: all latency measures are positively correlated with alpha; FP and
+FP- are negatively correlated with alpha and beta. Even the most extreme
+trade-off (alpha=2, beta=2: median latency -45%) still cuts FP- by 68%
+versus SWIM.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.harness.report import render_table_vii
+from repro.harness.sweep import IntervalAggregate, ThresholdAggregate
+from repro.metrics.analysis import ratio_pct
+
+
+def build_rows(tuning_data):
+    baseline_interval = IntervalAggregate.from_results(
+        "SWIM", tuning_data["baseline"]["interval"]
+    )
+    baseline_threshold = ThresholdAggregate.from_results(
+        "SWIM", tuning_data["baseline"]["threshold"]
+    )
+    rows = {}
+    for combo, entry in tuning_data["tunings"].items():
+        interval = IntervalAggregate.from_results("Lifeguard", entry["interval"])
+        threshold = ThresholdAggregate.from_results("Lifeguard", entry["threshold"])
+
+        def pct_latency(measured, base):
+            if measured is None or base is None or base == 0:
+                return None
+            return 100.0 * measured / base
+
+        rows[(int(combo[0]), int(combo[1]))] = {
+            "med_first": pct_latency(
+                threshold.first_detection[50.0],
+                baseline_threshold.first_detection[50.0],
+            ),
+            "med_full": pct_latency(
+                threshold.full_dissemination[50.0],
+                baseline_threshold.full_dissemination[50.0],
+            ),
+            "p99_first": pct_latency(
+                threshold.first_detection[99.0],
+                baseline_threshold.first_detection[99.0],
+            ),
+            "p99_full": pct_latency(
+                threshold.full_dissemination[99.0],
+                baseline_threshold.full_dissemination[99.0],
+            ),
+            "p999_first": pct_latency(
+                threshold.first_detection[99.9],
+                baseline_threshold.first_detection[99.9],
+            ),
+            "p999_full": pct_latency(
+                threshold.full_dissemination[99.9],
+                baseline_threshold.full_dissemination[99.9],
+            ),
+            "fp": ratio_pct(interval.fp_events, baseline_interval.fp_events),
+            "fp_healthy": ratio_pct(
+                interval.fp_healthy_events, baseline_interval.fp_healthy_events
+            ),
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_suspicion_timeout_tuning(benchmark, tuning_data):
+    rows = benchmark.pedantic(
+        build_rows, args=(tuning_data,), rounds=1, iterations=1
+    )
+    rendered = render_table_vii(rows)
+    publish(
+        "table7_tuning",
+        rendered,
+        raw={f"a{a}b{b}": row for (a, b), row in rows.items()},
+    )
+
+    low = rows[(2, 2)]
+    high = rows[(5, 6)]
+
+    # Lower alpha buys latency: the alpha=2 median must be well below
+    # the alpha=5 median (paper: ~53% vs ~100% of SWIM).
+    assert low["med_first"] is not None and high["med_first"] is not None
+    assert low["med_first"] < high["med_first"]
+    assert low["med_first"] < 75.0
+
+    # The paper-default tuning keeps the median at SWIM's level.
+    assert 85.0 < high["med_first"] < 120.0
+
+    # ... and the trade costs false positives: FP falls as alpha and
+    # beta rise (compare the extremes).
+    if low["fp"] is not None and high["fp"] is not None and low["fp"] > 0:
+        assert high["fp"] <= low["fp"]
+
+    # Median latency is positively correlated with alpha at fixed beta.
+    for beta in (2, 4, 6):
+        med_by_alpha = [
+            rows[(alpha, beta)]["med_first"] for alpha in (2, 4, 5)
+        ]
+        assert all(m is not None for m in med_by_alpha)
+        assert med_by_alpha[0] < med_by_alpha[2]

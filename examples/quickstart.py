@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: a simulated SWIM/Lifeguard group in a few lines.
+
+Builds a 32-member cluster in the deterministic simulator, lets it
+quiesce, kills one member for real, and watches the group detect and
+disseminate the failure — then shows what a *false* positive looks like
+by slowing (not killing) a member under plain SWIM vs full Lifeguard.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EventKind, MemberState, SimCluster, SwimConfig
+
+
+def detect_a_real_failure() -> None:
+    print("=== Detecting a real failure (full Lifeguard) ===")
+    cluster = SimCluster(n_members=32, config=SwimConfig.lifeguard(), seed=11)
+    cluster.start()
+    cluster.run_for(10.0)  # let the group settle
+    assert cluster.all_converged_alive()
+
+    victim = "m007"
+    print(f"t={cluster.now:6.2f}s  stopping {victim} (process death)")
+    cluster.nodes[victim].stop()
+    cluster.run_for(30.0)
+
+    failures = cluster.event_log.failures_about(victim)
+    first = min(e.time for e in failures)
+    print(f"t={first:6.2f}s  first member declared {victim} failed")
+    print(f"           {len(failures)} members raised the failure event")
+    print(f"           unanimous: {cluster.unanimity(victim, MemberState.DEAD)}")
+    print()
+
+
+def slow_member_swim_vs_lifeguard() -> None:
+    print("=== A slow-but-healthy member: SWIM vs Lifeguard ===")
+    for label, config in [
+        ("SWIM     ", SwimConfig.swim_baseline()),
+        ("Lifeguard", SwimConfig.lifeguard()),
+    ]:
+        cluster = SimCluster(n_members=32, config=config, seed=11)
+        cluster.start()
+        cluster.run_for(10.0)
+
+        slow = "m007"
+        start = cluster.now
+        # The member is *healthy* but stops processing messages for 20 s
+        # at a time (think: CPU exhaustion), making progress only in
+        # millisecond bursts between the stalls.
+        cluster.anomalies.cyclic_windows(
+            [slow], first_start=start, duration=20.0, interval=0.002,
+            until=start + 60.0,
+        )
+        cluster.run_for(90.0)
+
+        # False positives: failure events about members that were never slow.
+        false_positives = [
+            e
+            for e in cluster.event_log.failure_events(since=start)
+            if e.subject != slow
+        ]
+        flaps = len(
+            [e for e in cluster.event_log.events
+             if e.kind is EventKind.FAILED and e.subject == slow]
+        )
+        lhm = cluster.nodes[slow].local_health.score
+        print(
+            f"{label}: false positives about healthy members: "
+            f"{len(false_positives):4d} | failure events about the slow "
+            f"member: {flaps:3d} | slow member's LHM: {lhm}"
+        )
+    print()
+    print("Lifeguard's slow member notices its own unhealthiness (LHM > 0),")
+    print("backs off its probes, and stops accusing healthy peers.")
+
+
+if __name__ == "__main__":
+    detect_a_real_failure()
+    slow_member_swim_vs_lifeguard()

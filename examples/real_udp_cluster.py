@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Run a real Lifeguard group over UDP/TCP on localhost.
+
+The very same protocol engine that runs under the simulator is wired to
+asyncio sockets: five members bind real ports, join through a seed, reach
+full membership, and then detect the hard kill of one member.
+
+Run:  python examples/real_udp_cluster.py
+"""
+
+import asyncio
+
+from repro import EventKind, SwimConfig
+from repro.metrics import ClusterEventLog
+from repro.transport.udp import UdpMember
+
+N_MEMBERS = 5
+
+
+async def main() -> None:
+    log = ClusterEventLog()
+    # Faster-than-default timing so the demo completes in seconds; a real
+    # deployment would keep the 1 s probe interval.
+    config = SwimConfig.lifeguard(
+        probe_interval=0.3,
+        probe_timeout=0.15,
+        gossip_interval=0.1,
+        push_pull_interval=2.0,
+    )
+
+    members = []
+    for i in range(N_MEMBERS):
+        member = await UdpMember.create(f"node-{i}", config, listener=log)
+        members.append(member)
+        print(f"node-{i} listening on {member.address}")
+
+    seed = members[0]
+    seed.start()
+    for member in members[1:]:
+        member.start()
+        member.join([seed.address])
+
+    await asyncio.sleep(3.0)
+    sizes = {m.node.name: len(m.node.members) for m in members}
+    print(f"membership sizes after join: {sizes}")
+
+    victim = members[2]
+    print(f"killing {victim.node.name} ({victim.address})")
+    await victim.stop()
+
+    await asyncio.sleep(8.0)
+    failures = [
+        e
+        for e in log.events
+        if e.kind is EventKind.FAILED and e.subject == victim.node.name
+    ]
+    print(
+        f"{len(failures)} members declared {victim.node.name} failed: "
+        f"{sorted({e.observer for e in failures})}"
+    )
+
+    for member in members:
+        if member is not victim:
+            await member.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A miniature service-discovery system on top of the membership layer.
+
+This is the paper's motivating application shape (Consul): every node
+runs an agent; each agent's *metadata* announces which service it hosts;
+a routing table is derived purely from the membership view; failure
+detection removes dead instances from rotation, and *user events* (the
+Serf mechanism) broadcast a deploy announcement.
+
+The demo shows the whole loop:
+
+  1. members join carrying ``service=...`` metadata;
+  2. a healthy routing table emerges at every node;
+  3. an instance crashes — Lifeguard detects it and the routing table
+     shrinks;
+  4. an instance is merely overloaded — with Lifeguard its entry
+     *survives* (no false positive, no pointless failover);
+  5. a deploy event is broadcast and reaches every member exactly once.
+
+Run:  python examples/service_catalog.py
+"""
+
+from collections import defaultdict
+
+from repro import EventKind, MemberState, SimCluster, SwimConfig
+
+SERVICES = {
+    "m000": b"service=web", "m001": b"service=web", "m002": b"service=web",
+    "m003": b"service=api", "m004": b"service=api",
+    "m005": b"service=db",  "m006": b"service=db",
+}
+N = 16  # the remaining members are workers with no service
+
+
+def routing_table(cluster: SimCluster, observer: str):
+    """Derive service -> healthy instances from one member's view."""
+    table = defaultdict(list)
+    for member in cluster.nodes[observer].members.members():
+        if member.state is not MemberState.ALIVE:
+            continue
+        meta = member.meta.decode() if member.meta else ""
+        if meta.startswith("service="):
+            table[meta.split("=", 1)[1]].append(member.name)
+    return {svc: sorted(names) for svc, names in sorted(table.items())}
+
+
+def main() -> None:
+    deploys = []
+    cluster = SimCluster(
+        n_members=N,
+        config=SwimConfig.lifeguard(),
+        seed=99,
+        meta_for=lambda name: SERVICES.get(name, b""),
+        on_user_event=lambda receiver, event: deploys.append((receiver, event)),
+    )
+    cluster.start()
+    cluster.run_for(10.0)
+
+    observer = "m015"  # a worker node watching the catalog
+    print(f"t={cluster.now:5.1f}s  routing table at {observer}:")
+    for service, instances in routing_table(cluster, observer).items():
+        print(f"          {service:4s} -> {', '.join(instances)}")
+
+    # --- a real crash -------------------------------------------------
+    victim = "m001"
+    print(f"\nt={cluster.now:5.1f}s  {victim} (web) crashes")
+    cluster.nodes[victim].stop()
+    cluster.run_for(30.0)
+    table = routing_table(cluster, observer)
+    print(f"t={cluster.now:5.1f}s  web instances now: {', '.join(table['web'])}")
+    assert victim not in table["web"]
+
+    # --- an overloaded-but-healthy instance ----------------------------
+    slow = "m005"
+    print(f"\nt={cluster.now:5.1f}s  {slow} (db) is overloaded for 25s "
+          f"(CPU exhaustion, still healthy)")
+    import random
+    cluster.anomalies.cpu_stress(slow, cluster.now, 25.0, random.Random(5))
+    cluster.run_for(35.0)
+    table = routing_table(cluster, observer)
+    fp = [e for e in cluster.event_log.of_kind(EventKind.FAILED)
+          if e.subject == slow]
+    print(f"t={cluster.now:5.1f}s  db instances: {', '.join(table['db'])} "
+          f"(false-positive failures about {slow}: {len(fp)})")
+
+    # --- a deploy announcement -----------------------------------------
+    print(f"\nt={cluster.now:5.1f}s  m003 broadcasts 'deploy api v2'")
+    cluster.nodes["m003"].broadcast_event(b"deploy api v2")
+    cluster.run_for(5.0)
+    receivers = sorted({receiver for receiver, _ in deploys})
+    print(f"t={cluster.now:5.1f}s  deploy event received by "
+          f"{len(receivers)}/{N - 1} live members, exactly once each: "
+          f"{len(deploys) == len(receivers)}")
+
+
+if __name__ == "__main__":
+    main()

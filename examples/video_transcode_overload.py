@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario (Section II / Figure 1): video
+transcode servers assigned workloads that heavily oversubscribe the CPU.
+
+A 60-member group runs normally while an increasing number of members are
+'stressed': starved of CPU in irregular bursts, exactly like a Consul
+agent sharing one core with 128 `stress` hogs. The stressed members are
+*healthy* — they host no failed service — yet under plain SWIM they drag
+healthy peers down with them via false positive failure detections.
+
+Run:  python examples/video_transcode_overload.py
+(takes a minute or two: each cell simulates 2 minutes of cluster time)
+"""
+
+from repro.harness import StressParams, run_stress
+
+N_MEMBERS = 60
+STRESS_DURATION = 120.0
+STRESSED_COUNTS = [1, 4, 8, 16]
+
+
+def main() -> None:
+    print(f"{N_MEMBERS}-member group, CPU stress on N members for "
+          f"{STRESS_DURATION:.0f}s (virtual)\n")
+    print(f"{'N stressed':>10s} | {'SWIM FP':>8s} {'SWIM FP-':>9s} | "
+          f"{'Lifeguard FP':>12s} {'Lifeguard FP-':>13s}")
+    for count in STRESSED_COUNTS:
+        row = {}
+        for configuration in ("SWIM", "Lifeguard"):
+            result = run_stress(
+                StressParams(
+                    configuration=configuration,
+                    n_members=N_MEMBERS,
+                    n_stressed=count,
+                    stress_duration=STRESS_DURATION,
+                    seed=1000 + count,
+                )
+            )
+            row[configuration] = result
+        swim, lifeguard = row["SWIM"], row["Lifeguard"]
+        print(
+            f"{count:10d} | {swim.total_false_positives:8d} "
+            f"{swim.false_positives_at_healthy:9d} | "
+            f"{lifeguard.total_false_positives:12d} "
+            f"{lifeguard.false_positives_at_healthy:13d}"
+        )
+    print("\nAs in the paper's Figure 1: SWIM produces false positives from")
+    print("a single overloaded member, while Lifeguard suppresses them by")
+    print("orders of magnitude.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Lifeguard — local health awareness for more accurate failure detection.
+
+A complete Python implementation of the SWIM group membership protocol
+with HashiCorp's Lifeguard extensions (Dadgar, Phillips & Currey,
+DSN 2018), plus the controlled-experiment substrate used to reproduce the
+paper's evaluation.
+
+Quick start::
+
+    from repro import LifeguardFlags, SimCluster, SwimConfig
+
+    cluster = SimCluster(n_members=32, config=SwimConfig.lifeguard(), seed=1)
+    cluster.start()
+    cluster.run_for(10.0)                      # let the group quiesce
+    cluster.anomalies.block_windows(["m000"], start=cluster.now,
+                                    end=cluster.now + 30.0)
+    cluster.run_for(40.0)
+    print(cluster.event_log.failures_about("m000"))
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+reproduction of every table and figure in the paper.
+"""
+
+from repro.config import LifeguardFlags, SwimConfig
+from repro.core import LocalHealthMultiplier, Suspicion
+from repro.metrics import ClusterEventLog, Telemetry
+from repro.sim import LatencyModel, SimCluster
+from repro.swim import MemberState, SwimNode
+from repro.swim.events import EventKind, MemberEvent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterEventLog",
+    "EventKind",
+    "LatencyModel",
+    "LifeguardFlags",
+    "LocalHealthMultiplier",
+    "MemberEvent",
+    "MemberState",
+    "SimCluster",
+    "Suspicion",
+    "SwimConfig",
+    "SwimNode",
+    "Telemetry",
+    "__version__",
+]

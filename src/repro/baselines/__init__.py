@@ -1,0 +1,35 @@
+"""Baseline failure detectors from the paper's related work (Section VI).
+
+The paper positions Lifeguard against the adaptive heartbeat-detector
+literature: Chen et al.'s expected-arrival estimator [17, 18] and the
+phi-accrual detector of Hayashibara et al. [20]. Both adapt their
+timeouts to *network* behaviour, but neither considers that the **local**
+detector may be the slow party — so a slow monitor still accuses healthy
+peers. This package implements both detectors on the same simulation
+substrate, plus the paper's Section VII future-work suggestion: a
+local-health wrapper that applies Lifeguard's insight to heartbeat
+detection.
+
+* :class:`~repro.baselines.estimators.ChenEstimator` — expected next
+  arrival (windowed mean) plus a fixed safety margin ``alpha``.
+* :class:`~repro.baselines.estimators.PhiAccrualEstimator` — suspicion as
+  a continuous scale: ``phi = -log10(P(heartbeat still coming))`` under a
+  normal model of inter-arrival times.
+* :class:`~repro.baselines.heartbeat.HeartbeatNode` — a sans-IO
+  heartbeat-broadcasting member hosting one estimator per peer.
+* :class:`~repro.baselines.local_aware.LocalAwareness` — scales a
+  heartbeat detector's thresholds when many peers look late *at once*,
+  which is evidence the local member (not the peers) is slow.
+"""
+
+from repro.baselines.estimators import ChenEstimator, PhiAccrualEstimator
+from repro.baselines.heartbeat import HeartbeatConfig, HeartbeatNode
+from repro.baselines.local_aware import LocalAwareness
+
+__all__ = [
+    "ChenEstimator",
+    "HeartbeatConfig",
+    "HeartbeatNode",
+    "LocalAwareness",
+    "PhiAccrualEstimator",
+]

@@ -1,0 +1,167 @@
+"""Heartbeat arrival estimators.
+
+Both estimators consume heartbeat arrival timestamps for a single
+monitored peer and answer "should this peer be suspected at time t?" —
+the 1-to-1 monitoring relationship the related-work literature assumes
+(paper Section VI).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+
+class ArrivalWindow:
+    """Sliding window of heartbeat inter-arrival intervals."""
+
+    __slots__ = ("_intervals", "_last_arrival", "_sum", "_sum_sq")
+
+    def __init__(self, window_size: int = 100) -> None:
+        if window_size < 2:
+            raise ValueError("window_size must be >= 2")
+        self._intervals: Deque[float] = deque(maxlen=window_size)
+        self._last_arrival: Optional[float] = None
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    @property
+    def last_arrival(self) -> Optional[float]:
+        return self._last_arrival
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def record(self, now: float) -> None:
+        """Record a heartbeat arrival at time ``now``."""
+        if self._last_arrival is not None:
+            interval = now - self._last_arrival
+            if interval < 0:
+                raise ValueError("arrivals must be monotonically ordered")
+            if len(self._intervals) == self._intervals.maxlen:
+                dropped = self._intervals[0]
+                self._sum -= dropped
+                self._sum_sq -= dropped * dropped
+            self._intervals.append(interval)
+            self._sum += interval
+            self._sum_sq += interval * interval
+        self._last_arrival = now
+
+    def mean(self) -> Optional[float]:
+        if not self._intervals:
+            return None
+        return self._sum / len(self._intervals)
+
+    def stddev(self) -> Optional[float]:
+        n = len(self._intervals)
+        if n < 2:
+            return None
+        mean = self._sum / n
+        variance = max(0.0, self._sum_sq / n - mean * mean)
+        return math.sqrt(variance)
+
+
+class ChenEstimator:
+    """Chen, Toueg & Aguilera's adaptive heartbeat estimator [DSN 2000].
+
+    The expected arrival time of the next heartbeat is estimated as the
+    windowed mean inter-arrival added to the last arrival; the peer is
+    suspected once ``now`` exceeds that estimate plus a fixed safety
+    margin ``alpha``. Adapting the estimate to observed delays reduces
+    false positives from network jitter — but a slow *monitor* processes
+    arrivals late, inflating apparent gaps only after the damage is done.
+    """
+
+    __slots__ = ("window", "alpha", "_fallback_interval")
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        expected_interval: float = 1.0,
+        window_size: int = 100,
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.window = ArrivalWindow(window_size)
+        self.alpha = alpha
+        self._fallback_interval = expected_interval
+
+    def record(self, now: float) -> None:
+        self.window.record(now)
+
+    def expected_arrival(self) -> Optional[float]:
+        """Estimated arrival time of the *next* heartbeat."""
+        last = self.window.last_arrival
+        if last is None:
+            return None
+        mean = self.window.mean()
+        interval = mean if mean is not None else self._fallback_interval
+        return last + interval
+
+    def deadline(self) -> Optional[float]:
+        """Time after which the peer is suspected (EA + alpha)."""
+        expected = self.expected_arrival()
+        if expected is None:
+            return None
+        return expected + self.alpha
+
+    def suspect(self, now: float) -> bool:
+        deadline = self.deadline()
+        return deadline is not None and now > deadline
+
+
+class PhiAccrualEstimator:
+    """Hayashibara et al.'s phi-accrual failure detector [SRDS 2004].
+
+    Instead of a boolean verdict, the detector outputs a continuous
+    suspicion value::
+
+        phi(t) = -log10( P(heartbeat arrives after t) )
+
+    under a normal model of inter-arrival times; the application picks a
+    threshold (8 is the classic default — a one-in-10^8 chance that the
+    peer is actually alive).
+    """
+
+    __slots__ = ("window", "threshold", "min_stddev", "_fallback_interval")
+
+    def __init__(
+        self,
+        threshold: float = 8.0,
+        expected_interval: float = 1.0,
+        window_size: int = 100,
+        min_stddev: float = 0.05,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.window = ArrivalWindow(window_size)
+        self.threshold = threshold
+        self.min_stddev = min_stddev
+        self._fallback_interval = expected_interval
+
+    def record(self, now: float) -> None:
+        self.window.record(now)
+
+    def phi(self, now: float) -> float:
+        """Current suspicion level (0 when a heartbeat just arrived)."""
+        last = self.window.last_arrival
+        if last is None:
+            return 0.0
+        elapsed = max(0.0, now - last)
+        mean = self.window.mean()
+        if mean is None:
+            mean = self._fallback_interval
+        stddev = self.window.stddev()
+        if stddev is None or stddev < self.min_stddev:
+            stddev = self.min_stddev
+        # P(X > elapsed) for X ~ N(mean, stddev), via the complementary
+        # error function; phi = -log10 of that survival probability.
+        z = (elapsed - mean) / (stddev * math.sqrt(2.0))
+        survival = 0.5 * math.erfc(z)
+        if survival <= 0.0:
+            return float("inf")
+        return -math.log10(survival)
+
+    def suspect(self, now: float) -> bool:
+        return self.phi(now) >= self.threshold

@@ -1,0 +1,224 @@
+"""A heartbeat-based group failure detector (the related-work baseline).
+
+Each member broadcasts a heartbeat every ``heartbeat_interval`` to every
+peer; each member independently monitors every peer with an arrival
+estimator (Chen or phi-accrual). This is the all-to-all generalization of
+the 1-to-1 monitoring relationship assumed in the adaptive-failure-
+detector literature the paper discusses in Section VI.
+
+The node is sans-IO like :class:`~repro.swim.node.SwimNode` and runs on
+the same simulator, event-log and anomaly machinery, so heartbeat
+detectors and SWIM/Lifeguard can be compared under identical anomalies.
+
+Wire format: heartbeats are encoded as SWIM ``Alive`` messages (member,
+incarnation = sequence number), so the existing codec and telemetry work
+unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.metrics.telemetry import Telemetry
+from repro.runtime import Clock, Scheduler, TimerHandle, Transport
+from repro.swim import codec
+from repro.swim.events import EventKind, EventListener, MemberEvent
+from repro.swim.messages import Alive
+
+from repro.baselines.estimators import ChenEstimator, PhiAccrualEstimator
+from repro.baselines.local_aware import LocalAwareness
+
+#: Factory signature for per-peer estimators.
+EstimatorFactory = Callable[[], object]
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Parameters of the heartbeat detector."""
+
+    #: Interval between heartbeat broadcasts (seconds).
+    heartbeat_interval: float = 1.0
+    #: How often each member re-evaluates its peers (seconds).
+    check_interval: float = 0.2
+    #: Which estimator to use: "chen" or "phi".
+    estimator: str = "chen"
+    #: Chen's safety margin alpha (seconds).
+    chen_alpha: float = 0.5
+    #: Phi-accrual suspicion threshold.
+    phi_threshold: float = 8.0
+    #: Estimator window size (heartbeats).
+    window_size: int = 100
+    #: Enable the local-health wrapper (the paper's Section VII idea):
+    #: when a large fraction of peers look late simultaneously, treat it
+    #: as evidence of *local* slowness and hold fire.
+    local_awareness: bool = False
+    #: Fraction of peers that must look late at once to trigger the
+    #: local-awareness hold.
+    local_awareness_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0 or self.check_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.estimator not in ("chen", "phi"):
+            raise ValueError("estimator must be 'chen' or 'phi'")
+        if not 0.0 < self.local_awareness_fraction <= 1.0:
+            raise ValueError("local_awareness_fraction must be in (0, 1]")
+
+
+class HeartbeatNode:
+    """One member of a heartbeat-monitored group."""
+
+    def __init__(
+        self,
+        name: str,
+        peers: List[str],
+        config: HeartbeatConfig,
+        clock: Clock,
+        scheduler: Scheduler,
+        transport: Transport,
+        rng: Optional[random.Random] = None,
+        listener: Optional[EventListener] = None,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self._clock = clock
+        self._scheduler = scheduler
+        self._transport = transport
+        self._rng = rng if rng is not None else random.Random()
+        self._listener = listener
+        self.telemetry = Telemetry()
+
+        self._peers = [p for p in peers if p != name]
+        self._estimators: Dict[str, object] = {
+            peer: self._make_estimator() for peer in self._peers
+        }
+        self._down: Dict[str, bool] = {peer: False for peer in self._peers}
+        self.awareness = LocalAwareness(
+            enabled=config.local_awareness,
+            quorum_fraction=config.local_awareness_fraction,
+        )
+
+        self._seq = 0
+        self._running = False
+        self._beat_timer: Optional[TimerHandle] = None
+        self._check_timer: Optional[TimerHandle] = None
+
+    def _make_estimator(self):
+        if self.config.estimator == "chen":
+            return ChenEstimator(
+                alpha=self.config.chen_alpha,
+                expected_interval=self.config.heartbeat_interval,
+                window_size=self.config.window_size,
+            )
+        return PhiAccrualEstimator(
+            threshold=self.config.phi_threshold,
+            expected_interval=self.config.heartbeat_interval,
+            window_size=self.config.window_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError(f"node {self.name} already started")
+        self._running = True
+        now = self._clock()
+        self._beat_timer = self._scheduler.call_at(
+            now + self._rng.uniform(0, self.config.heartbeat_interval),
+            self._beat_tick,
+        )
+        self._check_timer = self._scheduler.call_at(
+            now + self._rng.uniform(0, self.config.check_interval),
+            self._check_tick,
+        )
+
+    def stop(self) -> None:
+        self._running = False
+        for timer in (self._beat_timer, self._check_timer):
+            if timer is not None:
+                timer.cancel()
+        self._beat_timer = self._check_timer = None
+
+    # ------------------------------------------------------------------ #
+    # Heartbeating
+    # ------------------------------------------------------------------ #
+
+    def _beat_tick(self) -> None:
+        if not self._running:
+            return
+        now = self._clock()
+        self._beat_timer = self._scheduler.call_at(
+            now + self.config.heartbeat_interval, self._beat_tick
+        )
+        self._seq += 1
+        payload = codec.encode(Alive(self._seq, self.name, self.name))
+        for peer in self._peers:
+            self.telemetry.record_send("heartbeat", len(payload))
+            self._transport.send(peer, payload)
+
+    def handle_packet(self, payload: bytes, from_address: str, reliable: bool = False) -> None:
+        if not self._running:
+            return
+        self.telemetry.record_receive(len(payload))
+        try:
+            message = codec.decode(payload)
+        except codec.CodecError:
+            return
+        if not isinstance(message, Alive):
+            return
+        estimator = self._estimators.get(message.member)
+        if estimator is None:
+            return
+        now = self._clock()
+        estimator.record(now)
+        if self._down[message.member]:
+            self._down[message.member] = False
+            self._emit(EventKind.RESTORED, message.member, message.incarnation, now)
+
+    # ------------------------------------------------------------------ #
+    # Peer evaluation
+    # ------------------------------------------------------------------ #
+
+    def _check_tick(self) -> None:
+        if not self._running:
+            return
+        now = self._clock()
+        self._check_timer = self._scheduler.call_at(
+            now + self.config.check_interval, self._check_tick
+        )
+        late = [
+            peer
+            for peer, estimator in self._estimators.items()
+            if estimator.suspect(now)
+        ]
+        self.awareness.observe(len(late), len(self._peers), now)
+        if self.awareness.hold_fire(len(late), len(self._peers)):
+            # Too many peers look late at once: the likeliest explanation
+            # is that *we* are slow (Lifeguard's insight transplanted to
+            # heartbeat detection; paper Section VII).
+            return
+        for peer in late:
+            if not self._down[peer]:
+                self._down[peer] = True
+                self._emit(EventKind.FAILED, peer, 0, now)
+
+    def is_down(self, peer: str) -> bool:
+        return self._down[peer]
+
+    def down_peers(self) -> List[str]:
+        return [peer for peer, down in self._down.items() if down]
+
+    def _emit(self, kind: EventKind, subject: str, incarnation: int, now: float) -> None:
+        if self._listener is not None:
+            self._listener(MemberEvent(now, self.name, subject, kind, incarnation))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeartbeatNode({self.name!r}, peers={len(self._peers)})"

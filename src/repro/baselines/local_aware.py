@@ -1,0 +1,50 @@
+"""Local health for heartbeat detectors — the paper's future-work idea.
+
+Section VII: *"A separate line of work could investigate applying the
+local health approach to other classes of failure detector."* Section VI
+observes that in a setting with multiple co-located heartbeat detectors,
+Lifeguard's heuristics could be evaluated.
+
+The transplanted heuristic: heartbeat arrivals from *different* peers are
+independent, so when a large fraction of them look late at the same
+moment, the likeliest cause is local slowness (the monitor was starved
+and is only now processing its backlog), not a mass simultaneous failure.
+While that condition holds, the detector withholds DOWN verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class LocalAwareness:
+    """Quorum-of-late-peers heuristic for a heartbeat monitor."""
+
+    __slots__ = ("enabled", "quorum_fraction", "holds", "history")
+
+    def __init__(self, enabled: bool, quorum_fraction: float = 0.5) -> None:
+        if not 0.0 < quorum_fraction <= 1.0:
+            raise ValueError("quorum_fraction must be in (0, 1]")
+        self.enabled = enabled
+        self.quorum_fraction = quorum_fraction
+        #: How many times verdicts were withheld (telemetry).
+        self.holds = 0
+        #: (time, late, total) samples where the hold triggered.
+        self.history: List[Tuple[float, int, int]] = []
+
+    def hold_fire(self, late_count: int, total_peers: int) -> bool:
+        """Whether DOWN verdicts should be withheld right now."""
+        if not self.enabled or total_peers == 0:
+            return False
+        if late_count / total_peers >= self.quorum_fraction and late_count >= 2:
+            self.holds += 1
+            return True
+        return False
+
+    def observe(self, late_count: int, total_peers: int, now: float) -> None:
+        """Record a sample for post-hoc analysis (bounded)."""
+        if not self.enabled or total_peers == 0:
+            return
+        if late_count / total_peers >= self.quorum_fraction and late_count >= 2:
+            if len(self.history) < 10_000:
+                self.history.append((now, late_count, total_peers))

@@ -1,0 +1,96 @@
+"""Simulated cluster of heartbeat-detector members.
+
+Mirrors :class:`repro.sim.runtime.SimCluster` for the baseline
+detectors, reusing the same scheduler, network fabric, anomaly controller
+and event log — so baselines and SWIM/Lifeguard face identical anomalies.
+
+Note: heartbeat members under anomalies always use io-only semantics
+(their beat loop is a single periodic send; queueing those sends is
+exactly what a blocked sender looks like).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.heartbeat import HeartbeatConfig, HeartbeatNode
+from repro.metrics.event_log import ClusterEventLog
+from repro.metrics.telemetry import Telemetry
+from repro.sim.anomaly import AnomalyController
+from repro.sim.network import LatencyModel, SimNetwork
+from repro.sim.runtime import default_member_names
+from repro.sim.scheduler import EventScheduler
+from repro.transport.sim import SimTransport
+
+
+class HeartbeatCluster:
+    """Hosts a group of :class:`HeartbeatNode` members in virtual time."""
+
+    def __init__(
+        self,
+        n_members: int = 0,
+        config: Optional[HeartbeatConfig] = None,
+        seed: int = 0,
+        names: Optional[Sequence[str]] = None,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if config is None:
+            config = HeartbeatConfig()
+        if names is None:
+            if n_members < 1:
+                raise ValueError("need n_members >= 1 or explicit names")
+            names = default_member_names(n_members)
+        self.names: List[str] = list(names)
+        self.config = config
+
+        self.scheduler = EventScheduler()
+        self.clock = self.scheduler.clock
+        self.network = SimNetwork(
+            self.scheduler,
+            random.Random((seed << 1) ^ 0xBEA7),
+            latency=latency,
+            loss_rate=loss_rate,
+        )
+        self.anomalies = AnomalyController(self.scheduler, self.network)
+        self.network.attach_anomalies(self.anomalies)
+        self.event_log = ClusterEventLog()
+
+        self.nodes: Dict[str, HeartbeatNode] = {}
+        for index, name in enumerate(self.names):
+            transport = SimTransport(name, self.network)
+            node = HeartbeatNode(
+                name,
+                self.names,
+                config,
+                clock=self.clock,
+                scheduler=self.scheduler,
+                transport=transport,
+                rng=random.Random(seed * 999_983 + index * 613 + 7),
+                listener=self.event_log,
+            )
+            transport.bind(node.handle_packet)
+            self.nodes[name] = node
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def start(self) -> None:
+        for node in self.nodes.values():
+            node.start()
+
+    def run_for(self, duration: float) -> int:
+        return self.scheduler.run_for(duration)
+
+    def run_until(self, deadline: float) -> int:
+        return self.scheduler.run_until(deadline)
+
+    def stop(self) -> None:
+        for node in self.nodes.values():
+            if node.running:
+                node.stop()
+
+    def telemetry(self) -> Telemetry:
+        return Telemetry.aggregate(node.telemetry for node in self.nodes.values())

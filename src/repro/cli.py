@@ -1,0 +1,210 @@
+"""Command-line interface to the experiment harness.
+
+Run as ``python -m repro`` (or the ``lifeguard-repro`` entry point):
+
+.. code-block:: console
+
+    $ python -m repro threshold --config Lifeguard -c 8 -d 16.384
+    $ python -m repro interval  --config SWIM -c 16 -d 8.192 -i 0.001
+    $ python -m repro stress    --config Lifeguard --stressed 8
+    $ python -m repro compare   -c 8 -d 16.384       # all five configs
+
+Each subcommand runs one simulated experiment and prints its metrics;
+``compare`` runs the same experiment under every Table I configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.configurations import CONFIGURATION_NAMES
+from repro.harness.interval import IntervalParams, run_interval
+from repro.harness.stress import StressParams, run_stress
+from repro.harness.threshold import ThresholdParams, run_threshold
+from repro.metrics.analysis import percentile_summary
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        default="Lifeguard",
+        choices=CONFIGURATION_NAMES,
+        help="Table I configuration to run (default: Lifeguard)",
+    )
+    parser.add_argument("-n", "--members", type=int, default=128,
+                        help="group size (default: 128)")
+    parser.add_argument("--alpha", type=float, default=5.0,
+                        help="suspicion timeout alpha (default: 5)")
+    parser.add_argument("--beta", type=float, default=6.0,
+                        help="suspicion timeout beta (default: 6)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default: 0)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lifeguard-repro",
+        description="Run SWIM/Lifeguard experiments in the simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    threshold = sub.add_parser(
+        "threshold", help="one synchronized anomaly set; measures latency"
+    )
+    _add_common(threshold)
+    threshold.add_argument("-c", "--concurrent", type=int, default=4,
+                           help="concurrent anomalies (default: 4)")
+    threshold.add_argument("-d", "--duration", type=float, default=16.384,
+                           help="anomaly duration, seconds (default: 16.384)")
+
+    interval = sub.add_parser(
+        "interval", help="cyclic anomalies; measures false positives/load"
+    )
+    _add_common(interval)
+    interval.add_argument("-c", "--concurrent", type=int, default=4)
+    interval.add_argument("-d", "--duration", type=float, default=8.192)
+    interval.add_argument("-i", "--interval", type=float, default=0.001,
+                          help="normal interval between anomalies (default: 0.001)")
+    interval.add_argument("-t", "--test-time", type=float, default=120.0,
+                          help="minimum test time, seconds (default: 120)")
+
+    stress = sub.add_parser(
+        "stress", help="CPU-exhaustion scenario (Figure 1)"
+    )
+    _add_common(stress)
+    stress.add_argument("--stressed", type=int, default=4,
+                        help="members under CPU stress (default: 4)")
+    stress.add_argument("-t", "--stress-time", type=float, default=300.0,
+                        help="stress duration, seconds (default: 300)")
+
+    compare = sub.add_parser(
+        "compare", help="run one Interval experiment under all five configs"
+    )
+    _add_common(compare)
+    compare.add_argument("-c", "--concurrent", type=int, default=8)
+    compare.add_argument("-d", "--duration", type=float, default=8.192)
+    compare.add_argument("-i", "--interval", type=float, default=0.001)
+    compare.add_argument("-t", "--test-time", type=float, default=120.0)
+    return parser
+
+
+def _cmd_threshold(args: argparse.Namespace) -> int:
+    result = run_threshold(
+        ThresholdParams(
+            configuration=args.config,
+            n_members=args.members,
+            concurrent=args.concurrent,
+            duration=args.duration,
+            alpha=args.alpha,
+            beta=args.beta,
+            seed=args.seed,
+        )
+    )
+    print(f"configuration : {args.config} (alpha={args.alpha}, beta={args.beta})")
+    print(f"anomalous     : {', '.join(sorted(result.anomalous))}")
+    first = percentile_summary(result.first_detection)
+    full = percentile_summary(result.full_dissemination)
+
+    def fmt(stats):
+        return " / ".join(
+            f"{p:g}%={v:.2f}s" if v is not None else f"{p:g}%=n/a"
+            for p, v in stats.items()
+        )
+
+    print(f"first detect  : {fmt(first)}")
+    print(f"full dissem   : {fmt(full)}")
+    print(f"undetected    : {len(result.latencies.undetected)}")
+    print(f"recovered     : {result.recovered}"
+          + (f" after {result.recovery_time:.1f}s" if result.recovery_time else ""))
+    return 0
+
+
+def _cmd_interval(args: argparse.Namespace) -> int:
+    result = run_interval(
+        IntervalParams(
+            configuration=args.config,
+            n_members=args.members,
+            concurrent=args.concurrent,
+            duration=args.duration,
+            interval=args.interval,
+            alpha=args.alpha,
+            beta=args.beta,
+            min_test_time=args.test_time,
+            seed=args.seed,
+        )
+    )
+    print(f"configuration : {args.config} (alpha={args.alpha}, beta={args.beta})")
+    print(f"test time     : {result.test_time:.1f}s")
+    print(f"FP events     : {result.fp_events}")
+    print(f"FP- events    : {result.fp_healthy_events}")
+    print(f"messages sent : {result.msgs_sent}")
+    print(f"bytes sent    : {result.bytes_sent}")
+    return 0
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    result = run_stress(
+        StressParams(
+            configuration=args.config,
+            n_members=args.members if args.members != 128 else 100,
+            n_stressed=args.stressed,
+            stress_duration=args.stress_time,
+            alpha=args.alpha,
+            beta=args.beta,
+            seed=args.seed,
+        )
+    )
+    print(f"configuration : {args.config}")
+    print(f"stressed      : {', '.join(sorted(result.stressed))}")
+    print(f"total FP      : {result.total_false_positives}")
+    print(f"FP at healthy : {result.false_positives_at_healthy}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    print(
+        f"Interval experiment: n={args.members} C={args.concurrent} "
+        f"D={args.duration}s I={args.interval}s T>={args.test_time}s "
+        f"(alpha={args.alpha}, beta={args.beta})"
+    )
+    print(f"{'configuration':15s} {'FP':>7s} {'FP-':>6s} {'msgs':>9s} {'MiB':>8s}")
+    for configuration in CONFIGURATION_NAMES:
+        result = run_interval(
+            IntervalParams(
+                configuration=configuration,
+                n_members=args.members,
+                concurrent=args.concurrent,
+                duration=args.duration,
+                interval=args.interval,
+                alpha=args.alpha,
+                beta=args.beta,
+                min_test_time=args.test_time,
+                seed=args.seed,
+            )
+        )
+        print(
+            f"{configuration:15s} {result.fp_events:7d} "
+            f"{result.fp_healthy_events:6d} {result.msgs_sent:9d} "
+            f"{result.bytes_sent / 2**20:8.2f}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "threshold": _cmd_threshold,
+    "interval": _cmd_interval,
+    "stress": _cmd_stress,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Protocol configuration for SWIM and the Lifeguard extensions.
+
+The defaults mirror the values used in the paper's evaluation (Section IV
+and V of Dadgar et al., DSN 2018), which in turn mirror HashiCorp's
+memberlist defaults:
+
+* ``BaseProbeInterval`` = 1 second, ``BaseProbeTimeout`` = 500 ms.
+* Local Health Multiplier saturation ``S`` = 8, so the probe interval and
+  timeout back off as high as 9 s and 4.5 s respectively.
+* Suspicion timeout ``Min = alpha * log10(n) * ProbeInterval`` and
+  ``Max = beta * Min`` with the paper's defaults ``alpha`` = 5 and
+  ``beta`` = 6; plain SWIM is equivalent to ``alpha`` = 5, ``beta`` = 1.
+* ``K`` = 3 independent suspicions drive the timeout down to ``Min``.
+
+All durations are in (virtual or wall-clock) seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LifeguardFlags:
+    """Which Lifeguard components are enabled.
+
+    The paper's five test configurations (Table I) are combinations of
+    these three switches; see :mod:`repro.harness.configurations`.
+    """
+
+    lha_probe: bool = False
+    lha_suspicion: bool = False
+    buddy_system: bool = False
+
+    @classmethod
+    def swim(cls) -> "LifeguardFlags":
+        """Plain SWIM: every Lifeguard component disabled."""
+        return cls()
+
+    @classmethod
+    def lifeguard(cls) -> "LifeguardFlags":
+        """Full Lifeguard: every component enabled."""
+        return cls(lha_probe=True, lha_suspicion=True, buddy_system=True)
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.lha_probe or self.lha_suspicion or self.buddy_system
+
+
+@dataclass(frozen=True)
+class SwimConfig:
+    """Tunable parameters of a SWIM / Lifeguard member.
+
+    Instances are immutable; use :meth:`replace` to derive variants.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Failure detector (Section III-A)
+    # ------------------------------------------------------------------ #
+    #: Base interval between successive liveness probes (seconds). With
+    #: LHA-Probe enabled the effective interval is scaled by ``LHM + 1``.
+    probe_interval: float = 1.0
+    #: Base timeout for receiving an ``ack`` to a direct probe (seconds).
+    probe_timeout: float = 0.5
+    #: Number of peers enlisted for an indirect probe (``k`` in the paper).
+    indirect_probes: int = 3
+    #: Whether to attempt a direct probe over the reliable (TCP) channel in
+    #: parallel with the indirect UDP probes, as memberlist does.
+    tcp_fallback_probe: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Suspicion subprotocol (Sections III-A and IV-B)
+    # ------------------------------------------------------------------ #
+    #: ``alpha``: multiplier on ``log10(n) * probe_interval`` giving the
+    #: minimum suspicion timeout.
+    suspicion_alpha: float = 5.0
+    #: ``beta``: the maximum suspicion timeout is ``beta`` times the minimum.
+    #: Plain SWIM corresponds to ``beta == 1`` (a fixed timeout).
+    suspicion_beta: float = 6.0
+    #: ``K``: independent suspicions needed to drive the timeout to its
+    #: minimum. Only meaningful when LHA-Suspicion is enabled.
+    suspicion_k: int = 3
+
+    # ------------------------------------------------------------------ #
+    # Local Health Aware Probe (Section IV-A)
+    # ------------------------------------------------------------------ #
+    #: ``S``: saturation limit of the Local Health Multiplier.
+    lhm_max: int = 8
+    #: Fraction of the probe timeout after which a ``ping-req`` recipient
+    #: sends a ``nack`` if it has not yet seen an ``ack`` (80% per the paper).
+    nack_timeout_fraction: float = 0.8
+
+    # ------------------------------------------------------------------ #
+    # Gossip / dissemination (Section III-B)
+    # ------------------------------------------------------------------ #
+    #: ``lambda``: retransmission multiplier. Each broadcast is sent
+    #: ``lambda * ceil(log10(n + 1))`` times.
+    retransmit_mult: int = 4
+    #: Interval of the dedicated gossip tick (memberlist gossips on its own
+    #: schedule in addition to piggybacking on probe traffic).
+    gossip_interval: float = 0.2
+    #: Number of random peers to gossip to on each dedicated gossip tick.
+    gossip_fanout: int = 3
+    #: How long recently-dead members continue to receive gossip, which
+    #: speeds their reintegration after a false positive (seconds).
+    gossip_to_dead: float = 30.0
+    #: Maximum UDP payload size; piggybacked gossip is limited to the space
+    #: remaining under this limit.
+    max_packet_size: int = 1400
+
+    # ------------------------------------------------------------------ #
+    # Anti-entropy (memberlist push/pull state sync)
+    # ------------------------------------------------------------------ #
+    #: Interval between full push/pull state syncs over the reliable
+    #: channel. ``0`` disables anti-entropy.
+    push_pull_interval: float = 30.0
+    #: How long dead members are retained in the member table so their
+    #: state can be conveyed during push/pull sync and so reconnection
+    #: after a long partition remains possible (seconds).
+    dead_member_reclaim: float = 600.0
+    #: Interval between reconnection attempts to a random dead member
+    #: (the serf/Consul behaviour that lets fully written-off partitions
+    #: merge once connectivity returns). ``0`` disables reconnection.
+    reconnect_interval: float = 30.0
+
+    # ------------------------------------------------------------------ #
+    # Lifeguard component switches
+    # ------------------------------------------------------------------ #
+    flags: LifeguardFlags = dataclasses.field(default_factory=LifeguardFlags)
+
+    def __post_init__(self) -> None:
+        if self.probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+        if self.probe_timeout <= 0:
+            raise ValueError("probe_timeout must be positive")
+        if self.probe_timeout > self.probe_interval:
+            raise ValueError("probe_timeout must not exceed probe_interval")
+        if self.indirect_probes < 0:
+            raise ValueError("indirect_probes must be non-negative")
+        if self.suspicion_alpha <= 0:
+            raise ValueError("suspicion_alpha must be positive")
+        if self.suspicion_beta < 1:
+            raise ValueError("suspicion_beta must be >= 1")
+        if self.suspicion_k < 0:
+            raise ValueError("suspicion_k must be non-negative")
+        if self.lhm_max < 0:
+            raise ValueError("lhm_max must be non-negative")
+        if not 0.0 < self.nack_timeout_fraction < 1.0:
+            raise ValueError("nack_timeout_fraction must be in (0, 1)")
+        if self.retransmit_mult < 1:
+            raise ValueError("retransmit_mult must be >= 1")
+        if self.gossip_interval <= 0:
+            raise ValueError("gossip_interval must be positive")
+        if self.gossip_fanout < 1:
+            raise ValueError("gossip_fanout must be >= 1")
+        if self.max_packet_size < 128:
+            raise ValueError("max_packet_size must be >= 128 bytes")
+
+    def replace(self, **changes: object) -> "SwimConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    # Convenience constructors ------------------------------------------------
+
+    @classmethod
+    def swim_baseline(cls, **overrides: object) -> "SwimConfig":
+        """The paper's ``SWIM`` baseline: fixed suspicion timeout with
+        ``alpha`` = 5, ``beta`` = 1 and no Lifeguard components."""
+        params: dict = dict(
+            suspicion_alpha=5.0, suspicion_beta=1.0, flags=LifeguardFlags.swim()
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def lifeguard(
+        cls, alpha: float = 5.0, beta: float = 6.0, **overrides: object
+    ) -> "SwimConfig":
+        """Full Lifeguard with the given suspicion timeout tuning."""
+        params: dict = dict(
+            suspicion_alpha=alpha,
+            suspicion_beta=beta,
+            flags=LifeguardFlags.lifeguard(),
+        )
+        params.update(overrides)
+        return cls(**params)

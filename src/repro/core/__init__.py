@@ -1,0 +1,24 @@
+"""Lifeguard's novel components (Section IV of the paper).
+
+* :class:`~repro.core.lhm.LocalHealthMultiplier` — the saturating counter
+  behind Local Health Aware Probe (LHA-Probe).
+* :class:`~repro.core.suspicion.Suspicion` — the dynamically decaying
+  suspicion timeout behind Local Health Aware Suspicion (LHA-Suspicion).
+* :func:`~repro.core.suspicion.suspicion_timeout` — the logarithmic decay
+  formula itself.
+* :class:`~repro.core.buddy.BuddyPiggybacker` — the piggyback selector that
+  prioritizes telling a suspected member about its own suspicion.
+"""
+
+from repro.core.buddy import BuddyPiggybacker
+from repro.core.lhm import LhmEvent, LocalHealthMultiplier
+from repro.core.suspicion import Suspicion, suspicion_bounds, suspicion_timeout
+
+__all__ = [
+    "BuddyPiggybacker",
+    "LhmEvent",
+    "LocalHealthMultiplier",
+    "Suspicion",
+    "suspicion_bounds",
+    "suspicion_timeout",
+]

@@ -1,0 +1,67 @@
+"""Buddy System — prioritized notification of suspected members.
+
+In SWIM a suspected member only learns of the suspicion when a gossiped
+``suspect`` message about itself happens to reach it; the piggyback rules
+(limited slots per packet, limited re-sends, preference for newer gossip)
+make that arrival unpredictable, delaying refutation.
+
+The Buddy System (Section IV-C) replaces SWIM's piggyback selector with one
+that guarantees: any member that pings a suspected member — on its own
+behalf, or as the indirect leg of another member's probe — communicates the
+suspicion as part of that ping. Refutation can then start at the first
+probe after the suspicion, which helps LHA-Probe and LHA-Suspicion work
+even better.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class BuddyPiggybacker:
+    """Selects the mandatory 'you are suspected' payload for outgoing pings.
+
+    The object is a small strategy: it owns no protocol state, but is given
+    two callables by the node:
+
+    * ``is_suspected(name)`` — whether the local member currently suspects
+      ``name``;
+    * ``make_suspect_payload(name)`` — an encoded ``suspect`` message about
+      ``name`` reflecting the local suspicion (or ``None`` if the state
+      changed concurrently).
+
+    When disabled the selector never injects anything, reproducing plain
+    SWIM's behaviour.
+    """
+
+    __slots__ = ("_enabled", "_is_suspected", "_make_payload", "injected")
+
+    def __init__(
+        self,
+        enabled: bool,
+        is_suspected: Callable[[str], bool],
+        make_suspect_payload: Callable[[str], Optional[bytes]],
+    ) -> None:
+        self._enabled = enabled
+        self._is_suspected = is_suspected
+        self._make_payload = make_suspect_payload
+        #: Number of times a suspicion was force-piggybacked (telemetry).
+        self.injected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def payloads_for_ping(self, target: str) -> List[bytes]:
+        """Mandatory piggyback payloads for a ping to ``target``.
+
+        Returns at most one encoded ``suspect`` message; the node places it
+        *ahead* of regular gossip so it always fits within the MTU budget.
+        """
+        if not self._enabled or not self._is_suspected(target):
+            return []
+        payload = self._make_payload(target)
+        if payload is None:
+            return []
+        self.injected += 1
+        return [payload]

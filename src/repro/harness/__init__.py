@@ -1,0 +1,36 @@
+"""Experiment harness reproducing the paper's evaluation (Section V).
+
+* :mod:`repro.harness.configurations` — the five test configurations of
+  Table I.
+* :mod:`repro.harness.threshold` — the Threshold experiment (V-D1):
+  one synchronized set of anomalies, measuring detection/dissemination
+  latency (Table V).
+* :mod:`repro.harness.interval` — the Interval experiment (V-D2): cyclic
+  anomalies, measuring false positives (Table IV, Figures 2-3) and
+  message load (Table VI).
+* :mod:`repro.harness.stress` — the CPU-exhaustion scenario (Figure 1).
+* :mod:`repro.harness.sweep` — parameter-sweep driver with optional
+  multiprocess fan-out, plus the reduced/full grids.
+* :mod:`repro.harness.paper_data` — the numbers printed in the paper,
+  for side-by-side comparison.
+* :mod:`repro.harness.report` — text renderers for every table/figure.
+"""
+
+from repro.harness.configurations import CONFIGURATION_NAMES, make_config
+from repro.harness.interval import IntervalParams, IntervalResult, run_interval
+from repro.harness.stress import StressParams, StressResult, run_stress
+from repro.harness.threshold import ThresholdParams, ThresholdResult, run_threshold
+
+__all__ = [
+    "CONFIGURATION_NAMES",
+    "IntervalParams",
+    "IntervalResult",
+    "StressParams",
+    "StressResult",
+    "ThresholdParams",
+    "ThresholdResult",
+    "make_config",
+    "run_interval",
+    "run_stress",
+    "run_threshold",
+]

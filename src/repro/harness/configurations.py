@@ -1,0 +1,53 @@
+"""The five test configurations (Table I of the paper).
+
+============== =======================================
+Configuration  Description
+============== =======================================
+SWIM           Regular SWIM
+LHA-Probe      SWIM + Local Health Aware Probe
+LHA-Suspicion  SWIM + Local Health Aware Suspicion
+Buddy System   SWIM + Buddy System
+Lifeguard      All Lifeguard components enabled
+============== =======================================
+
+The suspicion timeout tuning ``alpha`` / ``beta`` applies to
+configurations with LHA-Suspicion enabled; all others use SWIM's fixed
+timeout, which is equivalent to ``alpha = 5, beta = 1`` (Section V-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import LifeguardFlags, SwimConfig
+
+#: Component switches per configuration, exactly as in Table I.
+CONFIGURATION_FLAGS: Dict[str, LifeguardFlags] = {
+    "SWIM": LifeguardFlags(),
+    "LHA-Probe": LifeguardFlags(lha_probe=True),
+    "LHA-Suspicion": LifeguardFlags(lha_suspicion=True),
+    "Buddy System": LifeguardFlags(buddy_system=True),
+    "Lifeguard": LifeguardFlags(lha_probe=True, lha_suspicion=True, buddy_system=True),
+}
+
+#: Table I order, used by every results table.
+CONFIGURATION_NAMES = list(CONFIGURATION_FLAGS)
+
+
+def make_config(
+    name: str, alpha: float = 5.0, beta: float = 6.0, **overrides: object
+) -> SwimConfig:
+    """Build the :class:`SwimConfig` for a named test configuration.
+
+    ``alpha``/``beta`` tune LHA-Suspicion's timeout bounds; they are
+    ignored (the protocol node falls back to the fixed timeout) for
+    configurations where LHA-Suspicion is disabled.
+    """
+    try:
+        flags = CONFIGURATION_FLAGS[name]
+    except KeyError:
+        known = ", ".join(CONFIGURATION_NAMES)
+        raise ValueError(f"unknown configuration {name!r}; expected one of: {known}")
+    params: dict = dict(suspicion_alpha=alpha, suspicion_beta=beta, flags=flags)
+    params.update(overrides)
+    return SwimConfig(**params)

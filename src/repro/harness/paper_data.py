@@ -1,0 +1,99 @@
+"""The numbers reported in the paper, for side-by-side comparison.
+
+Exact values are transcribed from the tables; Figure 1/2/3 values are
+read off the published (log-scale) plots and are therefore approximate —
+they capture the order of magnitude and the trend, which is what a
+reproduction on a different substrate can meaningfully be compared to.
+"""
+
+from __future__ import annotations
+
+#: Table IV — aggregated false positives, alpha=5, beta=6.
+#: configuration -> (FP events, FP- events, FP % SWIM, FP- % SWIM)
+TABLE_IV = {
+    "SWIM": (339002, 1326, 100.00, 100.00),
+    "LHA-Probe": (229574, 436, 67.72, 32.88),
+    "LHA-Suspicion": (10174, 89, 3.00, 6.71),
+    "Buddy System": (318935, 591, 94.08, 44.57),
+    "Lifeguard": (5193, 25, 1.53, 1.89),
+}
+
+#: Table V — detection/dissemination latency in seconds, alpha=5, beta=6.
+#: configuration -> (med 1st, 99% 1st, 99.9% 1st, med full, 99% full, 99.9% full)
+TABLE_V = {
+    "SWIM": (12.44, 16.96, 19.40, 12.90, 16.93, 20.17),
+    "LHA-Probe": (12.42, 17.75, 20.10, 12.90, 17.98, 20.56),
+    "LHA-Suspicion": (12.42, 17.47, 25.41, 12.89, 17.33, 23.80),
+    "Buddy System": (12.45, 17.12, 19.16, 12.92, 17.18, 19.81),
+    "Lifeguard": (12.45, 17.90, 21.20, 12.91, 18.05, 21.68),
+}
+
+#: Table VI — message load, alpha=5, beta=6.
+#: configuration -> (msgs sent in millions, bytes sent GiB, msgs % SWIM, bytes % SWIM)
+TABLE_VI = {
+    "SWIM": (435.33, 149.15, 100.00, 100.00),
+    "LHA-Probe": (428.62, 134.28, 98.46, 90.03),
+    "LHA-Suspicion": (484.55, 158.87, 111.31, 106.52),
+    "Buddy System": (435.62, 147.67, 100.07, 99.01),
+    "Lifeguard": (481.42, 146.13, 110.59, 97.97),
+}
+
+#: Table VII — full Lifeguard at each (alpha, beta), as % of the SWIM
+#: baseline. (alpha, beta) -> {metric: percent}
+TABLE_VII = {
+    (2, 2): {"med_first": 53.14, "med_full": 55.12, "p99_first": 69.81,
+             "p99_full": 73.07, "p999_first": 76.08, "p999_full": 76.20,
+             "fp": 98.37, "fp_healthy": 31.15},
+    (2, 4): {"med_first": 54.10, "med_full": 56.28, "p99_first": 72.88,
+             "p99_full": 76.96, "p999_first": 75.41, "p999_full": 75.11,
+             "fp": 43.64, "fp_healthy": 22.47},
+    (2, 6): {"med_first": 54.34, "med_full": 56.74, "p99_first": 75.53,
+             "p99_full": 79.15, "p999_first": 80.36, "p999_full": 78.58,
+             "fp": 24.16, "fp_healthy": 13.65},
+    (4, 2): {"med_first": 82.96, "med_full": 84.42, "p99_first": 94.28,
+             "p99_full": 97.05, "p999_first": 99.07, "p999_full": 92.17,
+             "fp": 37.72, "fp_healthy": 20.29},
+    (4, 4): {"med_first": 83.04, "med_full": 84.03, "p99_first": 96.17,
+             "p99_full": 96.69, "p999_first": 93.71, "p999_full": 95.14,
+             "fp": 8.04, "fp_healthy": 9.50},
+    (4, 6): {"med_first": 83.12, "med_full": 84.42, "p99_first": 96.82,
+             "p99_full": 96.52, "p999_first": 94.69, "p999_full": 92.71,
+             "fp": 3.18, "fp_healthy": 4.83},
+    (5, 2): {"med_first": 99.76, "med_full": 99.92, "p99_first": 104.95,
+             "p99_full": 105.73, "p999_first": 112.32, "p999_full": 107.64,
+             "fp": 26.61, "fp_healthy": 15.38},
+    (5, 4): {"med_first": 99.52, "med_full": 99.61, "p99_first": 102.71,
+             "p99_full": 105.08, "p999_first": 111.44, "p999_full": 107.93,
+             "fp": 5.43, "fp_healthy": 5.05},
+    (5, 6): {"med_first": 100.08, "med_full": 100.08, "p99_first": 105.54,
+             "p99_full": 106.62, "p999_first": 109.28, "p999_full": 107.49,
+             "fp": 1.53, "fp_healthy": 1.89},
+}
+
+#: Figure 1 (approximate, read off the plot) — CPU exhaustion scenario.
+#: stressed machines -> (SWIM total FP, SWIM FP at healthy,
+#:                       Lifeguard total FP, Lifeguard FP at healthy)
+FIGURE_1_APPROX = {
+    1: (30, 0, 0, 0),
+    4: (600, 200, 0, 0),
+    8: (1500, 500, 0, 0),
+    16: (3000, 900, 10, 0),
+    32: (6000, 1500, 50, 5),
+}
+
+#: Figures 2/3 (qualitative): at every concurrency level, full Lifeguard
+#: reduces total FP by 50-100x and FP at healthy members by 10-100x.
+FIGURE_2_REDUCTION_RANGE = (50.0, 100.0)
+FIGURE_3_REDUCTION_RANGE = (10.0, 100.0)
+
+#: Headline claims (Section VII) a reproduction should preserve.
+HEADLINES = [
+    "Full Lifeguard cuts total false positives to ~1.5% of SWIM (>50x).",
+    "Full Lifeguard cuts false positives at healthy members to ~1.9% of SWIM.",
+    "LHA-Suspicion is the largest single contributor to FP reduction.",
+    "Buddy System halves FP at healthy members but barely moves total FP.",
+    "Median detection/dissemination latency is essentially unchanged.",
+    "99/99.9th percentile latencies rise only modestly (~6-9%).",
+    "Messages sent rise ~11%; bytes sent fall slightly (~2%).",
+    "alpha=2, beta=2 trades: median latency -45%, FP- still -68% vs SWIM.",
+]

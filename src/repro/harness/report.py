@@ -1,0 +1,199 @@
+"""Text renderers: print each paper table/figure with measured values
+next to the paper's published values.
+
+The renderers never assert anything — they are the human-readable output
+of the benchmark harness. Shape assertions live in the benchmark tests
+themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.harness import paper_data
+from repro.harness.sweep import IntervalAggregate, ThresholdAggregate
+from repro.metrics.analysis import FalsePositiveStats, ratio_pct
+
+
+def _fmt(value: Optional[float], spec: str = "10.2f") -> str:
+    if value is None:
+        return " " * (int(spec.split(".")[0]) - 3) + "n/a"
+    return format(value, spec)
+
+
+def _pct_of(value: float, baseline: float) -> str:
+    pct = ratio_pct(value, baseline)
+    return _fmt(pct, "8.2f")
+
+
+def render_table_iv(aggregates: Sequence[IntervalAggregate]) -> str:
+    """Table IV: aggregated false positives per configuration."""
+    by_name = {a.configuration: a for a in aggregates}
+    swim = by_name.get("SWIM")
+    lines = [
+        "TABLE IV — Aggregated false positives (alpha=5, beta=6)",
+        f"{'Configuration':14s} {'FP':>8s} {'FP-':>6s} {'FP %SWIM':>9s} "
+        f"{'FP- %SWIM':>10s} | {'paper FP':>9s} {'paper FP-':>9s} "
+        f"{'paper FP%':>9s} {'paper FP-%':>10s}",
+    ]
+    for name, (p_fp, p_fpm, p_fp_pct, p_fpm_pct) in paper_data.TABLE_IV.items():
+        agg = by_name.get(name)
+        if agg is None:
+            continue
+        fp_pct = _pct_of(agg.fp_events, swim.fp_events) if swim else "     n/a"
+        fpm_pct = (
+            _pct_of(agg.fp_healthy_events, swim.fp_healthy_events)
+            if swim and swim.fp_healthy_events
+            else "     n/a"
+        )
+        lines.append(
+            f"{name:14s} {agg.fp_events:8d} {agg.fp_healthy_events:6d} "
+            f"{fp_pct:>9s} {fpm_pct:>10s} | {p_fp:9d} {p_fpm:9d} "
+            f"{p_fp_pct:9.2f} {p_fpm_pct:10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table_v(aggregates: Sequence[ThresholdAggregate]) -> str:
+    """Table V: detection and dissemination latencies (seconds)."""
+    by_name = {a.configuration: a for a in aggregates}
+    lines = [
+        "TABLE V — First-detection / full-dissemination latency (s)",
+        f"{'Configuration':14s} {'med 1st':>8s} {'99% 1st':>8s} {'99.9%':>8s} "
+        f"{'med full':>9s} {'99% full':>9s} {'99.9%':>8s} | paper med/99/99.9 "
+        f"(1st) med/99/99.9 (full)",
+    ]
+    for name, paper in paper_data.TABLE_V.items():
+        agg = by_name.get(name)
+        if agg is None:
+            continue
+        first = agg.first_detection
+        full = agg.full_dissemination
+        lines.append(
+            f"{name:14s} {_fmt(first.get(50.0), '8.2f')} "
+            f"{_fmt(first.get(99.0), '8.2f')} {_fmt(first.get(99.9), '8.2f')} "
+            f"{_fmt(full.get(50.0), '9.2f')} {_fmt(full.get(99.0), '9.2f')} "
+            f"{_fmt(full.get(99.9), '8.2f')} | "
+            f"{paper[0]:.2f}/{paper[1]:.2f}/{paper[2]:.2f}  "
+            f"{paper[3]:.2f}/{paper[4]:.2f}/{paper[5]:.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table_vi(aggregates: Sequence[IntervalAggregate]) -> str:
+    """Table VI: message load per configuration."""
+    by_name = {a.configuration: a for a in aggregates}
+    swim = by_name.get("SWIM")
+    lines = [
+        "TABLE VI — Message load (alpha=5, beta=6)",
+        f"{'Configuration':14s} {'Msgs':>10s} {'MiB':>9s} {'Msgs %SWIM':>11s} "
+        f"{'Bytes %SWIM':>12s} | {'paper Msgs%':>11s} {'paper Bytes%':>12s}",
+    ]
+    for name, (p_msgs, p_bytes, p_msgs_pct, p_bytes_pct) in paper_data.TABLE_VI.items():
+        agg = by_name.get(name)
+        if agg is None:
+            continue
+        msgs_pct = _pct_of(agg.msgs_sent, swim.msgs_sent) if swim else "     n/a"
+        bytes_pct = _pct_of(agg.bytes_sent, swim.bytes_sent) if swim else "     n/a"
+        lines.append(
+            f"{name:14s} {agg.msgs_sent:10d} {agg.bytes_sent / 2**20:9.1f} "
+            f"{msgs_pct:>11s} {bytes_pct:>12s} | {p_msgs_pct:11.2f} "
+            f"{p_bytes_pct:12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table_vii(
+    rows: Mapping[tuple, Mapping[str, Optional[float]]]
+) -> str:
+    """Table VII: Lifeguard tuning metrics as % of the SWIM baseline.
+
+    ``rows`` maps ``(alpha, beta)`` to a metric dict with the same keys
+    as :data:`repro.harness.paper_data.TABLE_VII`.
+    """
+    metrics = [
+        ("med_first", "Med First"),
+        ("med_full", "Med Full"),
+        ("p99_first", "99% First"),
+        ("p99_full", "99% Full"),
+        ("p999_first", "99.9% First"),
+        ("p999_full", "99.9% Full"),
+        ("fp", "FP"),
+        ("fp_healthy", "FP-"),
+    ]
+    combos = list(paper_data.TABLE_VII)
+    header = f"{'metric':12s}" + "".join(
+        f"  a={int(a)},b={int(b)}" for a, b in combos
+    )
+    lines = [
+        "TABLE VII — Lifeguard tuning, metrics as % of SWIM baseline",
+        "(first line: measured; second line: paper)",
+        header,
+    ]
+    for key, label in metrics:
+        measured = f"{label:12s}"
+        paper_line = f"{'  (paper)':12s}"
+        for combo in combos:
+            row = rows.get(combo, {})
+            measured += f" {_fmt(row.get(key), '8.1f')}"
+            paper_line += f" {paper_data.TABLE_VII[combo][key]:8.1f}"
+        lines.append(measured)
+        lines.append(paper_line)
+    return "\n".join(lines)
+
+
+def render_fp_by_concurrency(
+    series: Mapping[str, Mapping[int, FalsePositiveStats]],
+    healthy_only: bool = False,
+) -> str:
+    """Figures 2/3: FP (or FP-) versus number of concurrent anomalies."""
+    which = "FP- (at healthy members)" if healthy_only else "total FP"
+    title = "FIGURE 3" if healthy_only else "FIGURE 2"
+    concurrencies: List[int] = sorted(
+        {c for per_config in series.values() for c in per_config}
+    )
+    lines = [
+        f"{title} — {which} vs concurrent anomalies",
+        f"{'Configuration':14s}" + "".join(f" C={c:<6d}" for c in concurrencies),
+    ]
+    for name, per_config in series.items():
+        row = f"{name:14s}"
+        for c in concurrencies:
+            stats = per_config.get(c)
+            if stats is None:
+                row += "     n/a"
+            else:
+                value = stats.fp_healthy_events if healthy_only else stats.fp_events
+                row += f" {value:7d}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_figure_1(
+    rows: Mapping[int, Dict[str, int]],
+) -> str:
+    """Figure 1: CPU-exhaustion false positives.
+
+    ``rows`` maps stressed-machine count to a dict with keys
+    ``swim_fp``, ``swim_fp_healthy``, ``lifeguard_fp``,
+    ``lifeguard_fp_healthy``.
+    """
+    lines = [
+        "FIGURE 1 — False positives from CPU exhaustion "
+        "(100 members, stress on N)",
+        f"{'N':>4s} {'SWIM FP':>9s} {'SWIM FP-':>9s} {'LG FP':>7s} "
+        f"{'LG FP-':>7s} | paper(approx): SWIM FP / FP-, LG FP / FP-",
+    ]
+    for n, row in sorted(rows.items()):
+        paper = paper_data.FIGURE_1_APPROX.get(n)
+        paper_txt = (
+            f"{paper[0]} / {paper[1]}, {paper[2]} / {paper[3]}"
+            if paper
+            else "-"
+        )
+        lines.append(
+            f"{n:4d} {row['swim_fp']:9d} {row['swim_fp_healthy']:9d} "
+            f"{row['lifeguard_fp']:7d} {row['lifeguard_fp_healthy']:7d} | "
+            f"{paper_txt}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""The Threshold experiment (paper Section V-D1).
+
+One synchronized set of ``C`` anomalies of duration ``D`` is introduced
+after a quiesce period; the experiment measures the latency from anomaly
+start to first detection and to full dissemination (Table V), then runs
+on until the group converges back to all-healthy or a timeout passes.
+
+The paper's setup: 128 agents in one VM over loopback, 15 s quiesce,
+anomalies synchronized by the system clock ("the worst case of C fully
+correlated anomalies, such as from power loss to a rack"), 120 s cap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.harness.configurations import make_config
+from repro.metrics.analysis import DisseminationStats, detection_latencies
+from repro.sim.runtime import SimCluster
+
+
+@dataclass(frozen=True)
+class ThresholdParams:
+    """Inputs for one Threshold run (paper Table II sweeps C and D)."""
+
+    configuration: str = "SWIM"
+    n_members: int = 128
+    #: C: number of concurrent anomalies.
+    concurrent: int = 4
+    #: D: duration of each anomaly, seconds (paper: 0.128 .. 32.768).
+    duration: float = 16.384
+    alpha: float = 5.0
+    beta: float = 6.0
+    quiesce: float = 15.0
+    #: Experiment cap, from the start of the anomaly (paper: 120 s).
+    time_limit: float = 120.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.concurrent < self.n_members:
+            raise ValueError("need 0 < concurrent < n_members")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+@dataclass
+class ThresholdResult:
+    """Outputs of one Threshold run."""
+
+    params: ThresholdParams
+    #: Names of the members that had anomalies.
+    anomalous: List[str] = field(default_factory=list)
+    #: Latency stats over the anomalous members.
+    latencies: DisseminationStats = field(default_factory=DisseminationStats)
+    #: Whether the whole group saw each other healthy again in time.
+    recovered: bool = False
+    #: Virtual time from anomaly start to full recovery (None if not).
+    recovery_time: Optional[float] = None
+
+    @property
+    def first_detection(self) -> List[float]:
+        return self.latencies.first_detection_values
+
+    @property
+    def full_dissemination(self) -> List[float]:
+        return self.latencies.full_dissemination_values
+
+
+def run_threshold(params: ThresholdParams) -> ThresholdResult:
+    """Execute one Threshold experiment in the simulator."""
+    config = make_config(params.configuration, params.alpha, params.beta)
+    cluster = SimCluster(
+        n_members=params.n_members, config=config, seed=params.seed
+    )
+    cluster.start()
+    cluster.run_for(params.quiesce)
+
+    picker = random.Random(params.seed * 2_147_483_629 + 11)
+    anomalous = picker.sample(cluster.names, params.concurrent)
+    start = cluster.now
+    cluster.anomalies.block_windows(anomalous, start, start + params.duration)
+
+    deadline = start + params.time_limit
+    # Convergence is only meaningful once the anomaly has ended (the group
+    # is trivially converged before any damage is done).
+    cluster.run_until(min(start + params.duration, deadline))
+    recovered = cluster.run_until_converged(deadline, check_interval=1.0)
+    recovery_time = cluster.now - start if recovered else None
+    # Keep running to the cap so late failure events (relevant for the
+    # 99.9th percentile) are captured even after recovery.
+    if cluster.now < deadline:
+        cluster.run_until(deadline)
+
+    latencies = detection_latencies(
+        cluster.event_log.events, set(anomalous), start, cluster.names
+    )
+    return ThresholdResult(
+        params=params,
+        anomalous=list(anomalous),
+        latencies=latencies,
+        recovered=recovered,
+        recovery_time=recovery_time,
+    )

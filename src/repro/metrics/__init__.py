@@ -1,0 +1,32 @@
+"""Telemetry and experiment analysis.
+
+* :class:`~repro.metrics.telemetry.Telemetry` — per-member message/byte
+  counters, the equivalent of Consul's telemetry used for Table VI.
+* :class:`~repro.metrics.event_log.ClusterEventLog` — a cluster-wide sink
+  for membership events with query helpers.
+* :mod:`repro.metrics.analysis` — false-positive classification (FP /
+  FP⁻) and detection/dissemination latency extraction, exactly as defined
+  in Sections V-F1 and V-F2 of the paper.
+"""
+
+from repro.metrics.analysis import (
+    DisseminationStats,
+    FalsePositiveStats,
+    classify_false_positives,
+    detection_latencies,
+    percentile_summary,
+    ratio_pct,
+)
+from repro.metrics.event_log import ClusterEventLog
+from repro.metrics.telemetry import Telemetry
+
+__all__ = [
+    "ClusterEventLog",
+    "DisseminationStats",
+    "FalsePositiveStats",
+    "Telemetry",
+    "classify_false_positives",
+    "detection_latencies",
+    "percentile_summary",
+    "ratio_pct",
+]

@@ -1,0 +1,107 @@
+"""Cluster-wide membership event log.
+
+Equivalent to the paper's per-agent DEBUG logs copied off the ramdisk and
+analyzed after the fact — except here every node shares one sink (events
+already carry their observer) and queries run in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.swim.events import EventKind, MemberEvent
+
+
+class ClusterEventLog:
+    """Collects :class:`MemberEvent` records from every node in a run."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[MemberEvent] = []
+
+    def __call__(self, event: MemberEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def of_kind(self, kind: EventKind) -> List[MemberEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def failure_events(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[MemberEvent]:
+        """All FAILED events in the given window — the paper's 'failure
+        events raised by Consul'."""
+        return [
+            e
+            for e in self.events
+            if e.kind is EventKind.FAILED and since <= e.time <= until
+        ]
+
+    def failures_about(self, subject: str) -> List[MemberEvent]:
+        return [
+            e
+            for e in self.events
+            if e.kind is EventKind.FAILED and e.subject == subject
+        ]
+
+    def observers_declaring_failed(
+        self, subject: str, since: float = float("-inf")
+    ) -> Set[str]:
+        return {
+            e.observer
+            for e in self.events
+            if e.kind is EventKind.FAILED
+            and e.subject == subject
+            and e.time >= since
+        }
+
+    def first_failure_time(
+        self,
+        subject: str,
+        since: float = float("-inf"),
+        observers: Optional[Iterable[str]] = None,
+    ) -> Optional[float]:
+        """Earliest FAILED event about ``subject`` (optionally restricted
+        to a set of observers), or ``None``."""
+        allowed = set(observers) if observers is not None else None
+        times = [
+            e.time
+            for e in self.events
+            if e.kind is EventKind.FAILED
+            and e.subject == subject
+            and e.time >= since
+            and (allowed is None or e.observer in allowed)
+        ]
+        return min(times) if times else None
+
+    def full_dissemination_time(
+        self, subject: str, observers: Iterable[str], since: float = float("-inf")
+    ) -> Optional[float]:
+        """Earliest time by which *every* given observer had declared
+        ``subject`` failed, or ``None`` if some observer never did."""
+        needed = set(observers)
+        first_by_observer = {}
+        for e in self.events:
+            if (
+                e.kind is EventKind.FAILED
+                and e.subject == subject
+                and e.time >= since
+                and e.observer in needed
+                and e.observer not in first_by_observer
+            ):
+                first_by_observer[e.observer] = e.time
+        if set(first_by_observer) != needed:
+            return None
+        return max(first_by_observer.values())

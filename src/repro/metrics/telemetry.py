@@ -1,0 +1,85 @@
+"""Message and byte accounting, per member and aggregated.
+
+The paper's Table VI counts *compound* messages (a failure-detector
+message plus piggybacked gossip) as a single message, and measures total
+bytes on the wire. :class:`Telemetry` is fed one record per packet by the
+protocol node, labelled with the primary message kind.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable
+
+
+class Telemetry:
+    """Counters for one member's sent (and optionally received) traffic."""
+
+    __slots__ = (
+        "msgs_sent",
+        "bytes_sent",
+        "msgs_by_kind",
+        "bytes_by_kind",
+        "msgs_received",
+        "bytes_received",
+        "reliable_msgs_sent",
+        "reliable_bytes_sent",
+    )
+
+    def __init__(self) -> None:
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+        self.msgs_by_kind: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+        self.msgs_received = 0
+        self.bytes_received = 0
+        self.reliable_msgs_sent = 0
+        self.reliable_bytes_sent = 0
+
+    def record_send(self, kind: str, n_bytes: int, reliable: bool = False) -> None:
+        """Record one outgoing packet of the given primary ``kind``."""
+        self.msgs_sent += 1
+        self.bytes_sent += n_bytes
+        self.msgs_by_kind[kind] += 1
+        self.bytes_by_kind[kind] += n_bytes
+        if reliable:
+            self.reliable_msgs_sent += 1
+            self.reliable_bytes_sent += n_bytes
+
+    def record_receive(self, n_bytes: int) -> None:
+        self.msgs_received += 1
+        self.bytes_received += n_bytes
+
+    def merge(self, other: "Telemetry") -> None:
+        """Fold ``other``'s counters into this one (for aggregation)."""
+        self.msgs_sent += other.msgs_sent
+        self.bytes_sent += other.bytes_sent
+        self.msgs_by_kind.update(other.msgs_by_kind)
+        self.bytes_by_kind.update(other.bytes_by_kind)
+        self.msgs_received += other.msgs_received
+        self.bytes_received += other.bytes_received
+        self.reliable_msgs_sent += other.reliable_msgs_sent
+        self.reliable_bytes_sent += other.reliable_bytes_sent
+
+    @classmethod
+    def aggregate(cls, parts: Iterable["Telemetry"]) -> "Telemetry":
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "msgs_sent": self.msgs_sent,
+            "bytes_sent": self.bytes_sent,
+            "msgs_received": self.msgs_received,
+            "bytes_received": self.bytes_received,
+            "reliable_msgs_sent": self.reliable_msgs_sent,
+            "reliable_bytes_sent": self.reliable_bytes_sent,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Telemetry(msgs_sent={self.msgs_sent}, "
+            f"bytes_sent={self.bytes_sent})"
+        )

@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's experiments ran 128 Consul agents in one VM with carefully
+controlled, clock-synchronized *anomalies* (periods during which selected
+members block on protocol message sends/receives). This package supplies
+the equivalent controlled environment as a virtual-time simulation:
+
+* :class:`~repro.sim.clock.VirtualClock` and
+  :class:`~repro.sim.scheduler.EventScheduler` — the virtual time base;
+* :class:`~repro.sim.network.SimNetwork` — configurable latency/loss
+  datagram fabric plus a reliable channel, with partition support;
+* :class:`~repro.sim.anomaly.AnomalyController` — blocked-I/O windows and
+  the stochastic CPU-stress mode used for the Figure 1 scenario;
+* :class:`~repro.sim.runtime.SimCluster` — hosts N protocol nodes and
+  exposes the experiment-facing API.
+
+Runs are fully deterministic for a given seed.
+"""
+
+from repro.sim.anomaly import AnomalyController
+from repro.sim.clock import VirtualClock
+from repro.sim.network import LatencyModel, SimNetwork
+from repro.sim.runtime import SimCluster
+from repro.sim.scheduler import EventScheduler
+
+__all__ = [
+    "AnomalyController",
+    "EventScheduler",
+    "LatencyModel",
+    "SimCluster",
+    "SimNetwork",
+    "VirtualClock",
+]

@@ -1,0 +1,34 @@
+"""Virtual time."""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock.
+
+    Instances are callable so they satisfy the :data:`repro.runtime.Clock`
+    protocol directly. Only the scheduler advances the clock.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward (never backward)."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot move clock backward: {when} < {self._now}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,208 @@
+"""Simulated network fabric.
+
+Models the two channels memberlist uses:
+
+* a **datagram** channel (UDP): per-packet latency sampled from a
+  configurable distribution, independent packet loss, no ordering
+  guarantee (reordering arises naturally from latency jitter);
+* a **reliable** channel (TCP): same latency model with a small connection
+  overhead, never randomly dropped — but still severed by partitions and
+  still subject to anomaly blocking, since a frozen process reads neither
+  socket.
+
+Delivery to members experiencing an anomaly is intercepted by the
+:class:`~repro.sim.anomaly.AnomalyController` (if one is attached).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+
+from repro.sim.scheduler import EventScheduler
+
+#: Delivery callback signature: (payload, from_address, reliable).
+DeliverFn = Callable[[bytes, str, bool], None]
+
+
+class LatencyModel:
+    """Samples one-way packet latency in seconds.
+
+    The default parameters model the paper's environment — 128 agents
+    pinned 8-per-core on one VM, talking over loopback. The wire itself
+    is sub-millisecond; the exponential jitter term models the few
+    milliseconds of run-queue delay before a co-scheduled agent gets the
+    CPU to process a packet.
+    """
+
+    __slots__ = ("base", "jitter_mean", "reliable_overhead")
+
+    def __init__(
+        self,
+        base: float = 0.0005,
+        jitter_mean: float = 0.003,
+        reliable_overhead: float = 0.001,
+    ) -> None:
+        if base < 0 or jitter_mean < 0 or reliable_overhead < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.base = base
+        self.jitter_mean = jitter_mean
+        self.reliable_overhead = reliable_overhead
+
+    def sample(self, rng: random.Random, reliable: bool = False) -> float:
+        latency = self.base
+        if self.jitter_mean > 0:
+            latency += rng.expovariate(1.0 / self.jitter_mean)
+        if reliable:
+            latency += self.reliable_overhead
+        return latency
+
+    @classmethod
+    def loopback(cls) -> "LatencyModel":
+        """The paper's single-VM loopback environment."""
+        return cls()
+
+    @classmethod
+    def lan(cls) -> "LatencyModel":
+        """A typical same-datacenter network (dedicated hosts: more wire
+        latency than loopback, plus cross-host jitter)."""
+        return cls(base=0.001, jitter_mean=0.004, reliable_overhead=0.002)
+
+    @classmethod
+    def wan(cls) -> "LatencyModel":
+        """A cross-region network."""
+        return cls(base=0.030, jitter_mean=0.010, reliable_overhead=0.060)
+
+
+class NetworkStats:
+    """Counters for fabric-level behaviour."""
+
+    __slots__ = ("packets_sent", "packets_delivered", "packets_lost", "packets_cut")
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        #: Dropped by random datagram loss.
+        self.packets_lost = 0
+        #: Dropped because source and destination were partitioned.
+        self.packets_cut = 0
+
+
+class SimNetwork:
+    """Connects simulated endpoints addressed by name."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rng: random.Random,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self._scheduler = scheduler
+        self._rng = rng
+        self._latency = latency if latency is not None else LatencyModel.loopback()
+        self._loss_rate = loss_rate
+        self._endpoints: Dict[str, DeliverFn] = {}
+        self._partitions: Set[frozenset] = set()
+        self._partition_groups: Dict[str, int] = {}
+        self._anomalies = None  # set via attach_anomalies()
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------ #
+    # Topology management
+    # ------------------------------------------------------------------ #
+
+    def register(self, address: str, deliver: DeliverFn) -> None:
+        if address in self._endpoints:
+            raise ValueError(f"address {address!r} already registered")
+        self._endpoints[address] = deliver
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def attach_anomalies(self, controller) -> None:
+        """Wire in an :class:`~repro.sim.anomaly.AnomalyController`."""
+        self._anomalies = controller
+
+    @property
+    def loss_rate(self) -> float:
+        return self._loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self._loss_rate = value
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network: members of different groups cannot reach
+        each other. Members in no group remain reachable by everyone."""
+        self._partition_groups = {}
+        for index, group in enumerate(groups):
+            for address in group:
+                self._partition_groups[address] = index
+
+    def heal_partition(self) -> None:
+        self._partition_groups = {}
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        if not self._partition_groups:
+            return False
+        src_group = self._partition_groups.get(src)
+        dst_group = self._partition_groups.get(dst)
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
+    # ------------------------------------------------------------------ #
+    # Datapath
+    # ------------------------------------------------------------------ #
+
+    def send(self, src: str, dst: str, payload: bytes, reliable: bool = False) -> None:
+        """Entry point for a member's transport.
+
+        Anomaly interception happens *here*, before the packet enters the
+        fabric: a blocked member is blocked 'immediately before sending'
+        (paper, Section V-D1).
+        """
+        if self._anomalies is not None and self._anomalies.intercept_send(
+            src, dst, payload, reliable
+        ):
+            return
+        self.inject(src, dst, payload, reliable)
+
+    def inject(self, src: str, dst: str, payload: bytes, reliable: bool = False) -> None:
+        """Put a packet on the fabric (used directly when the anomaly
+        controller flushes a blocked member's queued sends)."""
+        self.stats.packets_sent += 1
+        if self._partitioned(src, dst):
+            self.stats.packets_cut += 1
+            return
+        if not reliable and self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
+            self.stats.packets_lost += 1
+            return
+        latency = self._latency.sample(self._rng, reliable)
+        self._scheduler.call_later(
+            latency, lambda: self._deliver(src, dst, payload, reliable)
+        )
+
+    def _deliver(self, src: str, dst: str, payload: bytes, reliable: bool) -> None:
+        deliver = self._endpoints.get(dst)
+        if deliver is None:
+            return
+        if self._anomalies is not None and self._anomalies.intercept_delivery(
+            dst, payload, src, reliable
+        ):
+            return
+        self.stats.packets_delivered += 1
+        deliver(payload, src, reliable)
+
+    def deliver_now(self, dst: str, payload: bytes, src: str, reliable: bool) -> None:
+        """Hand a previously queued packet to its endpoint immediately
+        (anomaly-controller flush path)."""
+        deliver = self._endpoints.get(dst)
+        if deliver is not None:
+            self.stats.packets_delivered += 1
+            deliver(payload, src, reliable)

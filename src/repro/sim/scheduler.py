@@ -1,0 +1,118 @@
+"""The discrete-event loop.
+
+A binary heap of timestamped callbacks with lazy cancellation. Events at
+the same timestamp run in scheduling order (FIFO), which keeps runs
+deterministic and matches the intuition that a callback scheduled first
+was 'armed' first.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.sim.clock import VirtualClock
+
+
+class _Event:
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback: Callable[[], None]) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        if self.when != other.when:
+            return self.when < other.when
+        return self.seq < other.seq
+
+    def cancel(self) -> None:
+        # Lazy cancellation: the heap entry is skipped when popped.
+        self.cancelled = True
+        self.callback = _noop
+
+
+def _noop() -> None:
+    return None
+
+
+class EventScheduler:
+    """Schedules and runs callbacks in virtual time.
+
+    Satisfies the :class:`repro.runtime.Scheduler` protocol; the returned
+    :class:`_Event` objects satisfy :class:`repro.runtime.TimerHandle`.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: List[_Event] = []
+        self._seq = 0
+        #: Total events executed (telemetry / performance reporting).
+        self.executed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` at absolute virtual time ``when``.
+
+        Scheduling in the past is clamped to 'now' (the event runs on the
+        next pump), mirroring asyncio's behaviour.
+        """
+        when = max(when, self.clock.now)
+        self._seq += 1
+        event = _Event(when, self._seq, callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> _Event:
+        return self.call_at(self.clock.now + delay, callback)
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` when drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].when if self._heap else None
+
+    def step(self) -> bool:
+        """Run the single next event. Returns ``False`` when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            self.executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> int:
+        """Run all events with timestamps <= ``deadline``; the clock ends
+        exactly at ``deadline``. Returns the number of events executed."""
+        count = 0
+        while self._heap:
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap or self._heap[0].when > deadline:
+                break
+            event = heapq.heappop(self._heap)
+            self.clock.advance_to(event.when)
+            self.executed += 1
+            event.callback()
+            count += 1
+        self.clock.advance_to(max(self.clock.now, deadline))
+        return count
+
+    def run_for(self, duration: float) -> int:
+        return self.run_until(self.clock.now + duration)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (bounded, to catch runaway loops)."""
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise RuntimeError("scheduler drain exceeded max_events")
+        return count

@@ -1,0 +1,125 @@
+"""Transmit-limited gossip broadcast queue.
+
+SWIM's dissemination component shares each update ``lambda * log(n)``
+times, piggybacked on failure-detector messages, preferring updates that
+have been shared fewer times so all updates make progress under bursts
+(Section III-A). memberlist additionally drains the same queue from a
+dedicated gossip tick.
+
+Invalidation: the queue is keyed by the member a gossip message is about —
+a fresher claim about a member replaces any queued older claim, so the
+queue never spreads self-contradictory state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.swim import codec
+from repro.swim.messages import GossipMessage, gossip_subject
+
+
+def retransmit_limit(retransmit_mult: int, n_members: int) -> int:
+    """``lambda * ceil(log10(n + 1))`` transmissions per broadcast."""
+    scale = math.ceil(math.log10(n_members + 1))
+    return max(1, retransmit_mult * max(1, scale))
+
+
+class _QueuedBroadcast:
+    __slots__ = ("message", "payload", "transmits", "enqueued_seq")
+
+    def __init__(self, message: GossipMessage, payload: bytes, seq: int) -> None:
+        self.message = message
+        self.payload = payload
+        self.transmits = 0
+        self.enqueued_seq = seq
+
+
+class BroadcastQueue:
+    """Holds pending gossip broadcasts and doles them out per packet.
+
+    Parameters
+    ----------
+    retransmit_mult:
+        ``lambda``; each broadcast is retired after
+        ``lambda * ceil(log10(n + 1))`` transmissions.
+    n_members_fn:
+        Callable returning the current known group size, so the limit
+        tracks membership changes.
+    """
+
+    __slots__ = ("_mult", "_n_members_fn", "_queue", "_seq", "total_enqueued")
+
+    def __init__(self, retransmit_mult: int, n_members_fn: Callable[[], int]) -> None:
+        self._mult = retransmit_mult
+        self._n_members_fn = n_members_fn
+        self._queue: Dict[str, _QueuedBroadcast] = {}
+        self._seq = 0
+        #: Total broadcasts ever enqueued (telemetry).
+        self.total_enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._queue)
+
+    def current_limit(self) -> int:
+        return retransmit_limit(self._mult, self._n_members_fn())
+
+    def enqueue(self, message: GossipMessage) -> None:
+        """Queue ``message``, replacing any queued claim about the same
+        member (the replacement restarts the transmit count)."""
+        self._seq += 1
+        self.total_enqueued += 1
+        payload = codec.encode(message)
+        self._queue[gossip_subject(message)] = _QueuedBroadcast(
+            message, payload, self._seq
+        )
+
+    def invalidate(self, member: str) -> None:
+        """Drop any queued broadcast about ``member``."""
+        self._queue.pop(member, None)
+
+    def peek(self, member: str) -> Optional[GossipMessage]:
+        """The queued claim about ``member``, if any (not a transmission)."""
+        entry = self._queue.get(member)
+        return entry.message if entry is not None else None
+
+    def get_payloads(self, byte_budget: int, per_payload_overhead: int) -> List[bytes]:
+        """Select encoded broadcasts for one outgoing packet.
+
+        Fewest-transmitted first (newest as tie-break), greedily filling
+        ``byte_budget``; each selected payload costs its own length plus
+        ``per_payload_overhead`` framing bytes. Selected broadcasts get
+        their transmit count bumped and are retired once they reach the
+        retransmit limit.
+        """
+        if not self._queue:
+            return []
+        limit = self.current_limit()
+        # Few entries in practice; sorting per call is simpler than
+        # maintaining a priority structure under constant invalidation.
+        entries = sorted(
+            self._queue.values(), key=lambda e: (e.transmits, -e.enqueued_seq)
+        )
+        selected: List[bytes] = []
+        remaining = byte_budget
+        retired: List[str] = []
+        for entry in entries:
+            cost = len(entry.payload) + per_payload_overhead
+            if cost > remaining:
+                continue
+            remaining -= cost
+            selected.append(entry.payload)
+            entry.transmits += 1
+            if entry.transmits >= limit:
+                retired.append(gossip_subject(entry.message))
+        for member in retired:
+            self._queue.pop(member, None)
+        return selected
+
+    def clear(self) -> None:
+        self._queue.clear()

@@ -1,0 +1,350 @@
+"""Compact binary wire format.
+
+The message-load experiment (Table VI) measures *bytes sent*, so the codec
+matters: it must produce realistically compact packets, the way memberlist
+does with msgpack. We use a hand-rolled struct-based format that is within
+a few bytes of msgpack for these message shapes:
+
+* 1 type byte;
+* integers as fixed-width big-endian (u32 for sequence numbers, u64 for
+  incarnations);
+* strings as ``u8 length + UTF-8 bytes`` (member names / addresses are
+  short);
+* compound: type byte, u16 part count, then each part as
+  ``u16 length + encoded part``.
+
+Encoding and decoding round-trip exactly; a corrupt or truncated packet
+raises :class:`CodecError` rather than yielding garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.swim.messages import (
+    Ack,
+    Alive,
+    Compound,
+    Dead,
+    Message,
+    Nack,
+    Ping,
+    PingReq,
+    PushPull,
+    Suspect,
+    UserEvent,
+)
+
+# Wire type tags.
+T_PING = 0x01
+T_PING_REQ = 0x02
+T_ACK = 0x03
+T_NACK = 0x04
+T_SUSPECT = 0x05
+T_ALIVE = 0x06
+T_DEAD = 0x07
+T_PUSH_PULL = 0x08
+T_COMPOUND = 0x09
+T_USER_EVENT = 0x0A
+
+#: Application metadata limit per member (memberlist's MetaMaxSize).
+MAX_META_SIZE = 512
+#: User event payload limit (fits comfortably in one UDP packet).
+MAX_USER_PAYLOAD = 1024
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+
+class CodecError(ValueError):
+    """Raised when a packet cannot be decoded."""
+
+
+def _put_str(out: List[bytes], value: str) -> None:
+    raw = value.encode("utf-8")
+    if len(raw) > 255:
+        raise CodecError(f"string too long for wire format: {len(raw)} bytes")
+    out.append(bytes((len(raw),)))
+    out.append(raw)
+
+
+def _put_bytes(out: List[bytes], value: bytes, limit: int) -> None:
+    if len(value) > limit:
+        raise CodecError(f"byte field too long: {len(value)} > {limit}")
+    out.append(_U16.pack(len(value)))
+    out.append(value)
+
+
+def _get_bytes(buf: bytes, offset: int) -> Tuple[bytes, int]:
+    length, offset = _get_u16(buf, offset)
+    end = offset + length
+    if end > len(buf):
+        raise CodecError("truncated byte field")
+    return buf[offset:end], end
+
+
+def _get_str(buf: bytes, offset: int) -> Tuple[str, int]:
+    if offset >= len(buf):
+        raise CodecError("truncated string length")
+    length = buf[offset]
+    offset += 1
+    end = offset + length
+    if end > len(buf):
+        raise CodecError("truncated string body")
+    try:
+        return buf[offset:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"invalid UTF-8 in string: {exc}") from exc
+
+
+def encode(message: Message) -> bytes:
+    """Encode any protocol message to its wire representation."""
+    out: List[bytes] = []
+    _encode_into(message, out)
+    return b"".join(out)
+
+
+def _encode_into(message: Message, out: List[bytes]) -> None:
+    if isinstance(message, Ping):
+        out.append(bytes((T_PING,)))
+        out.append(_U32.pack(message.seq_no))
+        _put_str(out, message.target)
+        _put_str(out, message.source)
+    elif isinstance(message, PingReq):
+        out.append(bytes((T_PING_REQ,)))
+        out.append(_U32.pack(message.seq_no))
+        _put_str(out, message.target)
+        _put_str(out, message.source)
+        out.append(b"\x01" if message.want_nack else b"\x00")
+    elif isinstance(message, Ack):
+        out.append(bytes((T_ACK,)))
+        out.append(_U32.pack(message.seq_no))
+        _put_str(out, message.source)
+    elif isinstance(message, Nack):
+        out.append(bytes((T_NACK,)))
+        out.append(_U32.pack(message.seq_no))
+        _put_str(out, message.source)
+    elif isinstance(message, Suspect):
+        out.append(bytes((T_SUSPECT,)))
+        out.append(_U64.pack(message.incarnation))
+        _put_str(out, message.member)
+        _put_str(out, message.sender)
+    elif isinstance(message, Alive):
+        out.append(bytes((T_ALIVE,)))
+        out.append(_U64.pack(message.incarnation))
+        _put_str(out, message.member)
+        _put_str(out, message.address)
+        _put_bytes(out, message.meta, MAX_META_SIZE)
+    elif isinstance(message, Dead):
+        out.append(bytes((T_DEAD,)))
+        out.append(_U64.pack(message.incarnation))
+        _put_str(out, message.member)
+        _put_str(out, message.sender)
+    elif isinstance(message, UserEvent):
+        out.append(bytes((T_USER_EVENT,)))
+        _put_str(out, message.origin)
+        out.append(_U32.pack(message.seq_no))
+        _put_bytes(out, message.payload, MAX_USER_PAYLOAD)
+    elif isinstance(message, PushPull):
+        out.append(bytes((T_PUSH_PULL,)))
+        _put_str(out, message.source)
+        flags = (1 if message.join else 0) | (2 if message.is_reply else 0)
+        out.append(bytes((flags,)))
+        if len(message.states) > 0xFFFF:
+            raise CodecError("too many states in push-pull")
+        out.append(_U16.pack(len(message.states)))
+        for entry in message.states:
+            name, address, incarnation, state_value = entry[:4]
+            meta = entry[4] if len(entry) > 4 else b""
+            _put_str(out, name)
+            _put_str(out, address)
+            out.append(_U64.pack(incarnation))
+            out.append(bytes((state_value,)))
+            _put_bytes(out, meta, MAX_META_SIZE)
+    elif isinstance(message, Compound):
+        out.append(bytes((T_COMPOUND,)))
+        if len(message.parts) > 0xFFFF:
+            raise CodecError("too many parts in compound")
+        out.append(_U16.pack(len(message.parts)))
+        for part in message.parts:
+            encoded = encode(part)
+            out.append(_U16.pack(len(encoded)))
+            out.append(encoded)
+    else:
+        raise CodecError(f"cannot encode {type(message).__name__}")
+
+
+# Gossip payloads are retransmitted lambda*log(n) times by many members,
+# so identical byte strings are decoded over and over during churn. All
+# messages are immutable (frozen dataclasses), so caching decodes of
+# small single messages is safe and cuts simulation time substantially.
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_LIMIT = 8192
+_CACHEABLE_MAX_LEN = 96
+
+
+def decode(buf: bytes) -> Message:
+    """Decode one wire packet back into a message."""
+    if len(buf) <= _CACHEABLE_MAX_LEN and buf and buf[0] != T_COMPOUND:
+        cached = _DECODE_CACHE.get(buf)
+        if cached is not None:
+            return cached
+        message, offset = _decode_at(buf, 0)
+        if offset != len(buf):
+            raise CodecError(f"{len(buf) - offset} trailing bytes after message")
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[buf] = message
+        return message
+    message, offset = _decode_at(buf, 0)
+    if offset != len(buf):
+        raise CodecError(f"{len(buf) - offset} trailing bytes after message")
+    return message
+
+
+def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
+    if offset >= len(buf):
+        raise CodecError("empty packet")
+    tag = buf[offset]
+    offset += 1
+    if tag == T_PING:
+        seq_no, offset = _get_u32(buf, offset)
+        target, offset = _get_str(buf, offset)
+        source, offset = _get_str(buf, offset)
+        return Ping(seq_no, target, source), offset
+    if tag == T_PING_REQ:
+        seq_no, offset = _get_u32(buf, offset)
+        target, offset = _get_str(buf, offset)
+        source, offset = _get_str(buf, offset)
+        want_nack, offset = _get_bool(buf, offset)
+        return PingReq(seq_no, target, source, want_nack), offset
+    if tag == T_ACK:
+        seq_no, offset = _get_u32(buf, offset)
+        source, offset = _get_str(buf, offset)
+        return Ack(seq_no, source), offset
+    if tag == T_NACK:
+        seq_no, offset = _get_u32(buf, offset)
+        source, offset = _get_str(buf, offset)
+        return Nack(seq_no, source), offset
+    if tag == T_SUSPECT:
+        incarnation, offset = _get_u64(buf, offset)
+        member, offset = _get_str(buf, offset)
+        sender, offset = _get_str(buf, offset)
+        return Suspect(incarnation, member, sender), offset
+    if tag == T_ALIVE:
+        incarnation, offset = _get_u64(buf, offset)
+        member, offset = _get_str(buf, offset)
+        address, offset = _get_str(buf, offset)
+        meta, offset = _get_bytes(buf, offset)
+        return Alive(incarnation, member, address, meta), offset
+    if tag == T_DEAD:
+        incarnation, offset = _get_u64(buf, offset)
+        member, offset = _get_str(buf, offset)
+        sender, offset = _get_str(buf, offset)
+        return Dead(incarnation, member, sender), offset
+    if tag == T_USER_EVENT:
+        origin, offset = _get_str(buf, offset)
+        seq_no, offset = _get_u32(buf, offset)
+        payload, offset = _get_bytes(buf, offset)
+        return UserEvent(origin, seq_no, payload), offset
+    if tag == T_PUSH_PULL:
+        source, offset = _get_str(buf, offset)
+        flags, offset = _get_u8(buf, offset)
+        count, offset = _get_u16(buf, offset)
+        states = []
+        for _ in range(count):
+            name, offset = _get_str(buf, offset)
+            address, offset = _get_str(buf, offset)
+            incarnation, offset = _get_u64(buf, offset)
+            state_value, offset = _get_u8(buf, offset)
+            meta, offset = _get_bytes(buf, offset)
+            states.append((name, address, incarnation, state_value, meta))
+        return (
+            PushPull(source, tuple(states), bool(flags & 1), bool(flags & 2)),
+            offset,
+        )
+    if tag == T_COMPOUND:
+        count, offset = _get_u16(buf, offset)
+        if count == 0:
+            raise CodecError("empty compound")
+        parts = []
+        for _ in range(count):
+            length, offset = _get_u16(buf, offset)
+            end = offset + length
+            if end > len(buf):
+                raise CodecError("truncated compound part")
+            # Route each part through decode() so identical gossip
+            # payloads hit the decode cache.
+            parts.append(decode(buf[offset:end]))
+            offset = end
+        return Compound(tuple(parts)), offset
+    raise CodecError(f"unknown message tag 0x{tag:02x}")
+
+
+def _get_u8(buf: bytes, offset: int) -> Tuple[int, int]:
+    if offset + 1 > len(buf):
+        raise CodecError("truncated u8")
+    return buf[offset], offset + 1
+
+
+def _get_bool(buf: bytes, offset: int) -> Tuple[bool, int]:
+    value, offset = _get_u8(buf, offset)
+    return bool(value), offset
+
+
+def _get_u16(buf: bytes, offset: int) -> Tuple[int, int]:
+    if offset + 2 > len(buf):
+        raise CodecError("truncated u16")
+    return _U16.unpack_from(buf, offset)[0], offset + 2
+
+
+def _get_u32(buf: bytes, offset: int) -> Tuple[int, int]:
+    if offset + 4 > len(buf):
+        raise CodecError("truncated u32")
+    return _U32.unpack_from(buf, offset)[0], offset + 4
+
+
+def _get_u64(buf: bytes, offset: int) -> Tuple[int, int]:
+    if offset + 8 > len(buf):
+        raise CodecError("truncated u64")
+    return _U64.unpack_from(buf, offset)[0], offset + 8
+
+
+#: Framing overhead added per part when packing into a compound message.
+COMPOUND_PART_OVERHEAD = 2
+#: Fixed overhead of a compound wrapper (type byte + part count).
+COMPOUND_HEADER_OVERHEAD = 3
+
+
+def compound_size(part_sizes: List[int]) -> int:
+    """Wire size of a compound message holding parts of the given sizes."""
+    return COMPOUND_HEADER_OVERHEAD + sum(
+        COMPOUND_PART_OVERHEAD + size for size in part_sizes
+    )
+
+
+def pack_with_piggyback(primary: Message, piggyback: List[bytes]) -> bytes:
+    """Encode ``primary`` with optional pre-encoded gossip piggyback.
+
+    When there is no piggyback the primary is sent bare (no compound
+    framing), which is what memberlist does and what keeps quiescent
+    clusters cheap on the wire.
+    """
+    return pack_encoded_with_piggyback(encode(primary), piggyback)
+
+
+def pack_encoded_with_piggyback(
+    encoded_primary: bytes, piggyback: List[bytes]
+) -> bytes:
+    """Like :func:`pack_with_piggyback` for an already-encoded primary."""
+    if not piggyback:
+        return encoded_primary
+    out = [bytes((T_COMPOUND,)), _U16.pack(1 + len(piggyback))]
+    out.append(_U16.pack(len(encoded_primary)))
+    out.append(encoded_primary)
+    for raw in piggyback:
+        out.append(_U16.pack(len(raw)))
+        out.append(raw)
+    return b"".join(out)

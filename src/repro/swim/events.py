@@ -1,0 +1,68 @@
+"""Membership event notifications.
+
+Every local state transition a member makes about a peer is surfaced as a
+:class:`MemberEvent`. This is both the library's application-facing
+callback interface (what Consul uses to trigger failovers) and the raw
+material for the paper's metrics: a *failure event* is an
+``EventKind.FAILED`` record, and false positives are failure events whose
+subject was in fact healthy (Section V-F1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+class EventKind(enum.Enum):
+    """What happened to the subject member, as seen by the observer."""
+
+    #: A previously unknown member was learned about (join).
+    JOINED = "joined"
+    #: The observer began suspecting the subject.
+    SUSPECTED = "suspected"
+    #: The observer declared the subject failed (SWIM ``confirm`` /
+    #: memberlist ``dead``). This is the paper's "failure event".
+    FAILED = "failed"
+    #: A dead or suspected subject was reinstated as alive.
+    RESTORED = "restored"
+    #: The subject announced a graceful leave.
+    LEFT = "left"
+    #: The subject's application metadata changed (memberlist's
+    #: UpdateNode / Serf's member-update).
+    UPDATED = "updated"
+
+
+@dataclass(frozen=True)
+class MemberEvent:
+    """One membership state transition at one observer."""
+
+    time: float
+    observer: str
+    subject: str
+    kind: EventKind
+    incarnation: int
+
+
+#: Callback signature for membership event listeners.
+EventListener = Callable[[MemberEvent], None]
+
+
+class EventRecorder:
+    """A listener that appends every event to a list (used by tests,
+    examples and the experiment harness)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[MemberEvent] = []
+
+    def __call__(self, event: MemberEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> List[MemberEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,296 @@
+"""The membership table and round-robin probe schedule.
+
+SWIM selects fault-detector targets in round-robin order from the known
+member list, with *new members inserted at random positions*. This bounds
+the worst-case first-detection latency while keeping the expected latency
+of purely random selection (Section III-A). When a full pass over the list
+completes, the list is re-shuffled (as memberlist does), preserving the
+randomized order property across rounds.
+
+Dead members are retained for a configurable period so that anti-entropy
+sync can convey their state (a memberlist extension, Section III-B), then
+reclaimed lazily.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.swim.state import MemberState, claim_supersedes
+
+
+class Member:
+    """One peer's view of one group member."""
+
+    __slots__ = (
+        "name",
+        "address",
+        "incarnation",
+        "state",
+        "state_changed_at",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        address: str,
+        incarnation: int,
+        state: MemberState,
+        state_changed_at: float,
+        meta: bytes = b"",
+    ) -> None:
+        self.name = name
+        self.address = address
+        self.incarnation = incarnation
+        self.state = state
+        #: Timestamp of the last state transition (for dead-member
+        #: reclamation and gossip-to-the-dead windows).
+        self.state_changed_at = state_changed_at
+        #: Application metadata carried in the member's alive claims
+        #: (roles, tags — Consul/Serf style).
+        self.meta = meta
+
+    @property
+    def is_alive(self) -> bool:
+        return self.state is MemberState.ALIVE
+
+    @property
+    def is_suspect(self) -> bool:
+        return self.state is MemberState.SUSPECT
+
+    @property
+    def is_dead(self) -> bool:
+        return self.state in (MemberState.DEAD, MemberState.LEFT)
+
+    def snapshot(self) -> Tuple[str, str, int, int, bytes]:
+        """State entry for a push-pull sync."""
+        return (
+            self.name,
+            self.address,
+            self.incarnation,
+            int(self.state),
+            self.meta,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Member({self.name!r}, inc={self.incarnation}, "
+            f"state={self.state.name})"
+        )
+
+
+class MemberMap:
+    """Membership table for one local member.
+
+    The local member itself is stored in the table (always ALIVE from its
+    own point of view) so push-pull snapshots and group-size computations
+    are uniform.
+    """
+
+    def __init__(self, local_name: str, local_address: str, rng: random.Random) -> None:
+        self._local_name = local_name
+        self._rng = rng
+        self._members: Dict[str, Member] = {}
+        self._probe_order: List[str] = []
+        self._probe_index = 0
+        self._members[local_name] = Member(
+            local_name, local_address, 1, MemberState.ALIVE, 0.0
+        )
+        # Maintained incrementally: suspicion-timeout scaling consults the
+        # alive count on every new suspicion, which must not cost O(n).
+        self._alive_count = 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def local_name(self) -> str:
+        return self._local_name
+
+    @property
+    def local(self) -> Member:
+        return self._members[self._local_name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __len__(self) -> int:
+        """Known group size, including the local member and dead members
+        still retained (this is ``n`` for gossip/suspicion scaling)."""
+        return len(self._members)
+
+    def get(self, name: str) -> Optional[Member]:
+        return self._members.get(name)
+
+    def members(self) -> Iterator[Member]:
+        return iter(self._members.values())
+
+    def names(self) -> List[str]:
+        return list(self._members.keys())
+
+    def num_alive(self) -> int:
+        return self._alive_count
+
+    def num_in_state(self, state: MemberState) -> int:
+        return sum(1 for m in self._members.values() if m.state is state)
+
+    def alive_members(self, include_local: bool = False) -> List[Member]:
+        return [
+            m
+            for m in self._members.values()
+            if m.is_alive and (include_local or m.name != self._local_name)
+        ]
+
+    def snapshot(self) -> Tuple[Tuple[str, str, int, int, bytes], ...]:
+        """Full state for a push-pull sync."""
+        return tuple(m.snapshot() for m in self._members.values())
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self,
+        name: str,
+        address: str,
+        incarnation: int,
+        state: MemberState,
+        now: float,
+        meta: bytes = b"",
+    ) -> Member:
+        """Insert a newly learned member.
+
+        New members enter the probe list at a random position, per SWIM's
+        round-robin refinement.
+        """
+        if name in self._members:
+            raise ValueError(f"member {name!r} already known")
+        member = Member(name, address, incarnation, state, now, meta)
+        self._members[name] = member
+        if member.is_alive:
+            self._alive_count += 1
+        if name != self._local_name:
+            offset = self._rng.randint(0, len(self._probe_order))
+            self._probe_order.insert(offset, name)
+            if offset < self._probe_index:
+                self._probe_index += 1
+        return member
+
+    def apply_claim(
+        self, name: str, state: MemberState, incarnation: int, now: float
+    ) -> bool:
+        """Apply a remote claim if it supersedes local knowledge.
+
+        Returns ``True`` when the member's state or incarnation changed.
+        Unknown members are not created here (the caller decides, since an
+        ``alive`` about an unknown member needs an address).
+        """
+        member = self._members.get(name)
+        if member is None:
+            raise KeyError(name)
+        if not claim_supersedes(state, incarnation, member.state, member.incarnation):
+            return False
+        changed = member.state is not state or member.incarnation != incarnation
+        if member.state is not state:
+            member.state_changed_at = now
+            if member.state is MemberState.ALIVE:
+                self._alive_count -= 1
+            elif state is MemberState.ALIVE:
+                self._alive_count += 1
+        member.state = state
+        member.incarnation = incarnation
+        return changed
+
+    def bump_local_incarnation(self, at_least: int) -> int:
+        """Refutation: raise the local incarnation above ``at_least``."""
+        local = self.local
+        local.incarnation = max(local.incarnation, at_least) + 1
+        return local.incarnation
+
+    def reclaim_dead(self, now: float, retention: float) -> List[str]:
+        """Remove dead/left members whose retention window has expired.
+
+        Returns the reclaimed names. Retention exists so anti-entropy can
+        still convey their state for a while (Section III-B).
+        """
+        expired = [
+            m.name
+            for m in self._members.values()
+            if m.is_dead and now - m.state_changed_at >= retention
+        ]
+        for name in expired:
+            del self._members[name]
+        if expired:
+            gone = set(expired)
+            kept = [n for n in self._probe_order if n not in gone]
+            removed_before = sum(
+                1 for n in self._probe_order[: self._probe_index] if n in gone
+            )
+            self._probe_order = kept
+            self._probe_index = max(0, self._probe_index - removed_before)
+        return expired
+
+    # ------------------------------------------------------------------ #
+    # Probe scheduling
+    # ------------------------------------------------------------------ #
+
+    def next_probe_target(self) -> Optional[Member]:
+        """Next member to probe, in randomized round-robin order.
+
+        Skips dead and left members (suspect members *are* probed, which
+        is how a suspicion can be refuted by the prober). Returns ``None``
+        when there is nobody probeable.
+        """
+        checked = 0
+        total = len(self._probe_order)
+        while checked < total:
+            if self._probe_index >= len(self._probe_order):
+                self._probe_index = 0
+                self._rng.shuffle(self._probe_order)
+            name = self._probe_order[self._probe_index]
+            self._probe_index += 1
+            checked += 1
+            member = self._members.get(name)
+            if member is None:
+                continue
+            if member.is_dead or name == self._local_name:
+                continue
+            return member
+        return None
+
+    def random_members(
+        self,
+        count: int,
+        exclude: Tuple[str, ...] = (),
+        include_suspect: bool = True,
+        gossip_to_dead_within: Optional[float] = None,
+        now: float = 0.0,
+    ) -> List[Member]:
+        """Sample up to ``count`` distinct gossip/probe-helper candidates.
+
+        ``gossip_to_dead_within`` optionally admits recently-dead members
+        (memberlist gossips to the dead for a grace period so false
+        positives recover faster).
+        """
+        excluded = set(exclude)
+        excluded.add(self._local_name)
+        candidates = []
+        for member in self._members.values():
+            if member.name in excluded:
+                continue
+            if member.is_alive:
+                candidates.append(member)
+            elif member.is_suspect and include_suspect:
+                candidates.append(member)
+            elif (
+                member.is_dead
+                and gossip_to_dead_within is not None
+                and now - member.state_changed_at <= gossip_to_dead_within
+            ):
+                candidates.append(member)
+        if count >= len(candidates):
+            return candidates
+        return self._rng.sample(candidates, count)

@@ -1,0 +1,212 @@
+"""Protocol messages.
+
+The message set is SWIM's (``ping``, ``ping-req``, ``ack``), plus the
+suspicion subprotocol's gossip messages (``suspect``, ``alive``, ``dead`` —
+memberlist renames SWIM's ``confirm`` to ``dead``), plus Lifeguard's
+``nack`` (Section IV-A), plus memberlist's ``push-pull`` anti-entropy sync
+and a ``compound`` wrapper used for piggybacking gossip onto failure
+detector traffic.
+
+Messages are plain frozen dataclasses; the wire encoding lives in
+:mod:`repro.swim.codec` so that byte sizes (Table VI) are measured on a
+realistic compact binary format rather than on Python object overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.swim.state import MemberState
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Direct liveness probe. ``seq_no`` correlates the eventual ack."""
+
+    seq_no: int
+    target: str
+    source: str
+
+
+@dataclass(frozen=True)
+class PingReq:
+    """Indirect probe request: asks the recipient to ping ``target``.
+
+    ``want_nack`` is Lifeguard's extension: when set, the helper replies
+    with a :class:`Nack` at 80% of its probe timeout if it has not yet
+    received an ack from ``target``.
+    """
+
+    seq_no: int
+    target: str
+    source: str
+    want_nack: bool = False
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Acknowledges a ping (or is forwarded by a ping-req helper)."""
+
+    seq_no: int
+    source: str
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Negative ack from a ping-req helper: 'the target has not answered
+    me yet, but I am alive and processing' (Lifeguard, Section IV-A)."""
+
+    seq_no: int
+    source: str
+
+
+@dataclass(frozen=True)
+class Suspect:
+    """Gossip claim that ``member`` (at ``incarnation``) may have failed.
+
+    ``sender`` identifies the member that *originated* the suspicion; it is
+    what makes suspicions from different peers 'independent' for
+    LHA-Suspicion's confirmation count.
+    """
+
+    incarnation: int
+    member: str
+    sender: str
+
+
+@dataclass(frozen=True)
+class Alive:
+    """Gossip claim that ``member`` is alive at ``incarnation``.
+
+    Carries the member's transport address so joins propagate through
+    gossip alone, plus the member's application metadata (memberlist's
+    ``Meta``: Consul/Serf use it for roles and tags). Metadata updates
+    ride on refreshed alive claims.
+    """
+
+    incarnation: int
+    member: str
+    address: str
+    meta: bytes = b""
+
+
+@dataclass(frozen=True)
+class Dead:
+    """Gossip claim that ``member`` (at ``incarnation``) has been confirmed
+    failed (SWIM's ``confirm``). ``sender`` is the declaring member."""
+
+    incarnation: int
+    member: str
+    sender: str
+
+
+@dataclass(frozen=True)
+class UserEvent:
+    """Application-level gossip (the memberlist/Serf user broadcast).
+
+    Disseminated with the same transmit-limited epidemic machinery as
+    membership updates but through a separate queue, and delivered to the
+    application exactly once per member (deduplicated by
+    ``(origin, seq_no)``).
+    """
+
+    origin: str
+    seq_no: int
+    payload: bytes
+
+    @property
+    def key(self) -> "tuple[str, int]":
+        return (self.origin, self.seq_no)
+
+
+#: One member's snapshot inside a push-pull exchange:
+#: (name, address, incarnation, state value, meta). The meta element is
+#: optional for backward compatibility with hand-built tuples.
+StateEntry = Tuple[str, str, int, int, bytes]
+
+
+@dataclass(frozen=True)
+class PushPull:
+    """Anti-entropy full state sync (memberlist extension).
+
+    The initiator sends its full member table with ``is_reply=False``; the
+    receiver merges it and answers with its own table and
+    ``is_reply=True``. ``join=True`` marks the initiator's first contact
+    with the group.
+    """
+
+    source: str
+    states: Tuple[StateEntry, ...]
+    join: bool = False
+    is_reply: bool = False
+
+    def iter_states(self):
+        """Yield ``(name, address, incarnation, MemberState, meta)``."""
+        for entry in self.states:
+            name, address, incarnation, state_value = entry[:4]
+            meta = entry[4] if len(entry) > 4 else b""
+            yield name, address, incarnation, MemberState(state_value), meta
+
+
+@dataclass(frozen=True)
+class Compound:
+    """Several messages in one packet: a primary failure-detector message
+    (or dedicated gossip) plus piggybacked gossip payloads."""
+
+    parts: Tuple["Message", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError("a compound message needs at least one part")
+
+    @property
+    def primary(self) -> "Message":
+        return self.parts[0]
+
+
+#: Every concrete protocol message type.
+Message = Union[
+    Ping, PingReq, Ack, Nack, Suspect, Alive, Dead, UserEvent, PushPull, Compound
+]
+
+#: Messages that are disseminated via gossip (and are piggybackable).
+GossipMessage = Union[Suspect, Alive, Dead, UserEvent]
+
+GOSSIP_TYPES = (Suspect, Alive, Dead, UserEvent)
+
+
+def is_gossip(message: Message) -> bool:
+    """Whether ``message`` is a gossip (dissemination) message."""
+    return isinstance(message, GOSSIP_TYPES)
+
+
+def gossip_subject(message: GossipMessage) -> object:
+    """The invalidation key of a gossip message.
+
+    Membership claims are keyed by the member they are about (a fresher
+    claim replaces a staler one); user events are keyed by
+    ``(origin, seq_no)`` and never replace one another.
+    """
+    if isinstance(message, UserEvent):
+        return message.key
+    return message.member
+
+
+def primary_kind(message: Message) -> str:
+    """Telemetry label for a message; compound messages are labelled by
+    their primary part, matching the paper's counting rule for Table VI
+    ('compound messages ... are counted as one message')."""
+    if isinstance(message, Compound):
+        return primary_kind(message.parts[0])
+    return type(message).__name__.lower()
+
+
+def flatten(message: Message) -> List[Message]:
+    """Expand a (possibly compound) message into its concrete parts."""
+    if isinstance(message, Compound):
+        result: List[Message] = []
+        for part in message.parts:
+            result.extend(flatten(part))
+        return result
+    return [message]

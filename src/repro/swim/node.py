@@ -1,0 +1,1023 @@
+"""The SWIM / Lifeguard protocol engine.
+
+:class:`SwimNode` implements the complete protocol evaluated in the paper:
+SWIM's probe-based failure detector and suspicion subprotocol, memberlist's
+production extensions (dedicated gossip tick, anti-entropy push/pull,
+dead-member retention, reliable-channel fallback probe), and the three
+Lifeguard components, each independently switchable via
+:class:`~repro.config.LifeguardFlags`:
+
+* **LHA-Probe** — probe interval/timeout scaled by the Local Health
+  Multiplier; ``nack`` messages on indirect probes.
+* **LHA-Suspicion** — decaying suspicion timeouts driven by independent
+  confirmations, with re-gossip of the first ``K``.
+* **Buddy System** — forced piggybacking of the suspicion onto any ping
+  sent to a suspected member.
+
+The node is sans-IO: all side effects flow through the injected clock,
+scheduler and transport (see :mod:`repro.runtime`), which is what lets the
+same code run under the discrete-event simulator and under asyncio UDP.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SwimConfig
+from repro.core.buddy import BuddyPiggybacker
+from repro.core.lhm import LhmEvent, LocalHealthMultiplier
+from repro.core.suspicion import Suspicion, suspicion_bounds
+from repro.metrics.telemetry import Telemetry
+from repro.runtime import Clock, Scheduler, TimerHandle, Transport
+from repro.swim import codec
+from repro.swim.broadcast import BroadcastQueue
+from repro.swim.events import EventKind, EventListener, MemberEvent
+from repro.swim.member_map import Member, MemberMap
+from repro.swim.messages import (
+    Ack,
+    Alive,
+    Compound,
+    Dead,
+    Message,
+    Nack,
+    Ping,
+    PingReq,
+    PushPull,
+    Suspect,
+    UserEvent,
+    primary_kind,
+)
+from repro.swim.state import MemberState
+
+_SEQ_MODULUS = 2**32
+
+
+class _Probe:
+    """Book-keeping for one in-flight probe the local member initiated."""
+
+    __slots__ = (
+        "seq_no",
+        "target",
+        "started_at",
+        "acked",
+        "expected_nacks",
+        "nacks_received",
+        "timeout_timer",
+        "deadline_timer",
+    )
+
+    def __init__(self, seq_no: int, target: str, started_at: float) -> None:
+        self.seq_no = seq_no
+        self.target = target
+        self.started_at = started_at
+        self.acked = False
+        self.expected_nacks = 0
+        self.nacks_received = 0
+        self.timeout_timer: Optional[TimerHandle] = None
+        self.deadline_timer: Optional[TimerHandle] = None
+
+
+class _IndirectRelay:
+    """Book-keeping for a ping we sent on behalf of another member."""
+
+    __slots__ = (
+        "origin_seq",
+        "origin_address",
+        "want_nack",
+        "nack_timer",
+        "expiry_timer",
+    )
+
+    def __init__(self, origin_seq: int, origin_address: str, want_nack: bool) -> None:
+        self.origin_seq = origin_seq
+        self.origin_address = origin_address
+        self.want_nack = want_nack
+        self.nack_timer: Optional[TimerHandle] = None
+        self.expiry_timer: Optional[TimerHandle] = None
+
+
+class _SuspicionEntry:
+    __slots__ = ("suspicion", "timer")
+
+    def __init__(self, suspicion: Suspicion, timer: Optional[TimerHandle]) -> None:
+        self.suspicion = suspicion
+        self.timer = timer
+
+
+class SwimNode:
+    """One group member.
+
+    Parameters
+    ----------
+    name:
+        Unique member name.
+    config:
+        Protocol parameters (including which Lifeguard components run).
+    clock / scheduler / transport:
+        The runtime the node is hosted on; see :mod:`repro.runtime`.
+    rng:
+        Source of all protocol randomness (probe-list shuffles, gossip
+        fan-out sampling, start jitter). Inject a seeded
+        :class:`random.Random` for deterministic runs.
+    listener:
+        Optional callback receiving a :class:`MemberEvent` for every
+        membership transition this node observes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: SwimConfig,
+        clock: Clock,
+        scheduler: Scheduler,
+        transport: Transport,
+        rng: Optional[random.Random] = None,
+        listener: Optional[EventListener] = None,
+        meta: bytes = b"",
+        on_user_event=None,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self._clock = clock
+        self._scheduler = scheduler
+        self._transport = transport
+        self._rng = rng if rng is not None else random.Random()
+        self._listener = listener
+        self._on_user_event = on_user_event
+
+        self.telemetry = Telemetry()
+        self._members = MemberMap(name, transport.local_address, self._rng)
+        self._members.local.meta = meta
+        self._broadcasts = BroadcastQueue(
+            config.retransmit_mult, lambda: len(self._members)
+        )
+        # Application-level gossip rides in a second, lower-priority
+        # queue so bursts of user events can never starve membership
+        # updates (memberlist's system/user queue split).
+        self._user_broadcasts = BroadcastQueue(
+            config.retransmit_mult, lambda: len(self._members)
+        )
+        self._user_seq = 0
+        self._seen_user_events: Dict[tuple, None] = {}
+        self._lhm = LocalHealthMultiplier(
+            max_value=config.lhm_max, enabled=config.flags.lha_probe
+        )
+        self._buddy = BuddyPiggybacker(
+            enabled=config.flags.buddy_system,
+            is_suspected=self._is_suspected,
+            make_suspect_payload=self._encode_local_suspicion,
+        )
+
+        self._seq = 0
+        self._probes: Dict[int, _Probe] = {}
+        self._relays: Dict[int, _IndirectRelay] = {}
+        self._suspicions: Dict[str, _SuspicionEntry] = {}
+
+        self._running = False
+        self._probe_timer: Optional[TimerHandle] = None
+        self._gossip_timer: Optional[TimerHandle] = None
+        self._push_pull_timer: Optional[TimerHandle] = None
+        self._reconnect_timer: Optional[TimerHandle] = None
+        self._leaving = False
+        self._paused = False
+        self._deferred_ticks: set = set()
+        self._overlay_neighbors: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------ #
+    # Public surface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def members(self) -> MemberMap:
+        """This member's view of the group."""
+        return self._members
+
+    @property
+    def local_health(self) -> LocalHealthMultiplier:
+        """The Local Health Multiplier (always present; inert when
+        LHA-Probe is disabled)."""
+        return self._lhm
+
+    @property
+    def broadcasts(self) -> BroadcastQueue:
+        return self._broadcasts
+
+    @property
+    def user_broadcasts(self) -> BroadcastQueue:
+        return self._user_broadcasts
+
+    @property
+    def meta(self) -> bytes:
+        """This member's application metadata."""
+        return self._members.local.meta
+
+    def set_meta(self, meta: bytes) -> None:
+        """Update application metadata and gossip the change.
+
+        A fresh incarnation makes the updated alive claim supersede the
+        old one everywhere (memberlist's UpdateNode).
+        """
+        local = self._members.local
+        local.meta = meta
+        local.incarnation += 1
+        self._broadcasts.enqueue(
+            Alive(local.incarnation, self.name, local.address, meta)
+        )
+
+    def set_gossip_overlay(self, neighbors: Optional[Sequence[str]]) -> None:
+        """Restrict the dedicated gossip tick to a fixed neighbor set.
+
+        An exploration of the paper's Section VII future work ("adding a
+        random overlay network" to tighten dissemination tails, after
+        Jetstream): when set, dedicated gossip rounds target the given
+        neighbors instead of uniformly random members. Probing,
+        piggybacking and anti-entropy are unaffected. Pass ``None`` to
+        restore uniform gossip.
+        """
+        if neighbors is None:
+            self._overlay_neighbors = None
+            return
+        cleaned = [n for n in neighbors if n != self.name]
+        if not cleaned:
+            raise ValueError("overlay needs at least one neighbor")
+        self._overlay_neighbors = list(cleaned)
+
+    @property
+    def gossip_overlay(self) -> Optional[List[str]]:
+        return list(self._overlay_neighbors) if self._overlay_neighbors else None
+
+    def broadcast_event(self, payload: bytes) -> UserEvent:
+        """Disseminate an application event to the whole group.
+
+        Returns the event; it is delivered to the local handler
+        immediately and to every other member via gossip, exactly once
+        each (deduplicated by origin and sequence number).
+        """
+        if len(payload) > codec.MAX_USER_PAYLOAD:
+            raise codec.CodecError(
+                f"user event payload too large: {len(payload)} > "
+                f"{codec.MAX_USER_PAYLOAD}"
+            )
+        self._user_seq += 1
+        event = UserEvent(self.name, self._user_seq, payload)
+        self._remember_user_event(event.key)
+        self._user_broadcasts.enqueue(event)
+        if self._on_user_event is not None:
+            self._on_user_event(event)
+        return event
+
+    @property
+    def buddy(self) -> BuddyPiggybacker:
+        return self._buddy
+
+    @property
+    def incarnation(self) -> int:
+        return self._members.local.incarnation
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def now(self) -> float:
+        return self._clock()
+
+    def current_probe_interval(self) -> float:
+        """The LHM-scaled probe interval currently in effect."""
+        return self._lhm.scale(self.config.probe_interval)
+
+    def current_probe_timeout(self) -> float:
+        """The LHM-scaled probe timeout currently in effect."""
+        return self._lhm.scale(self.config.probe_timeout)
+
+    def start(self, first_probe_delay: Optional[float] = None) -> None:
+        """Begin running the protocol loops.
+
+        ``first_probe_delay`` staggers the first probe tick; by default a
+        uniform random fraction of the probe interval is used so that
+        co-started members do not probe in lock-step.
+        """
+        if self._running:
+            raise RuntimeError(f"node {self.name} already started")
+        self._running = True
+        now = self._clock()
+        if first_probe_delay is None:
+            first_probe_delay = self._rng.uniform(0, self.config.probe_interval)
+        self._probe_timer = self._scheduler.call_at(
+            now + first_probe_delay, self._probe_tick
+        )
+        self._gossip_timer = self._scheduler.call_at(
+            now + self._rng.uniform(0, self.config.gossip_interval),
+            self._gossip_tick,
+        )
+        if self.config.push_pull_interval > 0:
+            self._push_pull_timer = self._scheduler.call_at(
+                now + self._rng.uniform(0, self.config.push_pull_interval),
+                self._push_pull_tick,
+            )
+        if self.config.reconnect_interval > 0:
+            self._reconnect_timer = self._scheduler.call_at(
+                now + self._rng.uniform(0, self.config.reconnect_interval),
+                self._reconnect_tick,
+            )
+
+    def set_paused(self, paused: bool) -> None:
+        """Suspend or resume the periodic protocol loops.
+
+        Models a process whose protocol goroutines are blocked on their
+        first I/O operation (the paper's anomaly instrumentation, Section
+        V-D): while paused, the probe, gossip, push-pull and reconnect
+        ticks do not run — a blocked member initiates no new probes and
+        transmits no gossip. One-shot timers (probe timeouts/deadlines
+        and suspicion timeouts) keep firing, exactly as memberlist's
+        ``time.AfterFunc`` timers do in separate goroutines; their state
+        changes only become visible to peers once sending resumes.
+
+        Deferred ticks run immediately on resume.
+        """
+        if paused == self._paused:
+            return
+        self._paused = paused
+        if paused or not self._running:
+            return
+        now = self._clock()
+        deferred, self._deferred_ticks = self._deferred_ticks, set()
+        tick_fns = {
+            "probe": self._probe_tick,
+            "gossip": self._gossip_tick,
+            "push_pull": self._push_pull_tick,
+            "reconnect": self._reconnect_tick,
+        }
+        for name in deferred:
+            self._scheduler.call_at(now, tick_fns[name])
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def _defer_if_paused(self, tick_name: str) -> bool:
+        if self._paused:
+            self._deferred_ticks.add(tick_name)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Halt all protocol activity (does not announce departure)."""
+        self._running = False
+        self._deferred_ticks.clear()
+        for timer in (
+            self._probe_timer,
+            self._gossip_timer,
+            self._push_pull_timer,
+            self._reconnect_timer,
+        ):
+            if timer is not None:
+                timer.cancel()
+        self._probe_timer = self._gossip_timer = self._push_pull_timer = None
+        self._reconnect_timer = None
+        for probe in self._probes.values():
+            for timer in (probe.timeout_timer, probe.deadline_timer):
+                if timer is not None:
+                    timer.cancel()
+        self._probes.clear()
+        for relay in self._relays.values():
+            for timer in (relay.nack_timer, relay.expiry_timer):
+                if timer is not None:
+                    timer.cancel()
+        self._relays.clear()
+        for entry in self._suspicions.values():
+            if entry.timer is not None:
+                entry.timer.cancel()
+        self._suspicions.clear()
+
+    def join(self, seed_addresses: Sequence[str]) -> None:
+        """Contact seed members and announce ourselves to the group."""
+        local = self._members.local
+        for address in seed_addresses:
+            if address == self._transport.local_address:
+                continue
+            sync = PushPull(
+                self.name, self._members.snapshot(), join=True, is_reply=False
+            )
+            self._send_to_address(address, sync, reliable=True, piggyback=False)
+        self._broadcasts.enqueue(
+            Alive(local.incarnation, self.name, local.address, local.meta)
+        )
+
+    def leave(self) -> None:
+        """Announce a graceful departure (a ``dead`` message about oneself
+        is interpreted as LEFT by peers) and stop."""
+        self._leaving = True
+        local = self._members.local
+        message = Dead(local.incarnation, self.name, self.name)
+        self._broadcasts.enqueue(message)
+        # Push the departure out immediately rather than waiting for the
+        # next gossip tick.
+        for member in self._members.random_members(
+            self.config.gossip_fanout, now=self._clock()
+        ):
+            self._send_to_address(member.address, message, piggyback=False)
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Inbound packets
+    # ------------------------------------------------------------------ #
+
+    def handle_packet(
+        self, payload: bytes, from_address: str, reliable: bool = False
+    ) -> None:
+        """Entry point for the transport: decode and dispatch one packet."""
+        if not self._running:
+            return
+        self.telemetry.record_receive(len(payload))
+        try:
+            message = codec.decode(payload)
+        except codec.CodecError:
+            return
+        self._dispatch(message, from_address, reliable)
+
+    def _dispatch(self, message: Message, from_address: str, reliable: bool) -> None:
+        # Ordered by observed frequency: gossip parts dominate packets
+        # during churn, which is when simulation throughput matters.
+        kind = type(message)
+        if kind is Suspect:
+            self._handle_suspect(message)
+        elif kind is Alive:
+            self._handle_alive(message)
+        elif kind is Dead:
+            self._handle_dead(message)
+        elif kind is Ping:
+            self._handle_ping(message, from_address, reliable)
+        elif kind is Ack:
+            self._handle_ack(message)
+        elif kind is Compound:
+            for part in message.parts:
+                self._dispatch(part, from_address, reliable)
+        elif kind is UserEvent:
+            self._handle_user_event(message)
+        elif kind is PingReq:
+            self._handle_ping_req(message, from_address)
+        elif kind is Nack:
+            self._handle_nack(message)
+        elif kind is PushPull:
+            self._handle_push_pull(message, from_address)
+
+    # ------------------------------------------------------------------ #
+    # Failure detector: probing
+    # ------------------------------------------------------------------ #
+
+    def _probe_tick(self) -> None:
+        if not self._running or self._defer_if_paused("probe"):
+            return
+        now = self._clock()
+        interval = self.current_probe_interval()
+        self._probe_timer = self._scheduler.call_at(now + interval, self._probe_tick)
+        self._members.reclaim_dead(now, self.config.dead_member_reclaim)
+        target = self._members.next_probe_target()
+        if target is not None:
+            self._begin_probe(target, interval)
+
+    def _begin_probe(self, target: Member, interval: float) -> None:
+        now = self._clock()
+        seq_no = self._next_seq()
+        probe = _Probe(seq_no, target.name, now)
+        self._probes[seq_no] = probe
+        timeout = self.current_probe_timeout()
+        probe.timeout_timer = self._scheduler.call_at(
+            now + timeout, lambda: self._probe_timeout(probe)
+        )
+        probe.deadline_timer = self._scheduler.call_at(
+            now + interval, lambda: self._probe_deadline(probe)
+        )
+        self._send_ping(target, seq_no)
+
+    def _send_ping(
+        self, target: Member, seq_no: int, reliable: bool = False
+    ) -> None:
+        ping = Ping(seq_no, target.name, self.name)
+        mandatory = self._buddy.payloads_for_ping(target.name)
+        self._send_to_address(
+            target.address, ping, reliable=reliable, mandatory_piggyback=mandatory
+        )
+
+    def _probe_timeout(self, probe: _Probe) -> None:
+        """Direct probe timed out: launch the indirect probe (and the
+        reliable-channel fallback, as memberlist does)."""
+        probe.timeout_timer = None
+        if probe.acked or probe.seq_no not in self._probes:
+            return
+        target = self._members.get(probe.target)
+        if target is None or target.is_dead:
+            return
+        helpers = self._members.random_members(
+            self.config.indirect_probes,
+            exclude=(probe.target,),
+            include_suspect=False,
+        )
+        want_nack = self.config.flags.lha_probe
+        for helper in helpers:
+            request = PingReq(probe.seq_no, probe.target, self.name, want_nack)
+            self._send_to_address(helper.address, request)
+        if want_nack:
+            probe.expected_nacks = len(helpers)
+        if self.config.tcp_fallback_probe:
+            self._send_ping(target, probe.seq_no, reliable=True)
+
+    def _probe_deadline(self, probe: _Probe) -> None:
+        """End of the protocol period for this probe: declare the outcome."""
+        probe.deadline_timer = None
+        if self._probes.pop(probe.seq_no, None) is None:
+            return
+        if probe.acked:
+            return
+        # Failed probe. Local-health accounting first (Section IV-A): when
+        # nacks were expected, each *missing* nack is evidence of local
+        # slowness; when every helper nacked, the evidence points at the
+        # target, not at us, so the LHM is left unchanged (memberlist
+        # semantics). With no helpers enlisted the failure itself scores 1.
+        if probe.expected_nacks > 0:
+            missed = probe.expected_nacks - probe.nacks_received
+            for _ in range(missed):
+                self._lhm.note(LhmEvent.MISSED_NACK)
+        else:
+            self._lhm.note(LhmEvent.PROBE_FAILED)
+        target = self._members.get(probe.target)
+        if target is None or target.is_dead:
+            return
+        self._handle_suspect(Suspect(target.incarnation, target.name, self.name))
+
+    def _handle_ping(self, ping: Ping, from_address: str, reliable: bool) -> None:
+        if ping.target != self.name:
+            # Stale addressing (e.g. a name reused across restarts).
+            return
+        ack = Ack(ping.seq_no, self.name)
+        self._send_to_address(from_address, ack, reliable=reliable)
+
+    def _handle_ping_req(self, request: PingReq, from_address: str) -> None:
+        target = self._members.get(request.target)
+        if target is None or target.is_dead:
+            # We cannot help; with nacks enabled, staying silent correctly
+            # signals nothing about our own health (the origin counts a
+            # missed nack, which is the conservative outcome).
+            return
+        local_seq = self._next_seq()
+        relay = _IndirectRelay(request.seq_no, from_address, request.want_nack)
+        self._relays[local_seq] = relay
+        now = self._clock()
+        if request.want_nack:
+            nack_at = now + self.config.probe_timeout * self.config.nack_timeout_fraction
+            relay.nack_timer = self._scheduler.call_at(
+                nack_at, lambda: self._relay_nack(local_seq)
+            )
+        relay.expiry_timer = self._scheduler.call_at(
+            now + 2 * self.config.probe_interval,
+            lambda: self._expire_relay(local_seq),
+        )
+        self._send_ping(target, local_seq)
+
+    def _relay_nack(self, local_seq: int) -> None:
+        relay = self._relays.get(local_seq)
+        if relay is None:
+            return
+        relay.nack_timer = None
+        nack = Nack(relay.origin_seq, self.name)
+        self._send_to_address(relay.origin_address, nack)
+
+    def _expire_relay(self, local_seq: int) -> None:
+        relay = self._relays.pop(local_seq, None)
+        if relay is not None and relay.nack_timer is not None:
+            relay.nack_timer.cancel()
+
+    def _handle_ack(self, ack: Ack) -> None:
+        probe = self._probes.get(ack.seq_no)
+        if probe is not None:
+            if not probe.acked:
+                probe.acked = True
+                self._lhm.note(LhmEvent.PROBE_SUCCESS)
+                if probe.timeout_timer is not None:
+                    probe.timeout_timer.cancel()
+                    probe.timeout_timer = None
+                if probe.deadline_timer is not None:
+                    probe.deadline_timer.cancel()
+                    probe.deadline_timer = None
+                self._probes.pop(ack.seq_no, None)
+            return
+        relay = self._relays.pop(ack.seq_no, None)
+        if relay is not None:
+            # Forward even if we already nacked: the origin treats
+            # nack-then-ack within its timeout as success (Section IV-A).
+            if relay.nack_timer is not None:
+                relay.nack_timer.cancel()
+            if relay.expiry_timer is not None:
+                relay.expiry_timer.cancel()
+            self._send_to_address(relay.origin_address, Ack(relay.origin_seq, ack.source))
+
+    def _handle_nack(self, nack: Nack) -> None:
+        probe = self._probes.get(nack.seq_no)
+        if probe is not None:
+            probe.nacks_received += 1
+
+    # ------------------------------------------------------------------ #
+    # Suspicion subprotocol
+    # ------------------------------------------------------------------ #
+
+    def _is_suspected(self, name: str) -> bool:
+        member = self._members.get(name)
+        return member is not None and member.is_suspect
+
+    def _encode_local_suspicion(self, name: str) -> Optional[bytes]:
+        member = self._members.get(name)
+        if member is None or not member.is_suspect:
+            return None
+        return codec.encode(Suspect(member.incarnation, name, self.name))
+
+    def _suspicion_parameters(self) -> tuple:
+        """``(min, max, k)`` for a new suspicion, honouring LHA-Suspicion."""
+        flags = self.config.flags
+        beta = self.config.suspicion_beta if flags.lha_suspicion else 1.0
+        minimum, maximum = suspicion_bounds(
+            self.config.suspicion_alpha,
+            beta,
+            len(self._members),
+            self.config.probe_interval,
+        )
+        k = self.config.suspicion_k if flags.lha_suspicion else 0
+        # A tiny cluster cannot produce K independent suspicions; fall
+        # back to the fixed minimum timeout (memberlist guard).
+        available_confirmers = self._members.num_alive() - 2
+        if k > max(0, available_confirmers):
+            k = max(0, available_confirmers)
+        if k == 0:
+            maximum = minimum
+        return minimum, maximum, k
+
+    def _handle_suspect(self, message: Suspect) -> None:
+        if message.member == self.name:
+            self._refute(message.incarnation)
+            return
+        member = self._members.get(message.member)
+        if member is None or member.is_dead:
+            return
+        if message.incarnation < member.incarnation:
+            return
+        now = self._clock()
+        entry = self._suspicions.get(message.member)
+        if entry is not None:
+            if entry.suspicion.confirm(message.sender):
+                # A new independent suspicion within the first K: re-gossip
+                # it and shrink the timeout (LHA-Suspicion, Section IV-B).
+                self._broadcasts.enqueue(message)
+                self._reschedule_suspicion(message.member)
+            if message.incarnation > member.incarnation:
+                self._members.apply_claim(
+                    message.member, MemberState.SUSPECT, message.incarnation, now
+                )
+            return
+        if not self._members.apply_claim(
+            message.member, MemberState.SUSPECT, message.incarnation, now
+        ):
+            return
+        minimum, maximum, k = self._suspicion_parameters()
+        suspicion = Suspicion(message.sender, now, minimum, maximum, k)
+        entry = _SuspicionEntry(suspicion, None)
+        self._suspicions[message.member] = entry
+        entry.timer = self._scheduler.call_at(
+            suspicion.deadline(), lambda: self._suspicion_expired(message.member)
+        )
+        self._emit(EventKind.SUSPECTED, message.member, message.incarnation, now)
+        # Gossip the suspicion onward, preserving the originator so peers
+        # can count independence.
+        self._broadcasts.enqueue(
+            Suspect(message.incarnation, message.member, message.sender)
+        )
+
+    def _reschedule_suspicion(self, name: str) -> None:
+        entry = self._suspicions.get(name)
+        if entry is None:
+            return
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        now = self._clock()
+        deadline = entry.suspicion.deadline()
+        if deadline <= now:
+            self._suspicion_expired(name)
+        else:
+            entry.timer = self._scheduler.call_at(
+                deadline, lambda: self._suspicion_expired(name)
+            )
+
+    def _suspicion_expired(self, name: str) -> None:
+        entry = self._suspicions.pop(name, None)
+        if entry is None:
+            return
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        member = self._members.get(name)
+        if member is None or not member.is_suspect:
+            return
+        now = self._clock()
+        incarnation = member.incarnation
+        self._members.apply_claim(name, MemberState.DEAD, incarnation, now)
+        self._emit(EventKind.FAILED, name, incarnation, now)
+        self._broadcasts.enqueue(Dead(incarnation, name, self.name))
+
+    def _cancel_suspicion(self, name: str) -> None:
+        entry = self._suspicions.pop(name, None)
+        if entry is not None and entry.timer is not None:
+            entry.timer.cancel()
+
+    def _refute(self, claimed_incarnation: int) -> None:
+        """Answer a suspect/dead claim about ourselves with a fresher
+        ``alive``, and note the local-health implication (Section IV-A)."""
+        local = self._members.local
+        if claimed_incarnation < local.incarnation:
+            # Stale claim about an incarnation we already superseded.
+            return
+        new_incarnation = self._members.bump_local_incarnation(claimed_incarnation)
+        self._lhm.note(LhmEvent.REFUTE_SELF)
+        self._broadcasts.enqueue(
+            Alive(new_incarnation, self.name, local.address, local.meta)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Gossip claim handlers
+    # ------------------------------------------------------------------ #
+
+    def _handle_alive(self, message: Alive) -> None:
+        if message.member == self.name:
+            return
+        member = self._members.get(message.member)
+        if member is not None and message.incarnation <= member.incarnation:
+            # Fast path: an alive claim only ever lands with a strictly
+            # newer incarnation, and duplicates dominate gossip traffic.
+            return
+        now = self._clock()
+        if member is None:
+            self._members.add(
+                message.member,
+                message.address,
+                message.incarnation,
+                MemberState.ALIVE,
+                now,
+                meta=message.meta,
+            )
+            self._emit(EventKind.JOINED, message.member, message.incarnation, now)
+            self._broadcasts.enqueue(message)
+            return
+        was = member.state
+        meta_changed = member.meta != message.meta
+        if not self._members.apply_claim(
+            message.member, MemberState.ALIVE, message.incarnation, now
+        ):
+            return
+        member.address = message.address
+        member.meta = message.meta
+        self._cancel_suspicion(message.member)
+        if was in (MemberState.SUSPECT, MemberState.DEAD, MemberState.LEFT):
+            self._emit(EventKind.RESTORED, message.member, message.incarnation, now)
+        elif meta_changed:
+            self._emit(EventKind.UPDATED, message.member, message.incarnation, now)
+        self._broadcasts.enqueue(message)
+
+    _MAX_SEEN_USER_EVENTS = 4096
+
+    def _remember_user_event(self, key: tuple) -> None:
+        self._seen_user_events[key] = None
+        if len(self._seen_user_events) > self._MAX_SEEN_USER_EVENTS:
+            # Dicts preserve insertion order: drop the oldest entry.
+            self._seen_user_events.pop(next(iter(self._seen_user_events)))
+
+    def _handle_user_event(self, message: UserEvent) -> None:
+        if message.key in self._seen_user_events:
+            return
+        self._remember_user_event(message.key)
+        self._user_broadcasts.enqueue(message)
+        if self._on_user_event is not None:
+            self._on_user_event(message)
+
+    def _handle_dead(self, message: Dead) -> None:
+        if message.member == self.name:
+            if not self._leaving:
+                self._refute(message.incarnation)
+            return
+        member = self._members.get(message.member)
+        if member is None:
+            return
+        if member.is_dead and message.incarnation <= member.incarnation:
+            # Fast path: already dead at this or a newer incarnation.
+            return
+        now = self._clock()
+        is_leave = message.sender == message.member
+        new_state = MemberState.LEFT if is_leave else MemberState.DEAD
+        if not self._members.apply_claim(
+            message.member, new_state, message.incarnation, now
+        ):
+            return
+        self._cancel_suspicion(message.member)
+        kind = EventKind.LEFT if is_leave else EventKind.FAILED
+        self._emit(kind, message.member, message.incarnation, now)
+        self._broadcasts.enqueue(message)
+
+    # ------------------------------------------------------------------ #
+    # Dedicated gossip tick (memberlist extension)
+    # ------------------------------------------------------------------ #
+
+    def _gossip_tick(self) -> None:
+        if not self._running or self._defer_if_paused("gossip"):
+            return
+        now = self._clock()
+        self._gossip_timer = self._scheduler.call_at(
+            now + self.config.gossip_interval, self._gossip_tick
+        )
+        if not (self._broadcasts.pending or self._user_broadcasts.pending):
+            return
+        targets = self._gossip_targets(now)
+        for target in targets:
+            budget = self.config.max_packet_size - codec.COMPOUND_HEADER_OVERHEAD
+            payloads = self._broadcasts.get_payloads(
+                budget, codec.COMPOUND_PART_OVERHEAD
+            )
+            remaining = budget - sum(
+                len(p) + codec.COMPOUND_PART_OVERHEAD for p in payloads
+            )
+            if remaining > 0:
+                payloads.extend(
+                    self._user_broadcasts.get_payloads(
+                        remaining, codec.COMPOUND_PART_OVERHEAD
+                    )
+                )
+            if not payloads:
+                break
+            packet = self._pack_gossip_only(payloads)
+            self.telemetry.record_send("gossip", len(packet))
+            self._transport.send(target.address, packet)
+
+    def _gossip_targets(self, now: float) -> List[Member]:
+        """Targets for one dedicated gossip round: uniformly random
+        members, or the configured overlay neighbors (still honouring
+        liveness and the gossip-to-the-dead window)."""
+        if self._overlay_neighbors is None:
+            return self._members.random_members(
+                self.config.gossip_fanout,
+                gossip_to_dead_within=self.config.gossip_to_dead,
+                now=now,
+            )
+        candidates: List[Member] = []
+        for name in self._overlay_neighbors:
+            member = self._members.get(name)
+            if member is None:
+                continue
+            if member.is_alive or member.is_suspect:
+                candidates.append(member)
+            elif (
+                member.is_dead
+                and now - member.state_changed_at <= self.config.gossip_to_dead
+            ):
+                candidates.append(member)
+        if len(candidates) <= self.config.gossip_fanout:
+            return candidates
+        return self._rng.sample(candidates, self.config.gossip_fanout)
+
+    @staticmethod
+    def _pack_gossip_only(payloads: List[bytes]) -> bytes:
+        if len(payloads) == 1:
+            return payloads[0]
+        out = [bytes((codec.T_COMPOUND,)), struct.pack(">H", len(payloads))]
+        for raw in payloads:
+            out.append(struct.pack(">H", len(raw)))
+            out.append(raw)
+        return b"".join(out)
+
+    # ------------------------------------------------------------------ #
+    # Anti-entropy push/pull (memberlist extension)
+    # ------------------------------------------------------------------ #
+
+    def _push_pull_tick(self) -> None:
+        if not self._running or self._defer_if_paused("push_pull"):
+            return
+        now = self._clock()
+        self._push_pull_timer = self._scheduler.call_at(
+            now + self.config.push_pull_interval, self._push_pull_tick
+        )
+        peers = self._members.random_members(1, include_suspect=False)
+        if not peers:
+            return
+        sync = PushPull(self.name, self._members.snapshot(), is_reply=False)
+        self._send_to_address(peers[0].address, sync, reliable=True, piggyback=False)
+
+    def _reconnect_tick(self) -> None:
+        """Periodically offer a full state sync to one dead member.
+
+        If the member is actually alive again (e.g. the far side of a
+        healed partition), it will see our DEAD claim about it in the
+        snapshot, refute it, and the refutation cascade re-merges the
+        groups. This mirrors serf's reconnect behaviour on top of
+        memberlist, without which two halves that fully wrote each other
+        off would never re-discover one another.
+        """
+        if not self._running or self._defer_if_paused("reconnect"):
+            return
+        now = self._clock()
+        self._reconnect_timer = self._scheduler.call_at(
+            now + self.config.reconnect_interval, self._reconnect_tick
+        )
+        candidates = [
+            m
+            for m in self._members.members()
+            if m.state is MemberState.DEAD and m.name != self.name
+        ]
+        if not candidates:
+            return
+        target = candidates[self._rng.randrange(len(candidates))]
+        sync = PushPull(self.name, self._members.snapshot(), is_reply=False)
+        self._send_to_address(target.address, sync, reliable=True, piggyback=False)
+
+    def _handle_push_pull(self, message: PushPull, from_address: str) -> None:
+        if not message.is_reply:
+            reply = PushPull(self.name, self._members.snapshot(), is_reply=True)
+            self._send_to_address(from_address, reply, reliable=True, piggyback=False)
+        self._merge_remote_state(message)
+
+    def _merge_remote_state(self, message: PushPull) -> None:
+        """Reconcile a full remote state snapshot, reusing the gossip claim
+        handlers so precedence, events and re-broadcast stay consistent."""
+        for name, address, incarnation, state, meta in message.iter_states():
+            if name == self.name:
+                if state in (MemberState.SUSPECT, MemberState.DEAD):
+                    self._refute(incarnation)
+                continue
+            if state is MemberState.ALIVE:
+                self._handle_alive(Alive(incarnation, name, address, meta))
+            elif state is MemberState.SUSPECT:
+                if name not in self._members:
+                    # Learn the member first so the claim can land.
+                    self._members.add(
+                        name, address, incarnation, MemberState.ALIVE, self._clock()
+                    )
+                    self._emit(
+                        EventKind.JOINED, name, incarnation, self._clock()
+                    )
+                self._handle_suspect(Suspect(incarnation, name, message.source))
+            elif state is MemberState.LEFT:
+                if name in self._members:
+                    self._handle_dead(Dead(incarnation, name, name))
+            else:  # DEAD
+                if name in self._members:
+                    self._handle_dead(Dead(incarnation, name, message.source))
+
+    # ------------------------------------------------------------------ #
+    # Outbound helpers
+    # ------------------------------------------------------------------ #
+
+    def _send_to_address(
+        self,
+        address: str,
+        primary: Message,
+        reliable: bool = False,
+        piggyback: bool = True,
+        mandatory_piggyback: Sequence[bytes] = (),
+    ) -> None:
+        payloads: List[bytes] = list(mandatory_piggyback)
+        encoded_primary = codec.encode(primary)
+        if piggyback:
+            budget = (
+                self.config.max_packet_size
+                - codec.COMPOUND_HEADER_OVERHEAD
+                - codec.COMPOUND_PART_OVERHEAD
+                - len(encoded_primary)
+                - sum(len(p) + codec.COMPOUND_PART_OVERHEAD for p in payloads)
+            )
+            if budget > 0:
+                selected = self._broadcasts.get_payloads(
+                    budget, codec.COMPOUND_PART_OVERHEAD
+                )
+                budget -= sum(
+                    len(p) + codec.COMPOUND_PART_OVERHEAD for p in selected
+                )
+                payloads.extend(selected)
+                if budget > 0:
+                    payloads.extend(
+                        self._user_broadcasts.get_payloads(
+                            budget, codec.COMPOUND_PART_OVERHEAD
+                        )
+                    )
+        packet = codec.pack_encoded_with_piggyback(encoded_primary, payloads)
+        self.telemetry.record_send(primary_kind(primary), len(packet), reliable)
+        self._transport.send(address, packet, reliable=reliable)
+
+    def _next_seq(self) -> int:
+        self._seq = (self._seq + 1) % _SEQ_MODULUS
+        return self._seq
+
+    def _emit(self, kind: EventKind, subject: str, incarnation: int, now: float) -> None:
+        if self._listener is not None:
+            self._listener(MemberEvent(now, self.name, subject, kind, incarnation))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SwimNode({self.name!r}, members={len(self._members)}, "
+            f"lhm={self._lhm.score})"
+        )

@@ -1,0 +1,64 @@
+"""Member states and the rules for merging remote claims about a member.
+
+SWIM's convergence rests on *incarnation numbers*: every claim (``alive``,
+``suspect``, ``dead``) carries the incarnation of the member it is about,
+and only the member itself may increment its own incarnation (which it does
+to refute a suspicion). Section 4.2 of the SWIM paper defines the
+precedence, reproduced by :func:`claim_supersedes`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MemberState(enum.IntEnum):
+    """Lifecycle states of a group member, as seen by one peer."""
+
+    ALIVE = 0
+    SUSPECT = 1
+    DEAD = 2
+    #: A member that announced a graceful departure. Kept distinct from
+    #: DEAD so applications can tell failure from intentional leave.
+    LEFT = 3
+
+
+def claim_supersedes(
+    new_state: MemberState,
+    new_incarnation: int,
+    old_state: MemberState,
+    old_incarnation: int,
+) -> bool:
+    """Whether a remote claim beats the locally known state of a member.
+
+    The SWIM precedence rules are:
+
+    * ``alive(i)``   overrides ``alive(j)``, ``suspect(j)``  iff ``i > j``
+    * ``suspect(i)`` overrides ``suspect(j)``, ``alive(j)``  iff ``i >= j``
+      (suspect beats alive at equal incarnation)
+    * ``dead(i)``    overrides ``alive(j)``, ``suspect(j)``, for ``i >= j``
+      and nothing overrides ``dead`` except ``alive`` with a strictly
+      higher incarnation (a refutation or a restart).
+
+    ``LEFT`` is treated like ``DEAD`` for precedence purposes.
+    """
+    terminal_old = old_state in (MemberState.DEAD, MemberState.LEFT)
+    terminal_new = new_state in (MemberState.DEAD, MemberState.LEFT)
+
+    if terminal_old:
+        # Only a strictly newer incarnation (necessarily announced by the
+        # member itself) resurrects a dead/left member.
+        return new_incarnation > old_incarnation
+
+    if new_state is MemberState.ALIVE:
+        return new_incarnation > old_incarnation
+
+    if new_state is MemberState.SUSPECT:
+        if old_state is MemberState.SUSPECT:
+            return new_incarnation > old_incarnation
+        return new_incarnation >= old_incarnation
+
+    if terminal_new:
+        return new_incarnation >= old_incarnation
+
+    raise ValueError(f"unknown state {new_state!r}")

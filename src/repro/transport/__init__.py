@@ -1,0 +1,21 @@
+"""Transports binding the sans-IO protocol node to an actual datapath.
+
+* :class:`~repro.transport.sim.SimTransport` — the simulated network.
+* :class:`~repro.transport.inmem.InMemoryFabric` — zero-latency direct
+  delivery for unit tests (synchronous, no scheduler involvement).
+* :class:`~repro.transport.udp.UdpRuntime` — real asyncio UDP/TCP for
+  deploying the library on an actual network.
+"""
+
+from repro.transport.inmem import InMemoryFabric, InMemoryTransport
+from repro.transport.sim import SimTransport
+from repro.transport.udp import AsyncioScheduler, UdpMember, UdpTransport
+
+__all__ = [
+    "AsyncioScheduler",
+    "InMemoryFabric",
+    "InMemoryTransport",
+    "SimTransport",
+    "UdpMember",
+    "UdpTransport",
+]

@@ -1,0 +1,92 @@
+"""Synchronous in-memory fabric for unit tests.
+
+Packets are delivered immediately (or held for manual stepping), with no
+latency, loss or scheduler involvement — ideal for exercising individual
+protocol state transitions deterministically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+
+class InMemoryFabric:
+    """Routes packets between :class:`InMemoryTransport` endpoints.
+
+    In ``auto_deliver`` mode (default) packets arrive synchronously inside
+    the ``send`` call; otherwise they queue until :meth:`deliver_all` or
+    :meth:`deliver_one` is called, letting tests interleave deliveries.
+    """
+
+    def __init__(self, auto_deliver: bool = True) -> None:
+        self.auto_deliver = auto_deliver
+        self._endpoints: Dict[str, "InMemoryTransport"] = {}
+        self._queue: Deque[Tuple[str, str, bytes, bool]] = deque()
+        #: Every packet ever sent: (src, dst, payload, reliable).
+        self.log: list = []
+        #: Destinations to silently drop packets to (simulating a dead
+        #: host without touching the recipient's state).
+        self.blackholes: set = set()
+
+    def attach(self, transport: "InMemoryTransport") -> None:
+        if transport.local_address in self._endpoints:
+            raise ValueError(f"address {transport.local_address!r} already attached")
+        self._endpoints[transport.local_address] = transport
+
+    def detach(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def send(self, src: str, dst: str, payload: bytes, reliable: bool) -> None:
+        self.log.append((src, dst, payload, reliable))
+        if dst in self.blackholes:
+            return
+        if self.auto_deliver:
+            self._deliver(src, dst, payload, reliable)
+        else:
+            self._queue.append((src, dst, payload, reliable))
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def deliver_one(self) -> bool:
+        if not self._queue:
+            return False
+        src, dst, payload, reliable = self._queue.popleft()
+        self._deliver(src, dst, payload, reliable)
+        return True
+
+    def deliver_all(self, max_rounds: int = 10_000) -> int:
+        count = 0
+        while self.deliver_one():
+            count += 1
+            if count >= max_rounds:
+                raise RuntimeError("in-memory fabric did not quiesce")
+        return count
+
+    def _deliver(self, src: str, dst: str, payload: bytes, reliable: bool) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is not None and endpoint.handler is not None:
+            endpoint.handler(payload, src, reliable)
+
+
+class InMemoryTransport:
+    """A named endpoint on an :class:`InMemoryFabric`."""
+
+    __slots__ = ("_address", "_fabric", "handler")
+
+    def __init__(self, address: str, fabric: InMemoryFabric) -> None:
+        self._address = address
+        self._fabric = fabric
+        self.handler: Optional[Callable[[bytes, str, bool], None]] = None
+        fabric.attach(self)
+
+    @property
+    def local_address(self) -> str:
+        return self._address
+
+    def bind(self, handler: Callable[[bytes, str, bool], None]) -> None:
+        self.handler = handler
+
+    def send(self, destination: str, payload: bytes, reliable: bool = False) -> None:
+        self._fabric.send(self._address, destination, payload, reliable)

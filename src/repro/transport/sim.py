@@ -1,0 +1,43 @@
+"""Transport adapter for the simulated network."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.network import SimNetwork
+
+
+class SimTransport:
+    """Binds one member name to a :class:`~repro.sim.network.SimNetwork`.
+
+    Satisfies :class:`repro.runtime.Transport`. Inbound packets are routed
+    to the handler installed with :meth:`bind`.
+    """
+
+    __slots__ = ("_address", "_network", "_handler")
+
+    def __init__(self, address: str, network: SimNetwork) -> None:
+        self._address = address
+        self._network = network
+        self._handler: Optional[Callable[[bytes, str, bool], None]] = None
+        network.register(address, self._on_packet)
+
+    @property
+    def local_address(self) -> str:
+        return self._address
+
+    def bind(self, handler: Callable[[bytes, str, bool], None]) -> None:
+        """Install the inbound packet handler
+        (``handler(payload, from_address, reliable)``)."""
+        self._handler = handler
+
+    def send(self, destination: str, payload: bytes, reliable: bool = False) -> None:
+        self._network.send(self._address, destination, payload, reliable)
+
+    def close(self) -> None:
+        self._network.unregister(self._address)
+        self._handler = None
+
+    def _on_packet(self, payload: bytes, from_address: str, reliable: bool) -> None:
+        if self._handler is not None:
+            self._handler(payload, from_address, reliable)

@@ -1,0 +1,207 @@
+"""Real-network runtime: asyncio UDP datagrams plus a TCP side channel.
+
+This is the deployment face of the library — the same
+:class:`~repro.swim.node.SwimNode` that runs under the simulator runs
+here unchanged, wired to:
+
+* an asyncio **clock/scheduler adapter** (:class:`AsyncioScheduler`) over
+  ``loop.time()`` / ``loop.call_at``;
+* a **UDP socket** for the datagram channel (probes and gossip);
+* a lightweight **TCP listener** for the reliable channel (anti-entropy
+  push/pull sync and the fallback probe), with one short-lived connection
+  per message, length-prefixed and carrying the sender's canonical
+  address so replies can be routed.
+
+Addresses are ``"host:port"`` strings throughout, matching the address
+field gossiped in ``alive`` messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+from typing import Callable, Optional, Tuple
+
+from repro.config import SwimConfig
+from repro.swim.events import EventListener
+from repro.swim.node import SwimNode
+
+_FRAME = struct.Struct(">HI")  # address length, payload length
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"`` into a ``(host, port)`` pair."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"not a host:port address: {address!r}")
+    return host, int(port)
+
+
+class AsyncioScheduler:
+    """Adapter satisfying :class:`repro.runtime.Scheduler` on an event loop."""
+
+    __slots__ = ("_loop",)
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+
+    def time(self) -> float:
+        return self._loop.time()
+
+    def call_at(self, when: float, callback: Callable[[], None]):
+        return self._loop.call_at(when, callback)
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, owner: "UdpTransport") -> None:
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._owner._on_datagram(data, addr)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - OS specific
+        pass
+
+
+class UdpTransport:
+    """Satisfies :class:`repro.runtime.Transport` over real sockets.
+
+    Create with :meth:`UdpTransport.create` inside a running event loop.
+    """
+
+    def __init__(self, local_address: str) -> None:
+        self._local_address = local_address
+        self._handler: Optional[Callable[[bytes, str, bool], None]] = None
+        self._udp: Optional[asyncio.DatagramTransport] = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._closed = False
+
+    @classmethod
+    async def create(cls, host: str = "127.0.0.1", port: int = 0) -> "UdpTransport":
+        loop = asyncio.get_event_loop()
+        udp_transport, _protocol = await loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(None),  # placeholder, patched below
+            local_addr=(host, port),
+        )
+        bound_host, bound_port = udp_transport.get_extra_info("sockname")[:2]
+        self = cls(f"{bound_host}:{bound_port}")
+        # Re-point the protocol at the constructed instance.
+        _protocol._owner = self
+        self._udp = udp_transport
+        self._tcp_server = await asyncio.start_server(
+            self._on_tcp_connection, host=bound_host, port=bound_port
+        )
+        return self
+
+    @property
+    def local_address(self) -> str:
+        return self._local_address
+
+    def bind(self, handler: Callable[[bytes, str, bool], None]) -> None:
+        self._handler = handler
+
+    def send(self, destination: str, payload: bytes, reliable: bool = False) -> None:
+        if self._closed:
+            return
+        if reliable:
+            asyncio.ensure_future(self._send_reliable(destination, payload))
+        else:
+            try:
+                self._udp.sendto(payload, parse_address(destination))
+            except (OSError, ValueError):
+                pass
+
+    async def _send_reliable(self, destination: str, payload: bytes) -> None:
+        try:
+            host, port = parse_address(destination)
+            _reader, writer = await asyncio.open_connection(host, port)
+        except (OSError, ValueError):
+            return
+        try:
+            addr = self._local_address.encode("utf-8")
+            writer.write(_FRAME.pack(len(addr), len(payload)) + addr + payload)
+            await writer.drain()
+            writer.close()
+        except OSError:
+            pass
+
+    async def _on_tcp_connection(self, reader, writer) -> None:
+        try:
+            header = await reader.readexactly(_FRAME.size)
+            addr_len, payload_len = _FRAME.unpack(header)
+            addr = (await reader.readexactly(addr_len)).decode("utf-8")
+            payload = await reader.readexactly(payload_len)
+        except (asyncio.IncompleteReadError, OSError):
+            return
+        finally:
+            writer.close()
+        if self._handler is not None:
+            self._handler(payload, addr, True)
+
+    def _on_datagram(self, data: bytes, addr) -> None:
+        if self._handler is not None:
+            self._handler(data, f"{addr[0]}:{addr[1]}", False)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._udp is not None:
+            self._udp.close()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+
+
+class UdpMember:
+    """A fully wired SWIM/Lifeguard member on real sockets.
+
+    The asyncio analogue of what :class:`~repro.sim.runtime.SimCluster`
+    builds per member in the simulator.
+    """
+
+    def __init__(self, node: SwimNode, transport: UdpTransport) -> None:
+        self.node = node
+        self.transport = transport
+
+    @classmethod
+    async def create(
+        cls,
+        name: str,
+        config: Optional[SwimConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        listener: Optional[EventListener] = None,
+        rng: Optional[random.Random] = None,
+        meta: bytes = b"",
+        on_user_event=None,
+    ) -> "UdpMember":
+        transport = await UdpTransport.create(host, port)
+        scheduler = AsyncioScheduler()
+        node = SwimNode(
+            name,
+            config if config is not None else SwimConfig.lifeguard(),
+            clock=scheduler.time,
+            scheduler=scheduler,
+            transport=transport,
+            rng=rng,
+            listener=listener,
+            meta=meta,
+            on_user_event=on_user_event,
+        )
+        transport.bind(node.handle_packet)
+        return cls(node, transport)
+
+    @property
+    def address(self) -> str:
+        return self.transport.local_address
+
+    def start(self) -> None:
+        self.node.start()
+
+    def join(self, seed_addresses) -> None:
+        self.node.join(seed_addresses)
+
+    async def stop(self) -> None:
+        if self.node.running:
+            self.node.stop()
+        await self.transport.close()

@@ -1,0 +1,150 @@
+"""Tests for the related-work heartbeat arrival estimators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.estimators import (
+    ArrivalWindow,
+    ChenEstimator,
+    PhiAccrualEstimator,
+)
+
+
+class TestArrivalWindow:
+    def test_empty_window(self):
+        window = ArrivalWindow()
+        assert window.mean() is None
+        assert window.stddev() is None
+        assert window.last_arrival is None
+
+    def test_records_intervals(self):
+        window = ArrivalWindow()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            window.record(t)
+        assert len(window) == 3
+        assert window.mean() == pytest.approx(1.0)
+        assert window.stddev() == pytest.approx(0.0)
+        assert window.last_arrival == 3.0
+
+    def test_stddev_of_mixed_intervals(self):
+        window = ArrivalWindow()
+        for t in (0.0, 1.0, 3.0):  # intervals 1, 2
+            window.record(t)
+        assert window.mean() == pytest.approx(1.5)
+        assert window.stddev() == pytest.approx(0.5)
+
+    def test_sliding_window_evicts(self):
+        window = ArrivalWindow(window_size=2)
+        for t in (0.0, 10.0, 11.0, 12.0):
+            window.record(t)
+        # Only the last two intervals (1.0, 1.0) remain.
+        assert window.mean() == pytest.approx(1.0)
+
+    def test_rejects_time_reversal(self):
+        window = ArrivalWindow()
+        window.record(5.0)
+        with pytest.raises(ValueError):
+            window.record(4.0)
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            ArrivalWindow(window_size=1)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10), min_size=2, max_size=50))
+    def test_running_moments_match_recount(self, intervals):
+        window = ArrivalWindow(window_size=16)
+        t = 0.0
+        window.record(t)
+        for interval in intervals:
+            t += interval
+            window.record(t)
+        kept = intervals[-16:]
+        expected_mean = sum(kept) / len(kept)
+        assert window.mean() == pytest.approx(expected_mean, rel=1e-6)
+
+
+class TestChenEstimator:
+    def test_needs_arrivals(self):
+        chen = ChenEstimator()
+        assert chen.expected_arrival() is None
+        assert not chen.suspect(100.0)
+
+    def test_steady_heartbeats_not_suspected(self):
+        chen = ChenEstimator(alpha=0.5)
+        for t in range(10):
+            chen.record(float(t))
+        assert not chen.suspect(9.9)
+        assert not chen.suspect(10.4)  # within EA(10.0) + alpha
+
+    def test_missing_heartbeat_suspected(self):
+        chen = ChenEstimator(alpha=0.5)
+        for t in range(10):
+            chen.record(float(t))
+        assert chen.suspect(10.6)
+
+    def test_adapts_to_slower_cadence(self):
+        chen = ChenEstimator(alpha=0.5)
+        for t in range(0, 20, 2):  # 2-second cadence
+            chen.record(float(t))
+        assert not chen.suspect(19.0)  # 1s after the last beat: fine
+        assert chen.suspect(21.0)
+
+    def test_first_beat_uses_fallback_interval(self):
+        chen = ChenEstimator(alpha=0.5, expected_interval=1.0)
+        chen.record(0.0)
+        assert chen.deadline() == pytest.approx(1.5)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            ChenEstimator(alpha=0.0)
+
+
+class TestPhiAccrual:
+    def make_warm(self, cadence=1.0, beats=30):
+        phi = PhiAccrualEstimator(threshold=8.0)
+        for i in range(beats):
+            phi.record(i * cadence)
+        return phi, (beats - 1) * cadence
+
+    def test_phi_low_right_after_beat(self):
+        phi, last = self.make_warm()
+        assert phi.phi(last + 0.1) < 1.0
+
+    def test_phi_grows_with_silence(self):
+        phi, last = self.make_warm()
+        values = [phi.phi(last + dt) for dt in (0.5, 1.5, 3.0, 6.0)]
+        assert values == sorted(values)
+        assert values[-1] > 8.0
+
+    def test_suspect_threshold(self):
+        phi, last = self.make_warm()
+        assert not phi.suspect(last + 1.0)
+        assert phi.suspect(last + 10.0)
+
+    def test_no_arrivals_never_suspects(self):
+        phi = PhiAccrualEstimator()
+        assert phi.phi(1000.0) == 0.0
+        assert not phi.suspect(1000.0)
+
+    def test_jittery_heartbeats_raise_tolerance(self):
+        """Higher observed variance means slower phi growth — the
+        adaptivity that motivated accrual detectors."""
+        steady, last_a = self.make_warm(cadence=1.0)
+        jittery = PhiAccrualEstimator(threshold=8.0)
+        import random
+
+        rng = random.Random(1)
+        t = 0.0
+        for _ in range(30):
+            t += rng.uniform(0.2, 1.8)
+            jittery.record(t)
+        assert jittery.phi(t + 2.0) < steady.phi(last_a + 2.0)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            PhiAccrualEstimator(threshold=0.0)
+
+    def test_phi_infinite_deep_in_the_tail(self):
+        phi, last = self.make_warm()
+        assert phi.phi(last + 1000.0) == float("inf")

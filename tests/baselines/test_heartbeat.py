@@ -1,0 +1,146 @@
+"""Tests for the heartbeat-detector cluster and the local-health wrapper."""
+
+import pytest
+
+from repro.baselines.heartbeat import HeartbeatConfig
+from repro.baselines.local_aware import LocalAwareness
+from repro.baselines.runtime import HeartbeatCluster
+from repro.swim.events import EventKind
+
+
+class TestHeartbeatConfig:
+    def test_defaults(self):
+        config = HeartbeatConfig()
+        assert config.estimator == "chen"
+        assert config.heartbeat_interval == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(heartbeat_interval=0.0),
+            dict(check_interval=0.0),
+            dict(estimator="magic"),
+            dict(local_awareness_fraction=0.0),
+            dict(local_awareness_fraction=1.5),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(**kwargs)
+
+
+class TestLocalAwareness:
+    def test_disabled_never_holds(self):
+        awareness = LocalAwareness(enabled=False)
+        assert not awareness.hold_fire(10, 10)
+
+    def test_holds_on_quorum(self):
+        awareness = LocalAwareness(enabled=True, quorum_fraction=0.5)
+        assert awareness.hold_fire(5, 10)
+        assert awareness.holds == 1
+
+    def test_no_hold_below_quorum(self):
+        awareness = LocalAwareness(enabled=True, quorum_fraction=0.5)
+        assert not awareness.hold_fire(4, 10)
+
+    def test_single_late_peer_never_held(self):
+        """One late peer is a genuine failure signal even in a tiny
+        group; the heuristic needs at least two simultaneous latecomers."""
+        awareness = LocalAwareness(enabled=True, quorum_fraction=0.5)
+        assert not awareness.hold_fire(1, 2)
+
+    def test_history_recorded(self):
+        awareness = LocalAwareness(enabled=True, quorum_fraction=0.5)
+        awareness.observe(5, 10, now=1.0)
+        awareness.observe(1, 10, now=2.0)
+        assert awareness.history == [(1.0, 5, 10)]
+
+
+class TestHeartbeatCluster:
+    def test_steady_cluster_raises_nothing(self):
+        cluster = HeartbeatCluster(n_members=8, seed=1)
+        cluster.start()
+        cluster.run_for(30.0)
+        assert cluster.event_log.of_kind(EventKind.FAILED) == []
+
+    def test_true_failure_detected(self):
+        cluster = HeartbeatCluster(n_members=8, seed=1)
+        cluster.start()
+        cluster.run_for(10.0)
+        cluster.nodes["m003"].stop()
+        cluster.run_for(10.0)
+        failed = cluster.event_log.of_kind(EventKind.FAILED)
+        observers = {e.observer for e in failed if e.subject == "m003"}
+        assert len(observers) == 7  # everyone notices independently
+
+    def test_recovered_member_restored(self):
+        cluster = HeartbeatCluster(n_members=6, seed=2)
+        cluster.start()
+        cluster.run_for(10.0)
+        start = cluster.now
+        cluster.anomalies.block_windows(["m001"], start, start + 5.0)
+        cluster.run_for(15.0)
+        restored = [
+            e
+            for e in cluster.event_log.of_kind(EventKind.RESTORED)
+            if e.subject == "m001"
+        ]
+        assert restored
+
+    def test_phi_estimator_variant(self):
+        cluster = HeartbeatCluster(
+            n_members=6, config=HeartbeatConfig(estimator="phi"), seed=3
+        )
+        cluster.start()
+        cluster.run_for(15.0)
+        cluster.nodes["m002"].stop()
+        cluster.run_for(20.0)
+        failed = {e.observer for e in cluster.event_log.failures_about("m002")}
+        assert len(failed) == 5
+
+    def test_telemetry_counts_heartbeats(self):
+        cluster = HeartbeatCluster(n_members=4, seed=1)
+        cluster.start()
+        cluster.run_for(10.0)
+        telemetry = cluster.telemetry()
+        # ~10 beats x 4 members x 3 peers.
+        assert 80 <= telemetry.msgs_sent <= 160
+
+
+class TestSlowMonitorPhenomenon:
+    """The paper's Section VI argument made concrete: a slow *monitor*
+    wrongly accuses healthy peers under Chen/phi-accrual, and the
+    local-health wrapper (Section VII future work) suppresses it."""
+
+    def run_with_slow_monitor(self, local_awareness: bool, estimator="chen"):
+        config = HeartbeatConfig(
+            estimator=estimator, local_awareness=local_awareness
+        )
+        cluster = HeartbeatCluster(n_members=10, config=config, seed=5)
+        cluster.start()
+        cluster.run_for(15.0)
+        slow = "m000"
+        start = cluster.now
+        # The monitor stalls for 6 s at a time with tiny gaps: inbound
+        # heartbeats arrive in bursts long after they were sent.
+        cluster.anomalies.cyclic_windows(
+            [slow], first_start=start, duration=6.0, interval=0.002,
+            until=start + 40.0,
+        )
+        cluster.run_for(50.0)
+        false_accusations = [
+            e
+            for e in cluster.event_log.of_kind(EventKind.FAILED)
+            if e.observer == slow and e.subject != slow
+        ]
+        return cluster, false_accusations
+
+    def test_slow_chen_monitor_accuses_healthy_peers(self):
+        _cluster, accusations = self.run_with_slow_monitor(local_awareness=False)
+        assert accusations  # the related-work detectors have the flaw
+
+    def test_local_awareness_suppresses_false_accusations(self):
+        cluster, accusations = self.run_with_slow_monitor(local_awareness=True)
+        baseline_cluster, baseline = self.run_with_slow_monitor(local_awareness=False)
+        assert len(accusations) < len(baseline)
+        assert cluster.nodes["m000"].awareness.holds > 0

@@ -1,0 +1,115 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.config import SwimConfig
+from repro.metrics.event_log import ClusterEventLog
+from repro.sim.scheduler import EventScheduler
+from repro.swim.node import SwimNode
+from repro.swim.state import MemberState
+from repro.transport.inmem import InMemoryFabric, InMemoryTransport
+
+
+class LocalCluster:
+    """A hand-driven cluster for protocol unit tests.
+
+    Nodes share one virtual-time scheduler and an in-memory fabric that
+    delivers packets *synchronously* (zero latency); tests advance time
+    explicitly with :meth:`run_until` / :meth:`run_for` and can blackhole
+    destinations to simulate unresponsive members without touching their
+    state.
+    """
+
+    def __init__(
+        self,
+        names: List[str],
+        config: Optional[SwimConfig] = None,
+        preseed: bool = True,
+        seed: int = 1,
+    ) -> None:
+        self.config = config if config is not None else SwimConfig.swim_baseline()
+        self.scheduler = EventScheduler()
+        self.clock = self.scheduler.clock
+        self.fabric = InMemoryFabric(auto_deliver=True)
+        self.events = ClusterEventLog()
+        self.nodes: Dict[str, SwimNode] = {}
+        for index, name in enumerate(names):
+            transport = InMemoryTransport(name, self.fabric)
+            node = SwimNode(
+                name,
+                self.config,
+                clock=self.clock,
+                scheduler=self.scheduler,
+                transport=transport,
+                rng=random.Random(seed * 1000 + index),
+                listener=self.events,
+            )
+            transport.bind(node.handle_packet)
+            self.nodes[name] = node
+        if preseed:
+            for node in self.nodes.values():
+                for other in names:
+                    if other != node.name:
+                        node.members.add(other, other, 1, MemberState.ALIVE, 0.0)
+
+    def start_all(self, stagger: bool = False) -> None:
+        for node in self.nodes.values():
+            node.start(first_probe_delay=None if stagger else 0.05)
+
+    def run_until(self, deadline: float) -> int:
+        return self.scheduler.run_until(deadline)
+
+    def run_for(self, duration: float) -> int:
+        return self.scheduler.run_for(duration)
+
+    def blackhole(self, *names: str) -> None:
+        """Silently drop all packets *to* the given members."""
+        self.fabric.blackholes.update(names)
+
+    def unblackhole(self, *names: str) -> None:
+        self.fabric.blackholes.difference_update(names)
+
+    def view(self, observer: str, subject: str) -> Optional[MemberState]:
+        member = self.nodes[observer].members.get(subject)
+        return member.state if member is not None else None
+
+    def sent_kinds(self, src: Optional[str] = None) -> List[str]:
+        """Primary message kinds of everything sent on the fabric."""
+        from repro.swim import codec
+        from repro.swim.messages import primary_kind
+
+        kinds = []
+        for sender, _dst, payload, _reliable in self.fabric.log:
+            if src is None or sender == src:
+                kinds.append(primary_kind(codec.decode(payload)))
+        return kinds
+
+
+@pytest.fixture
+def pair() -> LocalCluster:
+    """Two preseeded members, not yet started."""
+    return LocalCluster(["a", "b"])
+
+
+@pytest.fixture
+def trio() -> LocalCluster:
+    """Three preseeded members, not yet started."""
+    return LocalCluster(["a", "b", "c"])
+
+
+@pytest.fixture
+def quintet() -> LocalCluster:
+    """Five preseeded members, not yet started."""
+    return LocalCluster(["a", "b", "c", "d", "e"])
+
+
+def make_cluster(
+    n: int, config: Optional[SwimConfig] = None, seed: int = 1
+) -> LocalCluster:
+    names = [f"n{i}" for i in range(n)]
+    return LocalCluster(names, config=config, seed=seed)

@@ -1,0 +1,49 @@
+"""Tests for the Buddy System piggyback selector (paper Section IV-C)."""
+
+from repro.core.buddy import BuddyPiggybacker
+
+
+def make_buddy(enabled=True, suspected=(), payload=b"suspect-bytes"):
+    suspected_set = set(suspected)
+    return BuddyPiggybacker(
+        enabled=enabled,
+        is_suspected=lambda name: name in suspected_set,
+        make_suspect_payload=lambda name: payload,
+    )
+
+
+class TestBuddyPiggybacker:
+    def test_disabled_injects_nothing(self):
+        buddy = make_buddy(enabled=False, suspected=["x"])
+        assert buddy.payloads_for_ping("x") == []
+        assert buddy.injected == 0
+
+    def test_unsuspected_target_injects_nothing(self):
+        buddy = make_buddy(suspected=["y"])
+        assert buddy.payloads_for_ping("x") == []
+
+    def test_suspected_target_gets_suspicion(self):
+        buddy = make_buddy(suspected=["x"])
+        assert buddy.payloads_for_ping("x") == [b"suspect-bytes"]
+        assert buddy.injected == 1
+
+    def test_injection_counter_accumulates(self):
+        buddy = make_buddy(suspected=["x"])
+        buddy.payloads_for_ping("x")
+        buddy.payloads_for_ping("x")
+        assert buddy.injected == 2
+
+    def test_stale_state_yields_nothing(self):
+        """The suspicion can be cancelled between the is_suspected check
+        and payload construction; a None payload must be tolerated."""
+        buddy = BuddyPiggybacker(
+            enabled=True,
+            is_suspected=lambda name: True,
+            make_suspect_payload=lambda name: None,
+        )
+        assert buddy.payloads_for_ping("x") == []
+        assert buddy.injected == 0
+
+    def test_enabled_property(self):
+        assert make_buddy(enabled=True).enabled
+        assert not make_buddy(enabled=False).enabled

@@ -1,0 +1,159 @@
+"""Tests for the Local Health Multiplier (paper Section IV-A)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lhm import EVENT_SCORES, LhmEvent, LocalHealthMultiplier
+
+
+class TestScoring:
+    def test_starts_healthy(self):
+        lhm = LocalHealthMultiplier()
+        assert lhm.score == 0
+        assert lhm.multiplier == 1
+        assert lhm.healthy
+
+    def test_paper_event_scores(self):
+        assert EVENT_SCORES[LhmEvent.PROBE_SUCCESS] == -1
+        assert EVENT_SCORES[LhmEvent.PROBE_FAILED] == +1
+        assert EVENT_SCORES[LhmEvent.REFUTE_SELF] == +1
+        assert EVENT_SCORES[LhmEvent.MISSED_NACK] == +1
+
+    @pytest.mark.parametrize(
+        "event",
+        [LhmEvent.PROBE_FAILED, LhmEvent.REFUTE_SELF, LhmEvent.MISSED_NACK],
+    )
+    def test_negative_events_increment(self, event):
+        lhm = LocalHealthMultiplier()
+        assert lhm.note(event) == 1
+        assert lhm.multiplier == 2
+
+    def test_success_decrements(self):
+        lhm = LocalHealthMultiplier()
+        lhm.note(LhmEvent.PROBE_FAILED)
+        lhm.note(LhmEvent.PROBE_FAILED)
+        assert lhm.note(LhmEvent.PROBE_SUCCESS) == 1
+
+    def test_note_all(self):
+        lhm = LocalHealthMultiplier()
+        score = lhm.note_all(
+            [LhmEvent.PROBE_FAILED, LhmEvent.MISSED_NACK, LhmEvent.PROBE_SUCCESS]
+        )
+        assert score == 1
+
+
+class TestSaturation:
+    def test_saturates_at_max(self):
+        lhm = LocalHealthMultiplier(max_value=8)
+        for _ in range(20):
+            lhm.note(LhmEvent.PROBE_FAILED)
+        assert lhm.score == 8
+        assert lhm.saturated
+        assert lhm.multiplier == 9  # paper: interval backs off to 9x
+
+    def test_never_below_zero(self):
+        lhm = LocalHealthMultiplier()
+        for _ in range(5):
+            lhm.note(LhmEvent.PROBE_SUCCESS)
+        assert lhm.score == 0
+        assert not lhm.saturated
+
+    def test_custom_max(self):
+        lhm = LocalHealthMultiplier(max_value=2)
+        for _ in range(5):
+            lhm.note(LhmEvent.PROBE_FAILED)
+        assert lhm.score == 2
+
+    def test_max_zero_pins_score(self):
+        lhm = LocalHealthMultiplier(max_value=0)
+        lhm.note(LhmEvent.PROBE_FAILED)
+        assert lhm.score == 0
+        assert lhm.multiplier == 1
+
+    def test_rejects_negative_max(self):
+        with pytest.raises(ValueError):
+            LocalHealthMultiplier(max_value=-1)
+
+    @given(
+        st.lists(st.sampled_from(list(LhmEvent)), max_size=200),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_score_always_within_bounds(self, events, max_value):
+        lhm = LocalHealthMultiplier(max_value=max_value)
+        for event in events:
+            lhm.note(event)
+            assert 0 <= lhm.score <= max_value
+            assert lhm.multiplier == lhm.score + 1
+
+    @given(st.lists(st.sampled_from(list(LhmEvent)), max_size=200))
+    def test_score_equals_clamped_walk(self, events):
+        """The LHM is exactly a saturating random walk of the scores."""
+        lhm = LocalHealthMultiplier(max_value=8)
+        expected = 0
+        for event in events:
+            expected = min(8, max(0, expected + EVENT_SCORES[event]))
+            assert lhm.note(event) == expected
+
+
+class TestDisabled:
+    def test_disabled_never_moves(self):
+        lhm = LocalHealthMultiplier(enabled=False)
+        for _ in range(10):
+            lhm.note(LhmEvent.PROBE_FAILED)
+        assert lhm.score == 0
+        assert lhm.multiplier == 1
+
+    def test_disabled_still_counts_events(self):
+        lhm = LocalHealthMultiplier(enabled=False)
+        lhm.note(LhmEvent.PROBE_FAILED)
+        lhm.note(LhmEvent.PROBE_FAILED)
+        assert lhm.event_count(LhmEvent.PROBE_FAILED) == 2
+
+    def test_disabled_apply_delta_noop(self):
+        lhm = LocalHealthMultiplier(enabled=False)
+        assert lhm.apply_delta(5) == 0
+
+
+class TestScaling:
+    def test_scale_at_zero(self):
+        lhm = LocalHealthMultiplier()
+        assert lhm.scale(1.0) == 1.0
+        assert lhm.scale(0.5) == 0.5
+
+    def test_scale_paper_maximum(self):
+        """S=8: probe interval 1s -> 9s, probe timeout 500ms -> 4.5s."""
+        lhm = LocalHealthMultiplier(max_value=8)
+        for _ in range(10):
+            lhm.note(LhmEvent.PROBE_FAILED)
+        assert lhm.scale(1.0) == pytest.approx(9.0)
+        assert lhm.scale(0.5) == pytest.approx(4.5)
+
+
+class TestCallbacksAndIntrospection:
+    def test_on_change_called_on_transitions(self):
+        seen = []
+        lhm = LocalHealthMultiplier(on_change=seen.append)
+        lhm.note(LhmEvent.PROBE_FAILED)
+        lhm.note(LhmEvent.PROBE_SUCCESS)
+        lhm.note(LhmEvent.PROBE_SUCCESS)  # clamped: no change
+        assert seen == [1, 0]
+
+    def test_event_counts(self):
+        lhm = LocalHealthMultiplier()
+        lhm.note(LhmEvent.PROBE_SUCCESS)
+        lhm.note(LhmEvent.REFUTE_SELF)
+        lhm.note(LhmEvent.REFUTE_SELF)
+        assert lhm.event_count(LhmEvent.PROBE_SUCCESS) == 1
+        assert lhm.event_count(LhmEvent.REFUTE_SELF) == 2
+        assert lhm.event_count(LhmEvent.MISSED_NACK) == 0
+
+    def test_reset(self):
+        seen = []
+        lhm = LocalHealthMultiplier(on_change=seen.append)
+        lhm.note(LhmEvent.PROBE_FAILED)
+        lhm.reset()
+        assert lhm.score == 0
+        assert seen == [1, 0]
+        lhm.reset()  # idempotent, no extra callback
+        assert seen == [1, 0]

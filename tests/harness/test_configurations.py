@@ -1,0 +1,51 @@
+"""Tests for the Table I configurations."""
+
+import pytest
+
+from repro.harness.configurations import (
+    CONFIGURATION_FLAGS,
+    CONFIGURATION_NAMES,
+    make_config,
+)
+
+
+class TestTableI:
+    def test_all_five_configurations(self):
+        assert CONFIGURATION_NAMES == [
+            "SWIM",
+            "LHA-Probe",
+            "LHA-Suspicion",
+            "Buddy System",
+            "Lifeguard",
+        ]
+
+    def test_swim_all_off(self):
+        flags = CONFIGURATION_FLAGS["SWIM"]
+        assert not flags.any_enabled
+
+    def test_single_component_configs(self):
+        assert CONFIGURATION_FLAGS["LHA-Probe"].lha_probe
+        assert not CONFIGURATION_FLAGS["LHA-Probe"].lha_suspicion
+        assert CONFIGURATION_FLAGS["LHA-Suspicion"].lha_suspicion
+        assert not CONFIGURATION_FLAGS["LHA-Suspicion"].buddy_system
+        assert CONFIGURATION_FLAGS["Buddy System"].buddy_system
+        assert not CONFIGURATION_FLAGS["Buddy System"].lha_probe
+
+    def test_lifeguard_all_on(self):
+        flags = CONFIGURATION_FLAGS["Lifeguard"]
+        assert flags.lha_probe and flags.lha_suspicion and flags.buddy_system
+
+
+class TestMakeConfig:
+    def test_tuning_applied(self):
+        config = make_config("Lifeguard", alpha=2.0, beta=4.0)
+        assert config.suspicion_alpha == 2.0
+        assert config.suspicion_beta == 4.0
+
+    def test_overrides(self):
+        config = make_config("SWIM", probe_interval=0.5, probe_timeout=0.2)
+        assert config.probe_interval == 0.5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown configuration"):
+            make_config("Turbo Mode")

@@ -1,0 +1,182 @@
+"""Tests for the Threshold / Interval / Stress experiment runners.
+
+These use reduced cluster sizes and durations — the point is correctness
+of the experiment machinery, not reproduction fidelity (that's what the
+benchmarks are for).
+"""
+
+import pytest
+
+from repro.harness.interval import IntervalParams, run_interval
+from repro.harness.stress import StressParams, run_stress
+from repro.harness.threshold import ThresholdParams, run_threshold
+
+
+class TestThresholdExperiment:
+    def test_long_anomaly_detected(self):
+        result = run_threshold(
+            ThresholdParams(
+                configuration="SWIM",
+                n_members=24,
+                concurrent=3,
+                duration=16.0,
+                quiesce=5.0,
+                time_limit=60.0,
+                seed=3,
+            )
+        )
+        assert len(result.anomalous) == 3
+        assert result.first_detection  # someone was detected
+        for latency in result.first_detection:
+            # Suspicion floor is ~6.9s at n=24 (5*log10(24)); detection
+            # must come after it but well before the time limit.
+            assert 5.0 < latency < 30.0
+        assert result.recovered
+        assert result.recovery_time is not None
+
+    def test_short_anomaly_not_detected(self):
+        """An anomaly much shorter than the suspicion timeout is refuted,
+        not detected — SWIM's latency/accuracy trade."""
+        result = run_threshold(
+            ThresholdParams(
+                configuration="SWIM",
+                n_members=24,
+                concurrent=3,
+                duration=0.5,
+                quiesce=5.0,
+                time_limit=30.0,
+                seed=3,
+            )
+        )
+        assert sorted(result.latencies.undetected) == sorted(result.anomalous)
+        assert result.recovered
+
+    def test_dissemination_not_faster_than_detection(self):
+        result = run_threshold(
+            ThresholdParams(
+                configuration="SWIM",
+                n_members=24,
+                concurrent=2,
+                duration=20.0,
+                quiesce=5.0,
+                seed=9,
+            )
+        )
+        for member, first in result.latencies.first_detection.items():
+            full = result.latencies.full_dissemination.get(member)
+            if full is not None:
+                assert full >= first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdParams(concurrent=0)
+        with pytest.raises(ValueError):
+            ThresholdParams(concurrent=128, n_members=128)
+        with pytest.raises(ValueError):
+            ThresholdParams(duration=0.0)
+
+    def test_deterministic(self):
+        params = ThresholdParams(
+            configuration="SWIM", n_members=16, concurrent=2,
+            duration=12.0, quiesce=3.0, time_limit=40.0, seed=5,
+        )
+        a, b = run_threshold(params), run_threshold(params)
+        assert a.anomalous == b.anomalous
+        assert a.latencies.first_detection == b.latencies.first_detection
+
+
+class TestIntervalExperiment:
+    def test_produces_false_positives_for_swim(self):
+        result = run_interval(
+            IntervalParams(
+                configuration="SWIM",
+                n_members=32,
+                concurrent=4,
+                duration=12.0,
+                interval=0.001,
+                quiesce=5.0,
+                min_test_time=40.0,
+                seed=2,
+            )
+        )
+        assert result.fp_events > 0
+        assert result.msgs_sent > 0
+        assert result.bytes_sent > result.msgs_sent  # >1 byte per message
+        assert result.test_time >= 40.0
+
+    def test_lifeguard_reduces_false_positives(self):
+        def fp_for(configuration):
+            return run_interval(
+                IntervalParams(
+                    configuration=configuration,
+                    n_members=32,
+                    concurrent=4,
+                    duration=12.0,
+                    interval=0.001,
+                    quiesce=5.0,
+                    min_test_time=40.0,
+                    seed=2,
+                )
+            ).fp_events
+
+        assert fp_for("Lifeguard") < fp_for("SWIM")
+
+    def test_anomalous_members_chosen_deterministically(self):
+        params = IntervalParams(
+            configuration="SWIM", n_members=16, concurrent=3,
+            duration=2.0, interval=1.0, quiesce=2.0, min_test_time=10.0, seed=7,
+        )
+        assert run_interval(params).anomalous == run_interval(params).anomalous
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalParams(concurrent=0)
+        with pytest.raises(ValueError):
+            IntervalParams(interval=0.0)
+
+
+class TestStressExperiment:
+    def test_swim_stressed_members_cause_false_positives(self):
+        result = run_stress(
+            StressParams(
+                configuration="SWIM",
+                n_members=30,
+                n_stressed=4,
+                stress_duration=60.0,
+                quiesce=5.0,
+                seed=4,
+            )
+        )
+        assert len(result.stressed) == 4
+        assert result.total_false_positives > 0
+
+    def test_lifeguard_suppresses_stress_false_positives(self):
+        def fp(configuration):
+            return run_stress(
+                StressParams(
+                    configuration=configuration,
+                    n_members=30,
+                    n_stressed=4,
+                    stress_duration=60.0,
+                    quiesce=5.0,
+                    seed=4,
+                )
+            ).total_false_positives
+
+        swim, lifeguard = fp("SWIM"), fp("Lifeguard")
+        assert lifeguard < swim
+
+    def test_fp_healthy_never_exceeds_fp(self):
+        result = run_stress(
+            StressParams(
+                configuration="SWIM", n_members=24, n_stressed=6,
+                stress_duration=45.0, quiesce=5.0, seed=8,
+            )
+        )
+        assert result.false_positives_at_healthy <= result.total_false_positives
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StressParams(n_stressed=0)
+        with pytest.raises(ValueError):
+            StressParams(n_stressed=100, n_members=100)

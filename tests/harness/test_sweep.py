@@ -1,0 +1,165 @@
+"""Tests for the sweep driver, grids and aggregation."""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.harness.interval import IntervalParams, IntervalResult
+from repro.harness.sweep import (
+    IntervalAggregate,
+    ThresholdAggregate,
+    TUNING_COMBINATIONS,
+    env_scale,
+    fp_by_concurrency,
+    interval_grid,
+    run_many,
+    stress_grid,
+    threshold_grid,
+)
+from repro.harness.threshold import ThresholdParams, ThresholdResult
+from repro.metrics.analysis import DisseminationStats, FalsePositiveStats
+
+
+class TestEnvScale:
+    def test_defaults(self):
+        with mock.patch.dict(os.environ, {}, clear=False):
+            for key in list(os.environ):
+                if key.startswith("REPRO_"):
+                    del os.environ[key]
+            scale = env_scale()
+        assert not scale.full
+        assert scale.reps == 1
+        assert scale.n_members == 128
+        assert scale.min_test_time == 60.0
+
+    def test_full_mode(self):
+        with mock.patch.dict(os.environ, {"REPRO_FULL": "1"}):
+            scale = env_scale()
+        assert scale.full
+        assert scale.reps == 10
+        assert scale.min_test_time == 120.0
+        assert len(scale.concurrency) == 9
+        assert len(scale.durations) == 6
+        assert len(scale.intervals) == 8
+
+    def test_env_overrides(self):
+        with mock.patch.dict(
+            os.environ,
+            {"REPRO_REPS": "3", "REPRO_N": "64", "REPRO_WORKERS": "2"},
+        ):
+            scale = env_scale()
+        assert scale.reps == 3
+        assert scale.n_members == 64
+        assert scale.workers == 2
+
+
+class TestGrids:
+    def test_interval_grid_shape(self):
+        scale = env_scale()
+        grid = interval_grid("SWIM", scale=scale)
+        expected = (
+            len(scale.concurrency) * len(scale.durations) * len(scale.intervals)
+        ) * scale.reps
+        assert len(grid) == expected
+        assert all(p.configuration == "SWIM" for p in grid)
+        # Seeds must be unique: repeated parameters are distinct runs.
+        assert len({p.seed for p in grid}) == len(grid)
+
+    def test_interval_grid_custom_concurrency(self):
+        grid = interval_grid("SWIM", concurrency=[8])
+        assert {p.concurrent for p in grid} == {8}
+
+    def test_threshold_grid_shape(self):
+        grid = threshold_grid("Lifeguard", alpha=2.0, beta=2.0)
+        assert all(p.alpha == 2.0 and p.beta == 2.0 for p in grid)
+        assert len({(p.concurrent, p.duration, p.seed) for p in grid}) == len(grid)
+
+    def test_stress_grid_counts(self):
+        grid = stress_grid("SWIM", stressed_counts=(1, 4))
+        assert {p.n_stressed for p in grid} == {1, 4}
+
+    def test_tuning_combinations_match_table_vii(self):
+        assert len(TUNING_COMBINATIONS) == 9
+        assert (5.0, 6.0) in TUNING_COMBINATIONS
+        assert (2.0, 2.0) in TUNING_COMBINATIONS
+
+
+def _tiny_interval(seed):
+    return IntervalParams(
+        configuration="SWIM", n_members=8, concurrent=1, duration=1.0,
+        interval=1.0, quiesce=1.0, min_test_time=4.0, seed=seed,
+    )
+
+
+class TestRunMany:
+    def test_serial_preserves_order(self):
+        from repro.harness.interval import run_interval
+
+        params = [_tiny_interval(s) for s in (1, 2, 3)]
+        results = run_many(run_interval, params, workers=1)
+        assert [r.params.seed for r in results] == [1, 2, 3]
+
+    def test_parallel_matches_serial(self):
+        from repro.harness.interval import run_interval
+
+        params = [_tiny_interval(s) for s in (1, 2)]
+        serial = run_many(run_interval, params, workers=1)
+        parallel = run_many(run_interval, params, workers=2)
+        assert [r.fp_events for r in serial] == [r.fp_events for r in parallel]
+        assert [r.msgs_sent for r in serial] == [r.msgs_sent for r in parallel]
+
+    def test_empty_params(self):
+        assert run_many(lambda p: p, [], workers=4) == []
+
+
+class TestAggregation:
+    def _result(self, c, fp, fp_healthy, msgs=100, nbytes=1000):
+        stats = FalsePositiveStats(fp_events=fp, fp_healthy_events=fp_healthy)
+        return IntervalResult(
+            params=IntervalParams(
+                configuration="SWIM", n_members=16, concurrent=c,
+                duration=1.0, interval=1.0,
+            ),
+            false_positives=stats,
+            msgs_sent=msgs,
+            bytes_sent=nbytes,
+        )
+
+    def test_interval_aggregate(self):
+        results = [self._result(4, 10, 1), self._result(8, 20, 2)]
+        agg = IntervalAggregate.from_results("SWIM", results)
+        assert agg.fp_events == 30
+        assert agg.fp_healthy_events == 3
+        assert agg.msgs_sent == 200
+        assert agg.bytes_sent == 2000
+        assert agg.runs == 2
+
+    def test_fp_by_concurrency_groups(self):
+        results = [
+            self._result(4, 10, 1),
+            self._result(4, 5, 0),
+            self._result(8, 20, 2),
+        ]
+        grouped = fp_by_concurrency(results)
+        assert sorted(grouped) == [4, 8]
+        assert grouped[4].fp_events == 15
+        assert grouped[8].fp_events == 20
+
+    def test_threshold_aggregate_percentiles(self):
+        def result(first, full):
+            stats = DisseminationStats(
+                first_detection={f"m{i}": v for i, v in enumerate(first)},
+                full_dissemination={f"m{i}": v for i, v in enumerate(full)},
+            )
+            return ThresholdResult(
+                params=ThresholdParams(configuration="SWIM"),
+                latencies=stats,
+            )
+
+        agg = ThresholdAggregate.from_results(
+            "SWIM", [result([10.0, 12.0], [13.0]), result([14.0], [15.0, 16.0])]
+        )
+        assert agg.samples == 3
+        assert agg.first_detection[50.0] == pytest.approx(12.0)
+        assert agg.full_dissemination[50.0] == pytest.approx(15.0)

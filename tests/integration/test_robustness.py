@@ -1,0 +1,132 @@
+"""Robustness properties the paper's Section II credits SWIM with.
+
+Scalability of message load is covered in test_paper_phenomena; here we
+exercise tolerance to packet loss, partitions and membership churn.
+"""
+
+import pytest
+
+from repro import LatencyModel, MemberState, SimCluster, SwimConfig
+from repro.swim.events import EventKind
+
+
+def config(**overrides):
+    return SwimConfig.lifeguard(**overrides)
+
+
+class TestPacketLoss:
+    @pytest.mark.parametrize("loss_rate", [0.05, 0.15])
+    def test_lossy_network_produces_no_false_positives(self, loss_rate):
+        """Indirect probes and the reliable-channel fallback mask datagram
+        loss: nobody healthy gets declared failed."""
+        cluster = SimCluster(
+            n_members=24, config=config(), seed=8, loss_rate=loss_rate
+        )
+        cluster.start()
+        cluster.run_for(60.0)
+        assert cluster.event_log.of_kind(EventKind.FAILED) == []
+        assert cluster.all_converged_alive()
+
+    def test_heavy_loss_still_detects_true_failure(self):
+        cluster = SimCluster(
+            n_members=24, config=config(), seed=8, loss_rate=0.25
+        )
+        cluster.start()
+        cluster.run_for(10.0)
+        cluster.nodes["m004"].stop()
+        cluster.run_for(60.0)
+        assert cluster.unanimity("m004", MemberState.DEAD)
+
+    def test_swim_baseline_tolerates_moderate_loss(self):
+        cluster = SimCluster(
+            n_members=24, config=SwimConfig.swim_baseline(), seed=8,
+            loss_rate=0.10,
+        )
+        cluster.start()
+        cluster.run_for(60.0)
+        fp = [e for e in cluster.event_log.of_kind(EventKind.FAILED)]
+        assert fp == []
+
+
+class TestPartitions:
+    def test_sides_keep_operating_and_remerge(self):
+        cluster = SimCluster(
+            n_members=16,
+            config=config(push_pull_interval=5.0, reconnect_interval=5.0),
+            seed=6,
+        )
+        cluster.start()
+        cluster.run_for(10.0)
+        side_a = cluster.names[:10]
+        side_b = cluster.names[10:]
+        cluster.network.partition(side_a, side_b)
+        cluster.run_for(60.0)
+
+        # Each side has written the other off...
+        assert all(
+            cluster.view(side_a[0], name)
+            in (MemberState.DEAD, MemberState.SUSPECT)
+            for name in side_b
+        )
+        # ...but still functions internally.
+        for observer in side_a:
+            for subject in side_a:
+                if observer != subject:
+                    assert cluster.view(observer, subject) is MemberState.ALIVE
+
+        cluster.network.heal_partition()
+        assert cluster.run_until_converged(cluster.now + 120.0)
+
+    def test_minority_side_detects_internal_failure(self):
+        cluster = SimCluster(n_members=12, config=config(), seed=7)
+        cluster.start()
+        cluster.run_for(5.0)
+        side_a = cluster.names[:8]
+        side_b = cluster.names[8:]
+        cluster.network.partition(side_a, side_b)
+        victim = side_b[1]
+        cluster.nodes[victim].stop()
+        cluster.run_for(40.0)
+        detectors = {
+            e.observer
+            for e in cluster.event_log.failures_about(victim)
+            if e.observer in side_b
+        }
+        assert detectors == set(side_b) - {victim}
+
+
+class TestChurn:
+    def test_join_during_operation(self):
+        cluster = SimCluster(n_members=8, config=config(), seed=3,
+                             bootstrap="join")
+        cluster.start()
+        cluster.run_for(15.0)
+        assert cluster.all_converged_alive()
+
+    def test_staggered_leaves_and_failures(self):
+        cluster = SimCluster(n_members=12, config=config(), seed=3)
+        cluster.start()
+        cluster.run_for(5.0)
+        cluster.nodes["m001"].leave()
+        cluster.run_for(5.0)
+        cluster.nodes["m002"].stop()
+        cluster.run_for(40.0)
+        survivors = [n for n in cluster.names if n not in ("m001", "m002")]
+        for observer in survivors:
+            assert cluster.view(observer, "m001") is MemberState.LEFT
+            assert cluster.view(observer, "m002") is MemberState.DEAD
+        # Graceful leave raised LEFT events, crash raised FAILED events.
+        left = {e.subject for e in cluster.event_log.of_kind(EventKind.LEFT)}
+        failed = {e.subject for e in cluster.event_log.of_kind(EventKind.FAILED)}
+        assert "m001" in left and "m001" not in failed
+        assert "m002" in failed
+
+    def test_wan_latency_profile_still_converges(self):
+        cluster = SimCluster(
+            n_members=12, config=config(), seed=5,
+            latency=LatencyModel.wan(),
+        )
+        cluster.start()
+        cluster.run_for(30.0)
+        assert cluster.all_converged_alive()
+        assert cluster.event_log.of_kind(EventKind.FAILED) == []

@@ -1,0 +1,67 @@
+"""Tests for the cluster event log."""
+
+from repro.metrics.event_log import ClusterEventLog
+from repro.swim.events import EventKind, MemberEvent
+
+
+def ev(time, observer, subject, kind=EventKind.FAILED, incarnation=1):
+    return MemberEvent(time, observer, subject, kind, incarnation)
+
+
+def make_log(*events):
+    log = ClusterEventLog()
+    for event in events:
+        log(event)
+    return log
+
+
+class TestCollection:
+    def test_collects_in_order(self):
+        log = make_log(ev(1.0, "a", "x"), ev(2.0, "b", "x"))
+        assert len(log) == 2
+        assert log.events[0].time == 1.0
+
+    def test_clear(self):
+        log = make_log(ev(1.0, "a", "x"))
+        log.clear()
+        assert len(log) == 0
+
+
+class TestQueries:
+    def test_of_kind(self):
+        log = make_log(
+            ev(1.0, "a", "x", EventKind.SUSPECTED),
+            ev(2.0, "a", "x", EventKind.FAILED),
+        )
+        assert len(log.of_kind(EventKind.SUSPECTED)) == 1
+
+    def test_failure_events_window(self):
+        log = make_log(ev(1.0, "a", "x"), ev(5.0, "a", "y"), ev(9.0, "a", "z"))
+        assert len(log.failure_events(since=2.0, until=8.0)) == 1
+
+    def test_failures_about(self):
+        log = make_log(ev(1.0, "a", "x"), ev(2.0, "b", "x"), ev(3.0, "a", "y"))
+        assert len(log.failures_about("x")) == 2
+
+    def test_observers_declaring_failed(self):
+        log = make_log(ev(1.0, "a", "x"), ev(2.0, "b", "x"), ev(3.0, "a", "x"))
+        assert log.observers_declaring_failed("x") == {"a", "b"}
+
+    def test_first_failure_time(self):
+        log = make_log(ev(3.0, "a", "x"), ev(1.0, "b", "x"))
+        assert log.first_failure_time("x") == 1.0
+        assert log.first_failure_time("x", since=2.0) == 3.0
+        assert log.first_failure_time("x", observers=["a"]) == 3.0
+        assert log.first_failure_time("nobody") is None
+
+    def test_full_dissemination_time(self):
+        log = make_log(ev(1.0, "a", "x"), ev(4.0, "b", "x"), ev(2.0, "c", "x"))
+        assert log.full_dissemination_time("x", ["a", "b", "c"]) == 4.0
+
+    def test_full_dissemination_incomplete(self):
+        log = make_log(ev(1.0, "a", "x"))
+        assert log.full_dissemination_time("x", ["a", "b"]) is None
+
+    def test_full_dissemination_uses_first_event_per_observer(self):
+        log = make_log(ev(1.0, "a", "x"), ev(2.0, "b", "x"), ev(9.0, "a", "x"))
+        assert log.full_dissemination_time("x", ["a", "b"]) == 2.0

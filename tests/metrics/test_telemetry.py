@@ -1,0 +1,64 @@
+"""Tests for message/byte accounting."""
+
+from repro.metrics.telemetry import Telemetry
+
+
+class TestRecording:
+    def test_record_send(self):
+        telemetry = Telemetry()
+        telemetry.record_send("ping", 25)
+        telemetry.record_send("ping", 30)
+        telemetry.record_send("gossip", 100)
+        assert telemetry.msgs_sent == 3
+        assert telemetry.bytes_sent == 155
+        assert telemetry.msgs_by_kind["ping"] == 2
+        assert telemetry.bytes_by_kind["gossip"] == 100
+
+    def test_reliable_tracked_separately(self):
+        telemetry = Telemetry()
+        telemetry.record_send("pushpull", 500, reliable=True)
+        telemetry.record_send("ping", 25, reliable=False)
+        assert telemetry.reliable_msgs_sent == 1
+        assert telemetry.reliable_bytes_sent == 500
+        assert telemetry.msgs_sent == 2  # reliable included in totals
+
+    def test_record_receive(self):
+        telemetry = Telemetry()
+        telemetry.record_receive(40)
+        telemetry.record_receive(60)
+        assert telemetry.msgs_received == 2
+        assert telemetry.bytes_received == 100
+
+
+class TestAggregation:
+    def test_merge(self):
+        a, b = Telemetry(), Telemetry()
+        a.record_send("ping", 10)
+        b.record_send("ping", 20)
+        b.record_send("ack", 5, reliable=True)
+        a.merge(b)
+        assert a.msgs_sent == 3
+        assert a.bytes_sent == 35
+        assert a.msgs_by_kind["ping"] == 2
+        assert a.reliable_msgs_sent == 1
+
+    def test_aggregate(self):
+        parts = []
+        for i in range(4):
+            telemetry = Telemetry()
+            telemetry.record_send("ping", 10 * (i + 1))
+            parts.append(telemetry)
+        total = Telemetry.aggregate(parts)
+        assert total.msgs_sent == 4
+        assert total.bytes_sent == 100
+
+    def test_aggregate_empty(self):
+        total = Telemetry.aggregate([])
+        assert total.msgs_sent == 0
+
+    def test_as_dict(self):
+        telemetry = Telemetry()
+        telemetry.record_send("ping", 10)
+        data = telemetry.as_dict()
+        assert data["msgs_sent"] == 1
+        assert data["bytes_sent"] == 10

@@ -1,0 +1,82 @@
+"""Tests for trace persistence."""
+
+import pytest
+
+from repro.metrics.telemetry import Telemetry
+from repro.metrics.trace import (
+    events_from_jsonl,
+    events_to_jsonl,
+    telemetry_from_json,
+    telemetry_to_json,
+)
+from repro.swim.events import EventKind, MemberEvent
+
+
+def sample_events():
+    return [
+        MemberEvent(1.5, "a", "b", EventKind.SUSPECTED, 1),
+        MemberEvent(2.0, "a", "b", EventKind.FAILED, 1),
+        MemberEvent(3.25, "c", "b", EventKind.RESTORED, 2),
+    ]
+
+
+class TestEventTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        written = events_to_jsonl(sample_events(), path)
+        assert written == 3
+        assert events_from_jsonl(path) == sample_events()
+
+    def test_empty_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events_to_jsonl([], path)
+        assert events_from_jsonl(path) == []
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events_to_jsonl(sample_events()[:1], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(events_from_jsonl(path)) == 1
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"t": 1.0}\n')
+        with pytest.raises(ValueError, match="malformed event record"):
+            events_from_jsonl(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"t":1.0,"observer":"a","subject":"b","kind":"exploded",'
+            '"incarnation":1}\n'
+        )
+        with pytest.raises(ValueError):
+            events_from_jsonl(path)
+
+    def test_round_trip_from_real_cluster(self, tmp_path):
+        from repro import SimCluster, SwimConfig
+
+        cluster = SimCluster(n_members=8, config=SwimConfig.swim_baseline(), seed=4)
+        cluster.start()
+        cluster.run_for(5.0)
+        cluster.nodes["m001"].stop()
+        cluster.run_for(20.0)
+        path = tmp_path / "run.jsonl"
+        events_to_jsonl(cluster.event_log.events, path)
+        loaded = events_from_jsonl(path)
+        assert loaded == cluster.event_log.events
+
+
+class TestTelemetryTrace:
+    def test_round_trip(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.record_send("ping", 20)
+        telemetry.record_send("gossip", 300, reliable=False)
+        telemetry.record_send("pushpull", 900, reliable=True)
+        telemetry.record_receive(55)
+        path = tmp_path / "telemetry.json"
+        telemetry_to_json(telemetry, path)
+        loaded = telemetry_from_json(path)
+        assert loaded.as_dict() == telemetry.as_dict()
+        assert loaded.msgs_by_kind == telemetry.msgs_by_kind
+        assert loaded.bytes_by_kind == telemetry.bytes_by_kind

@@ -1,0 +1,195 @@
+"""Tests for anomaly injection (blocked-I/O windows, CPU stress)."""
+
+import random
+
+import pytest
+
+from repro.sim.anomaly import AnomalyController
+from repro.sim.network import LatencyModel, SimNetwork
+from repro.sim.scheduler import EventScheduler
+
+
+def make_rig(inbound_capacity=4096):
+    scheduler = EventScheduler()
+    network = SimNetwork(
+        scheduler,
+        random.Random(1),
+        latency=LatencyModel(base=0.001, jitter_mean=0.0),
+    )
+    controller = AnomalyController(
+        scheduler, network, inbound_capacity=inbound_capacity
+    )
+    network.attach_anomalies(controller)
+    return scheduler, network, controller
+
+
+class Inbox:
+    def __init__(self):
+        self.packets = []
+
+    def __call__(self, payload, src, reliable):
+        self.packets.append(payload)
+
+
+class TestBlockWindows:
+    def test_outbound_blocked_then_flushed(self):
+        scheduler, network, controller = make_rig()
+        inbox = Inbox()
+        network.register("b", inbox)
+        controller.block_window("a", start=1.0, end=3.0)
+        scheduler.run_until(2.0)
+        assert controller.is_blocked("a")
+        network.send("a", "b", b"queued")
+        scheduler.run_until(2.9)
+        assert inbox.packets == []
+        scheduler.run_until(3.1)
+        assert inbox.packets == [b"queued"]
+
+    def test_inbound_blocked_then_processed(self):
+        scheduler, network, controller = make_rig()
+        inbox = Inbox()
+        network.register("a", inbox)
+        controller.block_window("a", start=1.0, end=3.0)
+        scheduler.run_until(1.5)
+        network.send("b", "a", b"early")
+        scheduler.run_until(2.9)
+        assert inbox.packets == []
+        scheduler.run_until(3.1)
+        assert inbox.packets == [b"early"]
+
+    def test_flush_preserves_send_order(self):
+        scheduler, network, controller = make_rig()
+        inbox = Inbox()
+        network.register("b", inbox)
+        controller.block_window("a", start=0.0, end=2.0)
+        scheduler.run_until(1.0)
+        for i in range(5):
+            network.send("a", "b", f"p{i}".encode())
+        scheduler.run_until(3.0)
+        assert inbox.packets == [f"p{i}".encode() for i in range(5)]
+
+    def test_unblocked_traffic_unaffected(self):
+        scheduler, network, controller = make_rig()
+        inbox = Inbox()
+        network.register("b", inbox)
+        controller.block_window("x", start=0.0, end=10.0)
+        scheduler.run_until(1.0)
+        network.send("a", "b", b"fine")
+        scheduler.run_until(2.0)
+        assert inbox.packets == [b"fine"]
+
+    def test_window_validation(self):
+        _sched, _net, controller = make_rig()
+        with pytest.raises(ValueError):
+            controller.block_window("a", start=5.0, end=5.0)
+
+    def test_windows_recorded(self):
+        _sched, _net, controller = make_rig()
+        controller.block_windows(["a", "b"], 1.0, 2.0)
+        assert ("a", 1.0, 2.0) in controller.windows
+        assert ("b", 1.0, 2.0) in controller.windows
+
+    def test_overlapping_windows_merge(self):
+        scheduler, network, controller = make_rig()
+        inbox = Inbox()
+        network.register("b", inbox)
+        controller.block_window("a", start=0.0, end=2.0)
+        controller.block_window("a", start=1.0, end=4.0)
+        scheduler.run_until(0.5)
+        network.send("a", "b", b"held")
+        scheduler.run_until(2.5)
+        assert inbox.packets == []  # still blocked by the merged window
+        scheduler.run_until(4.5)
+        assert inbox.packets == [b"held"]
+
+    def test_transition_callback(self):
+        scheduler, _network, controller = make_rig()
+        transitions = []
+        controller.on_transition = lambda member, blocked, now: transitions.append(
+            (member, blocked, now)
+        )
+        controller.block_window("a", start=1.0, end=2.0)
+        scheduler.run_until(5.0)
+        assert transitions == [("a", True, 1.0), ("a", False, 2.0)]
+
+
+class TestInboundCapacity:
+    def test_tail_drop_when_buffer_full(self):
+        scheduler, network, controller = make_rig(inbound_capacity=3)
+        inbox = Inbox()
+        network.register("a", inbox)
+        controller.block_window("a", start=0.0, end=5.0)
+        scheduler.run_until(1.0)
+        for i in range(6):
+            network.send("b", "a", f"p{i}".encode())
+        scheduler.run_until(6.0)
+        # The first three queued survive; the newest are tail-dropped.
+        assert inbox.packets == [b"p0", b"p1", b"p2"]
+
+
+class TestCyclicWindows:
+    def test_cycles_until_min_time(self):
+        scheduler, _network, controller = make_rig()
+        end = controller.cyclic_windows(
+            ["a"], first_start=0.0, duration=2.0, interval=1.0, until=10.0
+        )
+        starts = [start for _m, start, _e in controller.windows]
+        assert starts == [0.0, 3.0, 6.0, 9.0]
+        assert end == 11.0
+
+    def test_single_cycle_when_duration_exceeds_until(self):
+        _sched, _net, controller = make_rig()
+        end = controller.cyclic_windows(
+            ["a"], first_start=0.0, duration=50.0, interval=1.0, until=10.0
+        )
+        assert len(controller.windows) == 1
+        assert end == 50.0
+
+    def test_synchronized_members(self):
+        _sched, _net, controller = make_rig()
+        controller.cyclic_windows(
+            ["a", "b", "c"], first_start=0.0, duration=1.0, interval=1.0, until=4.0
+        )
+        by_member = {}
+        for member, start, end in controller.windows:
+            by_member.setdefault(member, []).append((start, end))
+        assert by_member["a"] == by_member["b"] == by_member["c"]
+
+
+class TestCpuStress:
+    def test_windows_stay_inside_stress_period(self):
+        _sched, _net, controller = make_rig()
+        rng = random.Random(3)
+        controller.cpu_stress("a", start=10.0, duration=30.0, rng=rng)
+        assert controller.windows
+        for _member, start, end in controller.windows:
+            assert 10.0 <= start < 40.0
+            assert end <= 40.0 + 1e-9
+
+    def test_alternates_blocked_and_runnable(self):
+        _sched, _net, controller = make_rig()
+        rng = random.Random(3)
+        controller.cpu_stress("a", start=0.0, duration=60.0, rng=rng)
+        windows = sorted(
+            (start, end) for _m, start, end in controller.windows
+        )
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert s2 > e1  # gaps (runnable bursts) between windows
+
+    def test_majority_of_time_starved(self):
+        """The defaults model heavy oversubscription: most of the stress
+        period is spent blocked."""
+        _sched, _net, controller = make_rig()
+        rng = random.Random(5)
+        controller.cpu_stress("a", start=0.0, duration=300.0, rng=rng)
+        blocked_time = sum(end - start for _m, start, end in controller.windows)
+        assert blocked_time > 0.6 * 300.0
+
+    def test_deterministic_for_seed(self):
+        def windows(seed):
+            _sched, _net, controller = make_rig()
+            controller.cpu_stress("a", 0.0, 50.0, random.Random(seed))
+            return controller.windows
+
+        assert windows(9) == windows(9)
+        assert windows(9) != windows(10)

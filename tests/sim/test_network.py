@@ -1,0 +1,191 @@
+"""Tests for the simulated network fabric."""
+
+import random
+
+import pytest
+
+from repro.sim.network import LatencyModel, SimNetwork
+from repro.sim.scheduler import EventScheduler
+
+
+def make_net(loss_rate=0.0, latency=None, seed=1):
+    scheduler = EventScheduler()
+    network = SimNetwork(
+        scheduler, random.Random(seed), latency=latency, loss_rate=loss_rate
+    )
+    return scheduler, network
+
+
+class Inbox:
+    def __init__(self):
+        self.packets = []
+
+    def __call__(self, payload, src, reliable):
+        self.packets.append((payload, src, reliable))
+
+
+class TestLatencyModel:
+    def test_sample_positive(self):
+        model = LatencyModel()
+        rng = random.Random(1)
+        for _ in range(100):
+            assert model.sample(rng) > 0
+
+    def test_reliable_overhead_added(self):
+        model = LatencyModel(base=0.001, jitter_mean=0.0, reliable_overhead=0.01)
+        rng = random.Random(1)
+        assert model.sample(rng, reliable=True) == pytest.approx(0.011)
+        assert model.sample(rng, reliable=False) == pytest.approx(0.001)
+
+    def test_presets_ordering(self):
+        rng = random.Random(1)
+        loopback = sum(LatencyModel.loopback().sample(rng) for _ in range(200))
+        lan = sum(LatencyModel.lan().sample(rng) for _ in range(200))
+        wan = sum(LatencyModel.wan().sample(rng) for _ in range(200))
+        assert loopback < lan < wan
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base=-1.0)
+
+
+class TestDelivery:
+    def test_packet_delivered_after_latency(self):
+        scheduler, network = make_net(
+            latency=LatencyModel(base=0.5, jitter_mean=0.0)
+        )
+        inbox = Inbox()
+        network.register("b", inbox)
+        network.send("a", "b", b"hello")
+        scheduler.run_until(0.49)
+        assert inbox.packets == []
+        scheduler.run_until(0.51)
+        assert inbox.packets == [(b"hello", "a", False)]
+
+    def test_unknown_destination_dropped_quietly(self):
+        scheduler, network = make_net()
+        network.send("a", "ghost", b"x")
+        scheduler.run_until(1.0)  # no crash
+
+    def test_duplicate_registration_rejected(self):
+        _scheduler, network = make_net()
+        network.register("b", Inbox())
+        with pytest.raises(ValueError):
+            network.register("b", Inbox())
+
+    def test_unregister(self):
+        scheduler, network = make_net()
+        inbox = Inbox()
+        network.register("b", inbox)
+        network.send("a", "b", b"x")
+        network.unregister("b")
+        scheduler.run_until(1.0)
+        assert inbox.packets == []
+
+    def test_stats_counting(self):
+        scheduler, network = make_net()
+        network.register("b", Inbox())
+        for _ in range(5):
+            network.send("a", "b", b"x")
+        scheduler.run_until(1.0)
+        assert network.stats.packets_sent == 5
+        assert network.stats.packets_delivered == 5
+
+
+class TestLoss:
+    def test_loss_rate_statistics(self):
+        scheduler, network = make_net(loss_rate=0.5)
+        inbox = Inbox()
+        network.register("b", inbox)
+        for _ in range(1000):
+            network.send("a", "b", b"x")
+        scheduler.run_until(10.0)
+        assert 350 <= len(inbox.packets) <= 650
+        assert network.stats.packets_lost == 1000 - len(inbox.packets)
+
+    def test_reliable_channel_never_randomly_dropped(self):
+        scheduler, network = make_net(loss_rate=0.9)
+        inbox = Inbox()
+        network.register("b", inbox)
+        for _ in range(100):
+            network.send("a", "b", b"x", reliable=True)
+        scheduler.run_until(10.0)
+        assert len(inbox.packets) == 100
+        assert all(reliable for _p, _s, reliable in inbox.packets)
+
+    def test_zero_loss_delivers_everything(self):
+        scheduler, network = make_net(loss_rate=0.0)
+        inbox = Inbox()
+        network.register("b", inbox)
+        for _ in range(200):
+            network.send("a", "b", b"x")
+        scheduler.run_until(10.0)
+        assert len(inbox.packets) == 200
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            make_net(loss_rate=1.0)
+        scheduler, network = make_net()
+        with pytest.raises(ValueError):
+            network.loss_rate = -0.1
+        network.loss_rate = 0.25
+        assert network.loss_rate == 0.25
+
+
+class TestPartitions:
+    def test_partition_cuts_both_channels(self):
+        scheduler, network = make_net()
+        inbox_a, inbox_b = Inbox(), Inbox()
+        network.register("a", inbox_a)
+        network.register("b", inbox_b)
+        network.partition(["a"], ["b"])
+        network.send("a", "b", b"x")
+        network.send("a", "b", b"x", reliable=True)
+        network.send("b", "a", b"y")
+        scheduler.run_until(5.0)
+        assert inbox_a.packets == [] and inbox_b.packets == []
+        assert network.stats.packets_cut == 3
+
+    def test_within_group_unaffected(self):
+        scheduler, network = make_net()
+        inbox = Inbox()
+        network.register("a2", inbox)
+        network.partition(["a1", "a2"], ["b1"])
+        network.send("a1", "a2", b"x")
+        scheduler.run_until(5.0)
+        assert len(inbox.packets) == 1
+
+    def test_ungrouped_members_reach_everyone(self):
+        scheduler, network = make_net()
+        inbox = Inbox()
+        network.register("b1", inbox)
+        network.partition(["a1"], ["b1"])
+        network.send("outsider", "b1", b"x")
+        scheduler.run_until(5.0)
+        assert len(inbox.packets) == 1
+
+    def test_heal_restores_connectivity(self):
+        scheduler, network = make_net()
+        inbox = Inbox()
+        network.register("b", inbox)
+        network.partition(["a"], ["b"])
+        network.send("a", "b", b"lost")
+        network.heal_partition()
+        network.send("a", "b", b"found")
+        scheduler.run_until(5.0)
+        assert [p for p, _s, _r in inbox.packets] == [b"found"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_delivery_times(self):
+        def run(seed):
+            scheduler, network = make_net(seed=seed, loss_rate=0.3)
+            times = []
+            network.register("b", lambda p, s, r: times.append(scheduler.clock.now))
+            for _ in range(50):
+                network.send("a", "b", b"x")
+            scheduler.run_until(10.0)
+            return times
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

@@ -1,0 +1,136 @@
+"""Tests for the simulated cluster runtime."""
+
+import pytest
+
+from repro.config import SwimConfig
+from repro.sim.runtime import SimCluster, default_member_names
+from repro.swim.state import MemberState
+
+
+def small_config(**overrides):
+    params = dict(push_pull_interval=0.0, reconnect_interval=0.0)
+    params.update(overrides)
+    return SwimConfig.swim_baseline(**params)
+
+
+class TestConstruction:
+    def test_default_names(self):
+        assert default_member_names(3) == ["m000", "m001", "m002"]
+        assert len(default_member_names(1500)[0]) == 5  # m0000
+
+    def test_explicit_names(self):
+        cluster = SimCluster(names=["x", "y"], config=small_config())
+        assert cluster.names == ["x", "y"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SimCluster(names=["x", "x"], config=small_config())
+
+    def test_needs_members(self):
+        with pytest.raises(ValueError):
+            SimCluster(n_members=0, config=small_config())
+
+    def test_bad_bootstrap_rejected(self):
+        with pytest.raises(ValueError):
+            SimCluster(n_members=2, config=small_config(), bootstrap="weird")
+
+    def test_heterogeneous_config(self):
+        def config_for(name):
+            if name == "m000":
+                return SwimConfig.lifeguard()
+            return SwimConfig.swim_baseline()
+
+        cluster = SimCluster(n_members=3, config=config_for)
+        assert cluster.nodes["m000"].config.flags.lha_probe
+        assert not cluster.nodes["m001"].config.flags.lha_probe
+
+
+class TestLifecycle:
+    def test_preseed_starts_with_full_membership(self):
+        cluster = SimCluster(n_members=5, config=small_config())
+        cluster.start()
+        assert all(len(node.members) == 5 for node in cluster.nodes.values())
+        assert cluster.all_converged_alive()
+
+    def test_join_bootstrap_converges(self):
+        cluster = SimCluster(
+            n_members=8, config=SwimConfig.swim_baseline(), bootstrap="join"
+        )
+        cluster.start()
+        cluster.run_for(20.0)
+        assert cluster.all_converged_alive()
+
+    def test_double_start_rejected(self):
+        cluster = SimCluster(n_members=2, config=small_config())
+        cluster.start()
+        with pytest.raises(RuntimeError):
+            cluster.start()
+
+    def test_stop_halts_all(self):
+        cluster = SimCluster(n_members=3, config=small_config())
+        cluster.start()
+        cluster.stop()
+        assert all(not node.running for node in cluster.nodes.values())
+
+    def test_run_until_converged_times_out(self):
+        cluster = SimCluster(n_members=4, config=small_config())
+        cluster.start()
+        cluster.nodes["m000"].stop()
+        cluster.run_for(15.0)  # m000 gets declared dead
+        assert not cluster.run_until_converged(cluster.now + 5.0)
+
+
+class TestObservation:
+    def test_view(self):
+        cluster = SimCluster(n_members=3, config=small_config())
+        cluster.start()
+        assert cluster.view("m000", "m001") is MemberState.ALIVE
+        assert cluster.view("m000", "ghost") is None
+
+    def test_unanimity_after_true_failure(self):
+        cluster = SimCluster(n_members=6, config=small_config())
+        cluster.start()
+        cluster.run_for(5.0)
+        cluster.nodes["m002"].stop()
+        cluster.run_for(30.0)
+        assert cluster.unanimity("m002", MemberState.DEAD)
+
+    def test_telemetry_aggregates_all_nodes(self):
+        cluster = SimCluster(n_members=4, config=small_config())
+        cluster.start()
+        cluster.run_for(5.0)
+        total = cluster.telemetry()
+        assert total.msgs_sent == sum(
+            node.telemetry.msgs_sent for node in cluster.nodes.values()
+        )
+        assert total.msgs_sent > 0
+
+    def test_event_log_shared(self):
+        cluster = SimCluster(n_members=4, config=small_config())
+        cluster.start()
+        cluster.nodes["m000"].stop()
+        cluster.run_for(20.0)
+        observers = {e.observer for e in cluster.event_log.failures_about("m000")}
+        assert observers == {"m001", "m002", "m003"}
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        cluster = SimCluster(n_members=12, config=SwimConfig.lifeguard(), seed=seed)
+        cluster.start()
+        cluster.run_for(10.0)
+        cluster.anomalies.block_windows(
+            ["m003", "m007"], cluster.now, cluster.now + 15.0
+        )
+        cluster.run_for(30.0)
+        telemetry = cluster.telemetry()
+        events = [
+            (e.time, e.observer, e.subject, e.kind) for e in cluster.event_log.events
+        ]
+        return telemetry.msgs_sent, telemetry.bytes_sent, events
+
+    def test_identical_runs_for_same_seed(self):
+        assert self._run(42) == self._run(42)
+
+    def test_different_seeds_diverge(self):
+        assert self._run(1) != self._run(2)

@@ -1,0 +1,186 @@
+"""Tests for the virtual clock and event scheduler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import EventScheduler
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0)() == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_never_goes_backward(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.9)
+
+    def test_callable_protocol(self):
+        clock = VirtualClock(2.0)
+        assert clock() == clock.now == 2.0
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.call_at(3.0, lambda: order.append("c"))
+        scheduler.call_at(1.0, lambda: order.append("a"))
+        scheduler.call_at(2.0, lambda: order.append("b"))
+        scheduler.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        scheduler = EventScheduler()
+        order = []
+        for label in "abc":
+            scheduler.call_at(1.0, lambda label=label: order.append(label))
+        scheduler.run_until(2.0)
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.call_at(4.5, lambda: seen.append(scheduler.clock.now))
+        scheduler.run_until(10.0)
+        assert seen == [4.5]
+
+    def test_run_until_is_inclusive_and_lands_on_deadline(self):
+        scheduler = EventScheduler()
+        hits = []
+        scheduler.call_at(5.0, lambda: hits.append("exact"))
+        scheduler.run_until(5.0)
+        assert hits == ["exact"]
+        assert scheduler.clock.now == 5.0
+
+    def test_future_events_not_run(self):
+        scheduler = EventScheduler()
+        hits = []
+        scheduler.call_at(5.1, lambda: hits.append("later"))
+        scheduler.run_until(5.0)
+        assert hits == []
+        scheduler.run_until(6.0)
+        assert hits == ["later"]
+
+    def test_past_scheduling_clamped_to_now(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(10.0)
+        hits = []
+        scheduler.call_at(2.0, lambda: hits.append(scheduler.clock.now))
+        scheduler.run_until(10.0)
+        assert hits == [10.0]
+
+    def test_call_later(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(3.0)
+        hits = []
+        scheduler.call_later(2.0, lambda: hits.append(scheduler.clock.now))
+        scheduler.run_until(10.0)
+        assert hits == [5.0]
+
+    def test_events_scheduled_during_execution_run(self):
+        scheduler = EventScheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            scheduler.call_later(1.0, lambda: order.append("chained"))
+
+        scheduler.call_at(1.0, first)
+        scheduler.run_until(5.0)
+        assert order == ["first", "chained"]
+
+    def test_executed_counter(self):
+        scheduler = EventScheduler()
+        for i in range(5):
+            scheduler.call_at(float(i), lambda: None)
+        scheduler.run_until(10.0)
+        assert scheduler.executed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        scheduler = EventScheduler()
+        hits = []
+        handle = scheduler.call_at(1.0, lambda: hits.append("x"))
+        handle.cancel()
+        scheduler.run_until(5.0)
+        assert hits == []
+
+    def test_cancel_is_idempotent(self):
+        scheduler = EventScheduler()
+        handle = scheduler.call_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        scheduler.run_until(5.0)
+
+    def test_cancel_after_run_is_noop(self):
+        scheduler = EventScheduler()
+        hits = []
+        handle = scheduler.call_at(1.0, lambda: hits.append("x"))
+        scheduler.run_until(5.0)
+        handle.cancel()
+        assert hits == ["x"]
+
+    def test_len_excludes_cancelled(self):
+        scheduler = EventScheduler()
+        handle = scheduler.call_at(1.0, lambda: None)
+        scheduler.call_at(2.0, lambda: None)
+        assert len(scheduler) == 2
+        handle.cancel()
+        assert len(scheduler) == 1
+
+    def test_next_event_time_skips_cancelled(self):
+        scheduler = EventScheduler()
+        first = scheduler.call_at(1.0, lambda: None)
+        scheduler.call_at(2.0, lambda: None)
+        first.cancel()
+        assert scheduler.next_event_time() == 2.0
+
+
+class TestStepAndDrain:
+    def test_step_runs_one(self):
+        scheduler = EventScheduler()
+        hits = []
+        scheduler.call_at(1.0, lambda: hits.append(1))
+        scheduler.call_at(2.0, lambda: hits.append(2))
+        assert scheduler.step()
+        assert hits == [1]
+
+    def test_step_on_empty_returns_false(self):
+        assert not EventScheduler().step()
+
+    def test_drain_runs_everything(self):
+        scheduler = EventScheduler()
+        hits = []
+        for i in range(10):
+            scheduler.call_at(float(i), lambda i=i: hits.append(i))
+        assert scheduler.drain() == 10
+        assert hits == list(range(10))
+
+    def test_drain_guards_runaway(self):
+        scheduler = EventScheduler()
+
+        def reschedule():
+            scheduler.call_later(0.1, reschedule)
+
+        scheduler.call_at(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            scheduler.drain(max_events=100)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), max_size=50))
+    def test_execution_order_is_sorted(self, times):
+        scheduler = EventScheduler()
+        seen = []
+        for t in times:
+            scheduler.call_at(t, lambda t=t: seen.append(t))
+        scheduler.run_until(2000.0)
+        assert seen == sorted(seen)
+        assert len(seen) == len(times)

@@ -1,0 +1,197 @@
+"""Tests for the binary wire codec, including round-trip fuzzing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.swim import codec
+from repro.swim.messages import (
+    Ack,
+    Alive,
+    Compound,
+    Dead,
+    Nack,
+    Ping,
+    PingReq,
+    PushPull,
+    Suspect,
+    UserEvent,
+)
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=32
+)
+_seqs = st.integers(min_value=0, max_value=2**32 - 1)
+_incs = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def _messages_strategy():
+    ping = st.builds(Ping, _seqs, _names, _names)
+    ping_req = st.builds(PingReq, _seqs, _names, _names, st.booleans())
+    ack = st.builds(Ack, _seqs, _names)
+    nack = st.builds(Nack, _seqs, _names)
+    suspect = st.builds(Suspect, _incs, _names, _names)
+    alive = st.builds(Alive, _incs, _names, _names, st.binary(max_size=64))
+    dead = st.builds(Dead, _incs, _names, _names)
+    user_event = st.builds(UserEvent, _names, _seqs, st.binary(max_size=128))
+    states = st.lists(
+        st.tuples(
+            _names,
+            _names,
+            _incs,
+            st.integers(min_value=0, max_value=3),
+            st.binary(max_size=32),
+        ),
+        max_size=8,
+    ).map(tuple)
+    push_pull = st.builds(PushPull, _names, states, st.booleans(), st.booleans())
+    return st.one_of(
+        ping, ping_req, ack, nack, suspect, alive, dead, user_event, push_pull
+    )
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            Ping(1, "target", "source"),
+            Ping(2**32 - 1, "t", "s"),
+            PingReq(7, "target", "origin", want_nack=True),
+            PingReq(7, "target", "origin", want_nack=False),
+            Ack(42, "who"),
+            Nack(42, "who"),
+            Suspect(3, "member", "accuser"),
+            Alive(4, "member", "10.0.0.1:7946"),
+            Alive(4, "member", "10.0.0.1:7946", meta=b"role=web,dc=eu"),
+            Dead(5, "member", "declarer"),
+            UserEvent("origin", 17, b"deploy finished"),
+            UserEvent("origin", 0, b""),
+            PushPull("src", (), join=True),
+            PushPull(
+                "src",
+                (("a", "a:1", 7, 0, b""), ("b", "b:2", 9, 2, b"tag")),
+                is_reply=True,
+            ),
+        ],
+    )
+    def test_exact_round_trip(self, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_compound_round_trip(self):
+        compound = Compound((Ping(1, "t", "s"), Suspect(2, "m", "x"), Ack(3, "y")))
+        assert codec.decode(codec.encode(compound)) == compound
+
+    def test_nested_compound_round_trip(self):
+        inner = Compound((Ack(1, "a"),))
+        outer = Compound((Ping(2, "t", "s"), inner))
+        assert codec.decode(codec.encode(outer)) == outer
+
+    @given(_messages_strategy())
+    def test_round_trip_property(self, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    @given(st.lists(_messages_strategy(), min_size=1, max_size=6))
+    def test_compound_round_trip_property(self, parts):
+        compound = Compound(tuple(parts))
+        assert codec.decode(codec.encode(compound)) == compound
+
+    def test_unicode_names(self):
+        message = Alive(1, "nœud-1", "hôte:1")
+        assert codec.decode(codec.encode(message)) == message
+
+
+class TestWireFormat:
+    def test_messages_are_compact(self):
+        """A bare ping should be tens of bytes, not hundreds (Table VI
+        measures bytes; a bloated codec would skew it)."""
+        assert len(codec.encode(Ping(1, "m012", "m031"))) < 20
+        assert len(codec.encode(Suspect(1, "m012", "m031"))) < 25
+
+    def test_push_pull_scales_linearly(self):
+        small = PushPull("s", tuple(("m%d" % i, "a%d" % i, 1, 0) for i in range(2)))
+        large = PushPull("s", tuple(("m%d" % i, "a%d" % i, 1, 0) for i in range(20)))
+        small_len, large_len = len(codec.encode(small)), len(codec.encode(large))
+        per_entry = (large_len - small_len) / 18
+        assert per_entry < 25
+
+    def test_compound_size_formula(self):
+        parts = [codec.encode(Ack(i, "x")) for i in range(3)]
+        packed = codec.pack_with_piggyback(Ping(9, "t", "s"), parts)
+        expected = codec.compound_size(
+            [len(codec.encode(Ping(9, "t", "s")))] + [len(p) for p in parts]
+        )
+        assert len(packed) == expected
+
+    def test_no_piggyback_sends_bare(self):
+        bare = codec.pack_with_piggyback(Ping(9, "t", "s"), [])
+        assert bare == codec.encode(Ping(9, "t", "s"))
+
+    def test_string_length_limit(self):
+        with pytest.raises(codec.CodecError):
+            codec.encode(Ack(1, "x" * 300))
+
+
+class TestDecodeErrors:
+    def test_empty_packet(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(b"\xff\x00\x00")
+
+    def test_truncated_body(self):
+        encoded = codec.encode(Ping(1, "target", "source"))
+        with pytest.raises(codec.CodecError):
+            codec.decode(encoded[:-3])
+
+    def test_trailing_garbage(self):
+        encoded = codec.encode(Ack(1, "x")) + b"zz"
+        with pytest.raises(codec.CodecError):
+            codec.decode(encoded)
+
+    def test_empty_compound(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(bytes((codec.T_COMPOUND, 0, 0)))
+
+    def test_truncated_compound_part(self):
+        compound = codec.encode(Compound((Ack(1, "x"),)))
+        with pytest.raises(codec.CodecError):
+            codec.decode(compound[:-1])
+
+    @given(st.binary(max_size=64))
+    def test_fuzz_never_crashes(self, data):
+        """Arbitrary bytes either decode or raise CodecError — nothing
+        else (no unhandled exceptions, no hangs)."""
+        try:
+            codec.decode(data)
+        except codec.CodecError:
+            pass
+
+    @given(_messages_strategy(), st.integers(min_value=0, max_value=16))
+    def test_fuzz_truncations(self, message, cut):
+        encoded = codec.encode(message)
+        if cut == 0:
+            return
+        truncated = encoded[:-cut] if cut < len(encoded) else b""
+        try:
+            codec.decode(truncated)
+        except codec.CodecError:
+            pass
+
+
+class TestDecodeCache:
+    def test_cache_returns_equal_messages(self):
+        a = codec.decode(codec.encode(Suspect(1, "m", "s")))
+        b = codec.decode(codec.encode(Suspect(1, "m", "s")))
+        assert a == b
+
+    def test_cache_does_not_confuse_distinct_payloads(self):
+        a = codec.decode(codec.encode(Suspect(1, "m", "s")))
+        b = codec.decode(codec.encode(Suspect(2, "m", "s")))
+        assert a != b
+
+    def test_cache_overflow_resets(self):
+        for i in range(codec._DECODE_CACHE_LIMIT + 10):
+            codec.decode(codec.encode(Ack(i, "x")))
+        assert len(codec._DECODE_CACHE) <= codec._DECODE_CACHE_LIMIT + 1

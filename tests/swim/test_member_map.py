@@ -1,0 +1,246 @@
+"""Tests for the membership table and round-robin probe schedule."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.swim.member_map import MemberMap
+from repro.swim.state import MemberState
+
+
+def make_map(n_others=4, seed=1):
+    mm = MemberMap("self", "self-addr", random.Random(seed))
+    for i in range(n_others):
+        mm.add(f"m{i}", f"addr{i}", 1, MemberState.ALIVE, 0.0)
+    return mm
+
+
+class TestBasics:
+    def test_local_member_present_and_alive(self):
+        mm = make_map(0)
+        assert "self" in mm
+        assert mm.local.is_alive
+        assert mm.local.incarnation == 1
+        assert len(mm) == 1
+
+    def test_add_and_get(self):
+        mm = make_map(2)
+        assert len(mm) == 3
+        member = mm.get("m0")
+        assert member is not None
+        assert member.address == "addr0"
+
+    def test_add_duplicate_rejected(self):
+        mm = make_map(1)
+        with pytest.raises(ValueError):
+            mm.add("m0", "x", 1, MemberState.ALIVE, 0.0)
+
+    def test_names_and_members(self):
+        mm = make_map(2)
+        assert set(mm.names()) == {"self", "m0", "m1"}
+        assert len(list(mm.members())) == 3
+
+    def test_snapshot_covers_everyone(self):
+        mm = make_map(2)
+        snapshot = mm.snapshot()
+        assert len(snapshot) == 3
+        names = {entry[0] for entry in snapshot}
+        assert names == {"self", "m0", "m1"}
+
+    def test_alive_members_excludes_local_by_default(self):
+        mm = make_map(2)
+        assert {m.name for m in mm.alive_members()} == {"m0", "m1"}
+        assert {m.name for m in mm.alive_members(include_local=True)} == {
+            "self",
+            "m0",
+            "m1",
+        }
+
+
+class TestClaims:
+    def test_apply_superseding_claim(self):
+        mm = make_map(1)
+        assert mm.apply_claim("m0", MemberState.SUSPECT, 1, 5.0)
+        member = mm.get("m0")
+        assert member.is_suspect
+        assert member.state_changed_at == 5.0
+
+    def test_stale_claim_ignored(self):
+        mm = make_map(1)
+        mm.apply_claim("m0", MemberState.ALIVE, 3, 0.0)
+        assert not mm.apply_claim("m0", MemberState.SUSPECT, 2, 1.0)
+        assert mm.get("m0").is_alive
+
+    def test_unknown_member_raises(self):
+        mm = make_map(0)
+        with pytest.raises(KeyError):
+            mm.apply_claim("ghost", MemberState.ALIVE, 1, 0.0)
+
+    def test_incarnation_only_update_reports_changed(self):
+        mm = make_map(1)
+        assert mm.apply_claim("m0", MemberState.ALIVE, 2, 1.0)
+        # State unchanged so state_changed_at is untouched.
+        assert mm.get("m0").state_changed_at == 0.0
+
+    def test_bump_local_incarnation(self):
+        mm = make_map(0)
+        assert mm.bump_local_incarnation(at_least=5) == 6
+        assert mm.bump_local_incarnation(at_least=2) == 7
+
+    def test_num_alive_tracks_transitions(self):
+        mm = make_map(3)
+        assert mm.num_alive() == 4
+        mm.apply_claim("m0", MemberState.SUSPECT, 1, 0.0)
+        assert mm.num_alive() == 3
+        mm.apply_claim("m0", MemberState.DEAD, 1, 0.0)
+        assert mm.num_alive() == 3
+        mm.apply_claim("m0", MemberState.ALIVE, 2, 0.0)
+        assert mm.num_alive() == 4
+
+    @settings(max_examples=50)
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.sampled_from(list(MemberState)),
+            st.integers(min_value=0, max_value=6),
+        ),
+        max_size=40,
+    ))
+    def test_alive_count_matches_recount(self, operations):
+        """The incremental alive counter never drifts from a full scan."""
+        mm = make_map(5)
+        for member_index, state, incarnation in operations:
+            mm.apply_claim(f"m{member_index}", state, incarnation, 0.0)
+            recount = sum(1 for m in mm.members() if m.is_alive)
+            assert mm.num_alive() == recount
+
+
+class TestProbeSchedule:
+    def test_round_robin_covers_everyone(self):
+        mm = make_map(5)
+        seen = {mm.next_probe_target().name for _ in range(5)}
+        assert seen == {f"m{i}" for i in range(5)}
+
+    def test_never_probes_self(self):
+        mm = make_map(3)
+        for _ in range(30):
+            target = mm.next_probe_target()
+            assert target.name != "self"
+
+    def test_skips_dead_members(self):
+        mm = make_map(3)
+        mm.apply_claim("m1", MemberState.DEAD, 1, 0.0)
+        for _ in range(20):
+            assert mm.next_probe_target().name != "m1"
+
+    def test_probes_suspect_members(self):
+        """Suspects must keep being probed — that is one refutation path."""
+        mm = make_map(3)
+        mm.apply_claim("m1", MemberState.SUSPECT, 1, 0.0)
+        seen = {mm.next_probe_target().name for _ in range(9)}
+        assert "m1" in seen
+
+    def test_empty_group_returns_none(self):
+        mm = make_map(0)
+        assert mm.next_probe_target() is None
+
+    def test_all_dead_returns_none(self):
+        mm = make_map(2)
+        mm.apply_claim("m0", MemberState.DEAD, 1, 0.0)
+        mm.apply_claim("m1", MemberState.DEAD, 1, 0.0)
+        assert mm.next_probe_target() is None
+
+    def test_each_round_is_a_permutation(self):
+        mm = make_map(6)
+        for _round in range(4):
+            targets = [mm.next_probe_target().name for _ in range(6)]
+            assert sorted(targets) == sorted(f"m{i}" for i in range(6))
+
+    def test_new_member_joins_schedule(self):
+        mm = make_map(2)
+        mm.add("late", "addr", 1, MemberState.ALIVE, 0.0)
+        seen = {mm.next_probe_target().name for _ in range(6)}
+        assert "late" in seen
+
+
+class TestReclaim:
+    def test_reclaims_only_expired_dead(self):
+        mm = make_map(3)
+        mm.apply_claim("m0", MemberState.DEAD, 1, 10.0)
+        mm.apply_claim("m1", MemberState.DEAD, 1, 50.0)
+        reclaimed = mm.reclaim_dead(now=80.0, retention=60.0)
+        assert reclaimed == ["m0"]
+        assert "m0" not in mm
+        assert "m1" in mm
+
+    def test_left_members_reclaimed_too(self):
+        mm = make_map(1)
+        mm.apply_claim("m0", MemberState.LEFT, 1, 0.0)
+        assert mm.reclaim_dead(now=100.0, retention=60.0) == ["m0"]
+
+    def test_alive_never_reclaimed(self):
+        mm = make_map(2)
+        assert mm.reclaim_dead(now=1e9, retention=0.0) == []
+        assert len(mm) == 3
+
+    def test_probe_schedule_consistent_after_reclaim(self):
+        mm = make_map(5)
+        mm.apply_claim("m2", MemberState.DEAD, 1, 0.0)
+        mm.next_probe_target()
+        mm.reclaim_dead(now=100.0, retention=1.0)
+        seen = {mm.next_probe_target().name for _ in range(10)}
+        assert "m2" not in seen
+        assert seen == {f"m{i}" for i in range(5) if i != 2}
+
+
+class TestRandomMembers:
+    def test_respects_count(self):
+        mm = make_map(10)
+        assert len(mm.random_members(3)) == 3
+
+    def test_returns_all_when_count_exceeds(self):
+        mm = make_map(3)
+        assert len(mm.random_members(10)) == 3
+
+    def test_excludes_local_and_requested(self):
+        mm = make_map(4)
+        members = mm.random_members(10, exclude=("m1",))
+        names = {m.name for m in members}
+        assert "self" not in names
+        assert "m1" not in names
+
+    def test_suspects_included_by_default(self):
+        mm = make_map(3)
+        mm.apply_claim("m0", MemberState.SUSPECT, 1, 0.0)
+        names = {m.name for m in mm.random_members(10)}
+        assert "m0" in names
+
+    def test_suspects_excludable(self):
+        mm = make_map(3)
+        mm.apply_claim("m0", MemberState.SUSPECT, 1, 0.0)
+        names = {m.name for m in mm.random_members(10, include_suspect=False)}
+        assert "m0" not in names
+
+    def test_dead_excluded_by_default(self):
+        mm = make_map(3)
+        mm.apply_claim("m0", MemberState.DEAD, 1, 0.0)
+        names = {m.name for m in mm.random_members(10)}
+        assert "m0" not in names
+
+    def test_gossip_to_recent_dead(self):
+        """memberlist gossips to the recently dead so false positives
+        recover quickly."""
+        mm = make_map(3)
+        mm.apply_claim("m0", MemberState.DEAD, 1, 100.0)
+        names = {
+            m.name
+            for m in mm.random_members(10, gossip_to_dead_within=30.0, now=120.0)
+        }
+        assert "m0" in names
+        names = {
+            m.name
+            for m in mm.random_members(10, gossip_to_dead_within=30.0, now=200.0)
+        }
+        assert "m0" not in names

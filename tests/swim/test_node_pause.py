@@ -1,0 +1,154 @@
+"""Tests for loop-pausing (the anomaly instrumentation semantics)."""
+
+import pytest
+
+from repro.config import SwimConfig
+from repro.swim import codec
+from repro.swim.messages import Suspect
+from repro.swim.state import MemberState
+
+from tests.conftest import LocalCluster
+
+
+def config(**overrides):
+    params = dict(
+        suspicion_beta=1.0, push_pull_interval=0.0, reconnect_interval=0.0
+    )
+    params.update(overrides)
+    return SwimConfig(**params)
+
+
+NAMES = [f"n{i}" for i in range(6)]
+
+
+class TestSetPaused:
+    def test_paused_node_initiates_no_probes(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=0.1)
+        node.set_paused(True)
+        cluster.run_for(5.0)
+        assert cluster.sent_kinds("n0") == []
+
+    def test_deferred_ticks_fire_on_resume(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=0.1)
+        node.set_paused(True)
+        cluster.run_for(5.0)
+        node.set_paused(False)
+        cluster.run_for(0.01)
+        assert "ping" in cluster.sent_kinds("n0")
+
+    def test_pause_is_idempotent(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=0.1)
+        node.set_paused(True)
+        node.set_paused(True)
+        node.set_paused(False)
+        node.set_paused(False)
+        cluster.run_for(1.0)
+        assert "ping" in cluster.sent_kinds("n0")
+
+    def test_probe_cadence_resumes_after_pause(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=0.1)
+        cluster.run_for(1.0)  # one probe happened
+        node.set_paused(True)
+        cluster.run_for(10.0)
+        node.set_paused(False)
+        before = len([k for k in cluster.sent_kinds("n0") if k == "ping"])
+        cluster.run_for(3.0)
+        after = len([k for k in cluster.sent_kinds("n0") if k == "ping"])
+        assert after >= before + 2  # ~1 per second again
+
+    def test_oneshot_timers_still_fire_while_paused(self):
+        """Suspicion deadlines keep running during a pause (memberlist's
+        AfterFunc semantics): a paused member can still convict."""
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        node.handle_packet(codec.encode(Suspect(1, "n1", "n3")), "n3")
+        node.set_paused(True)
+        cluster.run_for(10.0)  # fixed timeout is 5s at n=6
+        assert cluster.view("n0", "n1") is MemberState.DEAD
+
+    def test_stop_while_paused_clears_deferred(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=0.1)
+        node.set_paused(True)
+        cluster.run_for(2.0)
+        node.stop()
+        node.set_paused(False)
+        cluster.run_for(2.0)
+        assert cluster.sent_kinds("n0") == []
+
+    def test_paused_property(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        assert not node.paused
+        node.set_paused(True)
+        assert node.paused
+
+
+class TestClusterWiring:
+    def test_block_window_pauses_and_resumes_node(self):
+        from repro.sim.runtime import SimCluster
+
+        cluster = SimCluster(
+            n_members=6,
+            config=SwimConfig.swim_baseline(
+                push_pull_interval=0.0, reconnect_interval=0.0
+            ),
+            seed=1,
+        )
+        cluster.start()
+        cluster.run_for(2.0)
+        target = "m002"
+        cluster.anomalies.block_window(target, cluster.now + 1.0, cluster.now + 4.0)
+        cluster.run_for(2.0)
+        assert cluster.nodes[target].paused
+        cluster.run_for(4.0)
+        assert not cluster.nodes[target].paused
+
+    def test_io_only_member_not_paused(self):
+        import random
+
+        from repro.sim.runtime import SimCluster
+
+        cluster = SimCluster(
+            n_members=6,
+            config=SwimConfig.swim_baseline(
+                push_pull_interval=0.0, reconnect_interval=0.0
+            ),
+            seed=1,
+        )
+        cluster.start()
+        cluster.run_for(2.0)
+        target = "m002"
+        cluster.anomalies.cpu_stress(
+            target, cluster.now, 20.0, random.Random(1),
+            mean_blocked=5.0, mean_runnable=0.01,
+        )
+        cluster.run_for(3.0)
+        # CPU-stressed members use io-only semantics: never paused.
+        assert not cluster.nodes[target].paused
+
+    def test_stall_loops_flag_disables_pausing(self):
+        from repro.sim.runtime import SimCluster
+
+        cluster = SimCluster(
+            n_members=6,
+            config=SwimConfig.swim_baseline(
+                push_pull_interval=0.0, reconnect_interval=0.0
+            ),
+            seed=1,
+        )
+        cluster.anomalies.stall_loops = False
+        cluster.start()
+        cluster.anomalies.block_window("m002", cluster.now + 1.0, cluster.now + 5.0)
+        cluster.run_for(3.0)
+        assert not cluster.nodes["m002"].paused

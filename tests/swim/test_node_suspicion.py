@@ -1,0 +1,348 @@
+"""Suspicion subprotocol tests: raising, confirming, refuting, expiring."""
+
+import math
+
+import pytest
+
+from repro.config import LifeguardFlags, SwimConfig
+from repro.core.lhm import LhmEvent
+from repro.swim import codec
+from repro.swim.events import EventKind
+from repro.swim.messages import Alive, Dead, Suspect
+from repro.swim.state import MemberState
+
+from tests.conftest import LocalCluster
+
+
+def swim_config(**overrides):
+    params = dict(
+        suspicion_beta=1.0, push_pull_interval=0.0, reconnect_interval=0.0
+    )
+    params.update(overrides)
+    return SwimConfig(**params)
+
+
+def lha_susp_config(**overrides):
+    params = dict(
+        suspicion_alpha=5.0,
+        suspicion_beta=6.0,
+        flags=LifeguardFlags(lha_suspicion=True),
+        push_pull_interval=0.0,
+        reconnect_interval=0.0,
+    )
+    params.update(overrides)
+    return SwimConfig(**params)
+
+
+def feed(node, message, sender="x"):
+    node.handle_packet(codec.encode(message), sender)
+
+
+NAMES = [f"n{i}" for i in range(8)]
+
+
+class TestRaisingSuspicion:
+    def test_failed_probe_raises_suspicion(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        cluster.blackhole("n1")
+        cluster.nodes["n0"].start(first_probe_delay=0.1)
+        cluster.run_for(8.0)
+        assert cluster.view("n0", "n1") in (MemberState.SUSPECT, MemberState.DEAD)
+        suspected = cluster.events.of_kind(EventKind.SUSPECTED)
+        assert any(e.subject == "n1" and e.observer == "n0" for e in suspected)
+
+    def test_suspicion_gossiped_onward(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        assert node.broadcasts.peek("n1") == Suspect(1, "n1", "n3")
+
+    def test_received_suspect_marks_member(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        assert cluster.view("n0", "n1") is MemberState.SUSPECT
+
+    def test_stale_incarnation_suspect_ignored(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Alive(5, "n1", "n1"))
+        feed(node, Suspect(2, "n1", "n3"))
+        assert cluster.view("n0", "n1") is MemberState.ALIVE
+
+    def test_suspect_about_dead_member_ignored(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Dead(1, "n1", "n4"))
+        feed(node, Suspect(1, "n1", "n3"))
+        assert cluster.view("n0", "n1") is MemberState.DEAD
+
+    def test_suspect_about_unknown_member_ignored(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "stranger", "n3"))
+        assert cluster.view("n0", "stranger") is None
+
+
+class TestSuspicionTimeout:
+    def test_swim_fixed_timeout_declares_dead(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        # n = 8 members: timeout = 5 * max(1, log10(8)) * 1s = 5s.
+        cluster.run_for(4.9)
+        assert cluster.view("n0", "n1") is MemberState.SUSPECT
+        cluster.run_for(0.2)
+        assert cluster.view("n0", "n1") is MemberState.DEAD
+        failed = cluster.events.of_kind(EventKind.FAILED)
+        assert any(e.subject == "n1" and e.observer == "n0" for e in failed)
+
+    def test_dead_declaration_broadcast(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        cluster.run_for(6.0)
+        # The dead claim must have gone out on the wire (the queue itself
+        # may already have retired it after lambda*log(n) transmissions).
+        from repro.swim.messages import flatten
+
+        sent = []
+        for src, _dst, payload, _rel in cluster.fabric.log:
+            if src == "n0":
+                sent.extend(flatten(codec.decode(payload)))
+        assert Dead(1, "n1", "n0") in sent
+
+    def test_lha_suspicion_starts_at_max(self):
+        cluster = LocalCluster(NAMES, config=lha_susp_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        # Max = 6 * Min = 30s; without confirmations nothing happens at Min.
+        cluster.run_for(10.0)
+        assert cluster.view("n0", "n1") is MemberState.SUSPECT
+        cluster.run_for(21.0)
+        assert cluster.view("n0", "n1") is MemberState.DEAD
+
+    def test_confirmations_shrink_timeout_to_min(self):
+        cluster = LocalCluster(NAMES, config=lha_susp_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        for peer in ("n4", "n5", "n6"):  # K = 3 independent confirmations
+            feed(node, Suspect(1, "n1", peer))
+        cluster.run_for(4.9)
+        assert cluster.view("n0", "n1") is MemberState.SUSPECT
+        cluster.run_for(0.2)  # Min = 5s from the *original* raise time
+        assert cluster.view("n0", "n1") is MemberState.DEAD
+
+    def test_duplicate_confirmers_do_not_shrink(self):
+        cluster = LocalCluster(NAMES, config=lha_susp_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        for _ in range(5):
+            feed(node, Suspect(1, "n1", "n3"))  # same sender every time
+        cluster.run_for(10.0)
+        assert cluster.view("n0", "n1") is MemberState.SUSPECT
+
+    def test_late_confirmations_fire_immediately_when_past_deadline(self):
+        cluster = LocalCluster(NAMES, config=lha_susp_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        cluster.run_for(10.0)  # already past Min (5s), below Max (30s)
+        assert cluster.view("n0", "n1") is MemberState.SUSPECT
+        for peer in ("n4", "n5", "n6"):
+            feed(node, Suspect(1, "n1", peer))
+        # Reduced deadline (raise + 5s) is already past: fires at once.
+        assert cluster.view("n0", "n1") is MemberState.DEAD
+
+
+class TestReGossip:
+    def test_first_k_confirmations_regossiped(self):
+        cluster = LocalCluster(NAMES, config=lha_susp_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        feed(node, Suspect(1, "n1", "n4"))
+        # The queue's entry for n1 must now carry n4's (latest) suspicion.
+        assert node.broadcasts.peek("n1") == Suspect(1, "n1", "n4")
+
+    def test_beyond_k_not_regossiped(self):
+        cluster = LocalCluster(NAMES, config=lha_susp_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        for peer in ("n4", "n5", "n6"):
+            feed(node, Suspect(1, "n1", peer))
+        enqueued_before = node.broadcasts.total_enqueued
+        feed(node, Suspect(1, "n1", "n7"))  # 4th independent: beyond K=3
+        assert node.broadcasts.total_enqueued == enqueued_before
+
+    def test_swim_does_not_regossip_confirmations(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        enqueued_before = node.broadcasts.total_enqueued
+        feed(node, Suspect(1, "n1", "n4"))
+        assert node.broadcasts.total_enqueued == enqueued_before
+
+
+class TestRefutation:
+    def test_suspect_about_self_triggers_refutation(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        old_incarnation = node.incarnation
+        feed(node, Suspect(old_incarnation, "n0", "n3"))
+        assert node.incarnation == old_incarnation + 1
+        alive = node.broadcasts.peek("n0")
+        assert isinstance(alive, Alive)
+        assert alive.incarnation == node.incarnation
+
+    def test_dead_about_self_triggers_refutation(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Dead(node.incarnation, "n0", "n3"))
+        assert isinstance(node.broadcasts.peek("n0"), Alive)
+
+    def test_stale_suspect_about_self_not_refuted(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(node.incarnation, "n0", "n3"))
+        incarnation_after_first = node.incarnation
+        feed(node, Suspect(incarnation_after_first - 1, "n0", "n4"))
+        assert node.incarnation == incarnation_after_first
+
+    def test_refutation_raises_lhm_when_lha_probe(self):
+        config = lha_susp_config(
+            flags=LifeguardFlags(lha_probe=True, lha_suspicion=True)
+        )
+        cluster = LocalCluster(NAMES, config=config)
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(node.incarnation, "n0", "n3"))
+        assert node.local_health.score == 1
+        assert node.local_health.event_count(LhmEvent.REFUTE_SELF) == 1
+
+    def test_alive_with_higher_incarnation_cancels_suspicion(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        feed(node, Alive(2, "n1", "n1"))
+        assert cluster.view("n0", "n1") is MemberState.ALIVE
+        cluster.run_for(30.0)  # old timer must not fire
+        assert cluster.view("n0", "n1") is MemberState.ALIVE
+        restored = cluster.events.of_kind(EventKind.RESTORED)
+        assert any(e.subject == "n1" for e in restored)
+
+    def test_alive_with_same_incarnation_does_not_refute(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        feed(node, Alive(1, "n1", "n1"))
+        assert cluster.view("n0", "n1") is MemberState.SUSPECT
+
+    def test_briefly_slow_member_eventually_restored(self):
+        """A member that is unreachable for a moment may get flagged by
+        plain SWIM (the gossip carrying its suspicion can retire before it
+        hears it — the gap Buddy System closes), but it must always be
+        restored once it refutes."""
+        cluster = LocalCluster(NAMES, config=swim_config(tcp_fallback_probe=False))
+        cluster.start_all()
+        cluster.blackhole("n1")
+        cluster.run_for(3.0)
+        cluster.unblackhole("n1")
+        cluster.run_for(30.0)
+        for observer in NAMES:
+            if observer != "n1":
+                assert cluster.view(observer, "n1") is MemberState.ALIVE
+
+    def test_buddy_system_prevents_false_positive(self):
+        """With Buddy System, any ping to a suspected member carries the
+        suspicion, so the member refutes at the first probe after it
+        recovers — before any suspicion timeout can fire."""
+        config = swim_config(
+            tcp_fallback_probe=False,
+            flags=LifeguardFlags(buddy_system=True),
+        )
+        cluster = LocalCluster(NAMES, config=config)
+        cluster.start_all()
+        cluster.blackhole("n1")
+        cluster.run_for(3.0)
+        cluster.unblackhole("n1")
+        cluster.run_for(30.0)
+        failed = [e for e in cluster.events.of_kind(EventKind.FAILED)
+                  if e.subject == "n1"]
+        assert failed == []
+        # At least one *other* node force-piggybacked the suspicion.
+        assert any(
+            cluster.nodes[name].buddy.injected > 0
+            for name in NAMES
+            if name != "n1"
+        )
+
+
+class TestDeadHandling:
+    def test_dead_gossip_kills_immediately(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Dead(1, "n1", "n4"))
+        assert cluster.view("n0", "n1") is MemberState.DEAD
+        failed = cluster.events.of_kind(EventKind.FAILED)
+        assert any(e.subject == "n1" and e.observer == "n0" for e in failed)
+
+    def test_dead_cancels_pending_suspicion(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "n1", "n3"))
+        feed(node, Dead(1, "n1", "n4"))
+        cluster.run_for(30.0)
+        # Exactly one FAILED event: the suspicion timer must not re-fire.
+        failed = [e for e in cluster.events.of_kind(EventKind.FAILED)
+                  if e.subject == "n1" and e.observer == "n0"]
+        assert len(failed) == 1
+
+    def test_self_dead_from_member_means_left(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Dead(1, "n1", "n1"))  # sender == member: graceful leave
+        assert cluster.view("n0", "n1") is MemberState.LEFT
+        left = cluster.events.of_kind(EventKind.LEFT)
+        assert any(e.subject == "n1" for e in left)
+
+    def test_alive_resurrects_dead_with_higher_incarnation(self):
+        cluster = LocalCluster(NAMES, config=swim_config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Dead(1, "n1", "n4"))
+        feed(node, Alive(2, "n1", "n1"))
+        assert cluster.view("n0", "n1") is MemberState.ALIVE
+
+
+class TestSmallClusters:
+    def test_two_member_cluster_uses_fixed_timeout(self):
+        """With nobody to confirm, LHA-Suspicion degrades to the fixed
+        minimum (the memberlist guard: K > n-2 -> K = n-2)."""
+        cluster = LocalCluster(["a", "b"], config=lha_susp_config())
+        node = cluster.nodes["a"]
+        node.start(first_probe_delay=100.0)
+        feed(node, Suspect(1, "b", "a"))
+        # Min = 5 * max(1, log10(2)) * 1 = 5s; Max collapses to Min.
+        cluster.run_for(5.2)
+        assert cluster.view("a", "b") is MemberState.DEAD

@@ -1,0 +1,181 @@
+"""Tests for application-facing features: member metadata and user-level
+gossip events (memberlist/Serf parity)."""
+
+import pytest
+
+from repro.config import SwimConfig
+from repro.swim import codec
+from repro.swim.events import EventKind
+from repro.swim.messages import Alive, UserEvent
+
+from tests.conftest import LocalCluster
+
+
+def config(**overrides):
+    params = dict(
+        suspicion_beta=1.0, push_pull_interval=0.0, reconnect_interval=0.0
+    )
+    params.update(overrides)
+    return SwimConfig(**params)
+
+
+NAMES = [f"n{i}" for i in range(6)]
+
+
+class TestMetadata:
+    def test_node_meta_accessor(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        assert node.meta == b""
+        node.set_meta(b"role=web")
+        assert node.meta == b"role=web"
+
+    def test_set_meta_bumps_incarnation_and_broadcasts(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        before = node.incarnation
+        node.set_meta(b"role=web")
+        assert node.incarnation == before + 1
+        queued = node.broadcasts.peek("n0")
+        assert isinstance(queued, Alive)
+        assert queued.meta == b"role=web"
+
+    def test_meta_update_propagates_cluster_wide(self):
+        cluster = LocalCluster(NAMES, config=config())
+        cluster.start_all()
+        cluster.run_for(1.0)
+        cluster.nodes["n0"].set_meta(b"dc=eu-west")
+        cluster.run_for(3.0)
+        for name in NAMES[1:]:
+            member = cluster.nodes[name].members.get("n0")
+            assert member.meta == b"dc=eu-west"
+
+    def test_meta_change_emits_updated_event(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        node.handle_packet(codec.encode(Alive(2, "n1", "n1", b"v2")), "n1")
+        updated = cluster.events.of_kind(EventKind.UPDATED)
+        assert any(e.subject == "n1" for e in updated)
+
+    def test_restore_takes_precedence_over_updated(self):
+        from repro.swim.messages import Dead
+
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        node.handle_packet(codec.encode(Dead(1, "n1", "n3")), "n3")
+        node.handle_packet(codec.encode(Alive(2, "n1", "n1", b"new")), "n1")
+        assert any(
+            e.subject == "n1"
+            for e in cluster.events.of_kind(EventKind.RESTORED)
+        )
+        assert not any(
+            e.subject == "n1"
+            for e in cluster.events.of_kind(EventKind.UPDATED)
+        )
+
+    def test_meta_carried_through_push_pull(self):
+        cluster = LocalCluster(["seed", "late"], preseed=False, config=config())
+        cluster.nodes["seed"].set_meta(b"role=seed")
+        cluster.nodes["seed"].start(first_probe_delay=100.0)
+        late = cluster.nodes["late"]
+        late.start(first_probe_delay=100.0)
+        late.join(["seed"])
+        assert late.members.get("seed").meta == b"role=seed"
+
+    def test_oversized_meta_rejected_by_codec(self):
+        with pytest.raises(codec.CodecError):
+            codec.encode(Alive(1, "m", "a", b"x" * (codec.MAX_META_SIZE + 1)))
+
+
+class TestUserEvents:
+    def make_cluster(self):
+        received = {name: [] for name in NAMES}
+        cluster = LocalCluster(NAMES, config=config())
+        # Rewire nodes with user-event handlers (constructor wiring is
+        # covered by the delivery assertions below).
+        for name, node in cluster.nodes.items():
+            node._on_user_event = lambda e, name=name: received[name].append(e)
+        return cluster, received
+
+    def test_event_delivered_everywhere_exactly_once(self):
+        cluster, received = self.make_cluster()
+        cluster.start_all()
+        cluster.run_for(1.0)
+        cluster.nodes["n0"].broadcast_event(b"deploy v42")
+        cluster.run_for(5.0)
+        for name in NAMES:
+            payloads = [e.payload for e in received[name]]
+            assert payloads == [b"deploy v42"], name
+
+    def test_local_delivery_is_immediate(self):
+        cluster, received = self.make_cluster()
+        cluster.start_all()
+        cluster.nodes["n0"].broadcast_event(b"hello")
+        assert [e.payload for e in received["n0"]] == [b"hello"]
+
+    def test_multiple_events_ordered_by_key(self):
+        cluster, received = self.make_cluster()
+        cluster.start_all()
+        cluster.run_for(1.0)
+        for i in range(3):
+            cluster.nodes["n0"].broadcast_event(f"event-{i}".encode())
+        cluster.run_for(5.0)
+        for name in NAMES:
+            keys = {(e.origin, e.seq_no) for e in received[name]}
+            assert keys == {("n0", 1), ("n0", 2), ("n0", 3)}
+
+    def test_events_from_multiple_origins(self):
+        cluster, received = self.make_cluster()
+        cluster.start_all()
+        cluster.run_for(1.0)
+        cluster.nodes["n0"].broadcast_event(b"from-n0")
+        cluster.nodes["n3"].broadcast_event(b"from-n3")
+        cluster.run_for(5.0)
+        for name in NAMES:
+            assert {e.payload for e in received[name]} == {b"from-n0", b"from-n3"}
+
+    def test_duplicate_gossip_not_redelivered(self):
+        cluster, received = self.make_cluster()
+        node = cluster.nodes["n1"]
+        node.start(first_probe_delay=100.0)
+        event = UserEvent("n0", 7, b"once")
+        node.handle_packet(codec.encode(event), "n0")
+        node.handle_packet(codec.encode(event), "n2")
+        node.handle_packet(codec.encode(event), "n3")
+        assert len(received["n1"]) == 1
+
+    def test_user_events_do_not_displace_membership_gossip(self):
+        """The system queue has strict priority: a flood of user events
+        cannot crowd out a suspect message."""
+        from repro.swim.messages import Suspect, flatten
+
+        cluster, _received = self.make_cluster()
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        for i in range(50):
+            node.broadcast_event(b"x" * 200)
+        node.handle_packet(codec.encode(Suspect(1, "n1", "n3")), "n3")
+        cluster.run_for(0.3)  # one gossip tick
+        sent = []
+        for src, _dst, payload, _rel in cluster.fabric.log:
+            if src == "n0":
+                sent.extend(flatten(codec.decode(payload)))
+        assert Suspect(1, "n1", "n3") in sent
+
+    def test_seen_cache_is_bounded(self):
+        cluster, _received = self.make_cluster()
+        node = cluster.nodes["n0"]
+        node.start(first_probe_delay=100.0)
+        for i in range(node._MAX_SEEN_USER_EVENTS + 50):
+            node.handle_packet(
+                codec.encode(UserEvent("n1", i, b"")), "n1"
+            )
+        assert len(node._seen_user_events) <= node._MAX_SEEN_USER_EVENTS
+
+    def test_oversized_event_rejected(self):
+        cluster, _received = self.make_cluster()
+        node = cluster.nodes["n0"]
+        with pytest.raises(codec.CodecError):
+            node.broadcast_event(b"x" * (codec.MAX_USER_PAYLOAD + 1))

@@ -1,0 +1,124 @@
+"""Tests for overlay-constrained gossip (Section VII future work)."""
+
+import pytest
+
+from repro.config import SwimConfig
+from repro.swim.messages import Alive
+from repro.swim.state import MemberState
+
+from tests.conftest import LocalCluster
+
+
+def config(**overrides):
+    params = dict(
+        suspicion_beta=1.0, push_pull_interval=0.0, reconnect_interval=0.0
+    )
+    params.update(overrides)
+    return SwimConfig(**params)
+
+
+NAMES = [f"n{i}" for i in range(8)]
+
+
+class TestNodeOverlay:
+    def test_overlay_limits_gossip_targets(self):
+        cluster = LocalCluster(NAMES, config=config(gossip_fanout=10))
+        node = cluster.nodes["n0"]
+        node.set_gossip_overlay(["n1", "n2"])
+        node.start(first_probe_delay=100.0)
+        node.broadcasts.enqueue(Alive(5, "n3", "n3"))
+        cluster.run_for(1.0)
+        destinations = {
+            dst for src, dst, _p, _r in cluster.fabric.log if src == "n0"
+        }
+        assert destinations <= {"n1", "n2"}
+        assert destinations  # gossip still flows
+
+    def test_overlay_excludes_self(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        node.set_gossip_overlay(["n0", "n1"])
+        assert node.gossip_overlay == ["n1"]
+
+    def test_empty_overlay_rejected(self):
+        cluster = LocalCluster(NAMES, config=config())
+        node = cluster.nodes["n0"]
+        with pytest.raises(ValueError):
+            node.set_gossip_overlay(["n0"])
+
+    def test_overlay_reset_restores_uniform(self):
+        cluster = LocalCluster(NAMES, config=config(gossip_fanout=10))
+        node = cluster.nodes["n0"]
+        node.set_gossip_overlay(["n1"])
+        node.set_gossip_overlay(None)
+        assert node.gossip_overlay is None
+        node.start(first_probe_delay=100.0)
+        node.broadcasts.enqueue(Alive(5, "n3", "n3"))
+        cluster.run_for(0.5)
+        destinations = {
+            dst for src, dst, _p, _r in cluster.fabric.log if src == "n0"
+        }
+        assert len(destinations) > 2
+
+    def test_dead_overlay_neighbors_skipped(self):
+        from repro.swim import codec
+        from repro.swim.messages import Dead
+
+        cluster = LocalCluster(
+            NAMES, config=config(gossip_fanout=10, gossip_to_dead=0.0)
+        )
+        node = cluster.nodes["n0"]
+        node.set_gossip_overlay(["n1", "n2"])
+        node.start(first_probe_delay=100.0)
+        node.handle_packet(codec.encode(Dead(1, "n1", "n4")), "n4")
+        cluster.run_for(1.0)
+        destinations = {
+            dst for src, dst, _p, _r in cluster.fabric.log if src == "n0"
+        }
+        assert "n1" not in destinations
+
+
+class TestClusterOverlay:
+    def make(self, degree=4):
+        from repro.sim.runtime import SimCluster
+
+        cluster = SimCluster(
+            n_members=16, config=SwimConfig.lifeguard(), seed=21
+        )
+        adjacency = cluster.install_gossip_overlay(degree)
+        return cluster, adjacency
+
+    def test_regular_graph_installed(self):
+        cluster, adjacency = self.make(degree=4)
+        assert set(adjacency) == set(cluster.names)
+        for name, neighbors in adjacency.items():
+            assert len(neighbors) == 4
+            assert name not in neighbors
+        # Symmetry: an undirected overlay.
+        for name, neighbors in adjacency.items():
+            for neighbor in neighbors:
+                assert name in adjacency[neighbor]
+
+    def test_dissemination_still_reaches_everyone(self):
+        cluster, _adjacency = self.make(degree=4)
+        cluster.start()
+        cluster.run_for(5.0)
+        cluster.nodes["m003"].stop()
+        cluster.run_for(40.0)
+        assert cluster.unanimity("m003", MemberState.DEAD)
+
+    def test_degree_validation(self):
+        from repro.sim.runtime import SimCluster
+
+        cluster = SimCluster(n_members=8, config=SwimConfig.lifeguard(), seed=1)
+        with pytest.raises(ValueError):
+            cluster.install_gossip_overlay(0)
+        with pytest.raises(ValueError):
+            cluster.install_gossip_overlay(8)
+
+    def test_odd_product_rejected(self):
+        from repro.sim.runtime import SimCluster
+
+        cluster = SimCluster(n_members=9, config=SwimConfig.lifeguard(), seed=1)
+        with pytest.raises(ValueError):
+            cluster.install_gossip_overlay(3)  # 27 odd: impossible graph

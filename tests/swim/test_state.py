@@ -1,0 +1,128 @@
+"""Tests for SWIM's incarnation-number precedence rules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.swim.state import MemberState, claim_supersedes
+
+ALIVE, SUSPECT, DEAD, LEFT = (
+    MemberState.ALIVE,
+    MemberState.SUSPECT,
+    MemberState.DEAD,
+    MemberState.LEFT,
+)
+
+
+class TestAliveClaims:
+    def test_alive_overrides_alive_only_with_higher_incarnation(self):
+        assert claim_supersedes(ALIVE, 2, ALIVE, 1)
+        assert not claim_supersedes(ALIVE, 1, ALIVE, 1)
+        assert not claim_supersedes(ALIVE, 0, ALIVE, 1)
+
+    def test_alive_overrides_suspect_only_with_higher_incarnation(self):
+        """SWIM 4.2: refutation needs a fresh incarnation."""
+        assert claim_supersedes(ALIVE, 2, SUSPECT, 1)
+        assert not claim_supersedes(ALIVE, 1, SUSPECT, 1)
+
+    def test_alive_resurrects_dead_only_with_higher_incarnation(self):
+        assert claim_supersedes(ALIVE, 2, DEAD, 1)
+        assert not claim_supersedes(ALIVE, 1, DEAD, 1)
+
+    def test_alive_resurrects_left_only_with_higher_incarnation(self):
+        assert claim_supersedes(ALIVE, 2, LEFT, 1)
+        assert not claim_supersedes(ALIVE, 1, LEFT, 1)
+
+
+class TestSuspectClaims:
+    def test_suspect_beats_alive_at_equal_incarnation(self):
+        assert claim_supersedes(SUSPECT, 1, ALIVE, 1)
+
+    def test_suspect_needs_strictly_higher_over_suspect(self):
+        assert claim_supersedes(SUSPECT, 2, SUSPECT, 1)
+        assert not claim_supersedes(SUSPECT, 1, SUSPECT, 1)
+
+    def test_stale_suspect_ignored(self):
+        assert not claim_supersedes(SUSPECT, 0, ALIVE, 1)
+
+    def test_suspect_never_overrides_dead_at_same_incarnation(self):
+        """Within an incarnation, dead is terminal. (A suspect carrying a
+        *higher* incarnation proves the member refuted in the meantime and
+        does supersede at the claim level; the protocol node additionally
+        ignores suspicions about members it has marked dead.)"""
+        assert not claim_supersedes(SUSPECT, 1, DEAD, 1)
+        assert not claim_supersedes(SUSPECT, 1, LEFT, 1)
+        assert claim_supersedes(SUSPECT, 2, DEAD, 1)
+
+
+class TestDeadClaims:
+    def test_dead_beats_alive_and_suspect_at_equal_incarnation(self):
+        assert claim_supersedes(DEAD, 1, ALIVE, 1)
+        assert claim_supersedes(DEAD, 1, SUSPECT, 1)
+
+    def test_stale_dead_ignored(self):
+        assert not claim_supersedes(DEAD, 0, ALIVE, 1)
+
+    def test_dead_idempotent_at_same_incarnation(self):
+        assert not claim_supersedes(DEAD, 1, DEAD, 1)
+
+    def test_dead_with_newer_incarnation_supersedes(self):
+        assert claim_supersedes(DEAD, 5, DEAD, 1)
+
+    def test_left_behaves_like_dead(self):
+        assert claim_supersedes(LEFT, 1, ALIVE, 1)
+        assert claim_supersedes(LEFT, 1, SUSPECT, 1)
+        assert not claim_supersedes(LEFT, 1, DEAD, 1)
+
+
+_STATES = st.sampled_from(list(MemberState))
+_INCS = st.integers(min_value=0, max_value=5)
+
+
+def _rank(state: MemberState, incarnation: int):
+    """Total order implied by the precedence rules: within an incarnation
+    ALIVE < SUSPECT < DEAD/LEFT; any higher incarnation beats lower."""
+    severity = {ALIVE: 0, SUSPECT: 1, DEAD: 2, LEFT: 2}[state]
+    return (incarnation, severity)
+
+
+class TestConvergenceProperties:
+    @given(_STATES, _INCS, _STATES, _INCS)
+    def test_never_mutually_superseding(self, s1, i1, s2, i2):
+        """Two claims can never each supersede the other (no livelock)."""
+        forward = claim_supersedes(s1, i1, s2, i2)
+        backward = claim_supersedes(s2, i2, s1, i1)
+        assert not (forward and backward)
+
+    @given(_STATES, _INCS, _STATES, _INCS)
+    def test_supersession_moves_up_the_total_order(self, s1, i1, s2, i2):
+        if claim_supersedes(s1, i1, s2, i2):
+            assert _rank(s1, i1) > _rank(s2, i2) or (
+                # dead resurrect: alive with higher incarnation wins even
+                # though severity drops
+                s1 is ALIVE and i1 > i2
+            )
+
+    @given(st.lists(st.tuples(_STATES, _INCS), min_size=1, max_size=8))
+    def test_claim_application_is_order_insensitive(self, claims):
+        """Applying the same set of claims in any order converges to the
+        same final rank — the property that makes gossip converge.
+
+        (DEAD and LEFT at the same incarnation are deliberately
+        interchangeable: both are terminal, and which one lands first is
+        genuinely racy in memberlist too, so we compare ranks.)
+        """
+        import itertools
+
+        def apply_all(order):
+            state, inc = MemberState.ALIVE, 0
+            for new_state, new_inc in order:
+                if claim_supersedes(new_state, new_inc, state, inc):
+                    state, inc = new_state, new_inc
+            return _rank(state, inc)
+
+        results = {
+            apply_all(perm)
+            for perm in itertools.islice(itertools.permutations(claims), 24)
+        }
+        assert len(results) == 1

@@ -1,0 +1,76 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+SMALL = ["-n", "24", "--seed", "3"]
+
+
+class TestThresholdCommand:
+    def test_runs_and_reports(self, capsys):
+        code, out = run_cli(
+            capsys, "threshold", "--config", "SWIM", "-c", "2",
+            "-d", "14.0", *SMALL,
+        )
+        assert code == 0
+        assert "first detect" in out
+        assert "recovered" in out
+
+    def test_short_anomaly_shows_undetected(self, capsys):
+        code, out = run_cli(
+            capsys, "threshold", "--config", "SWIM", "-c", "2",
+            "-d", "0.5", *SMALL,
+        )
+        assert code == 0
+        assert "undetected    : 2" in out
+
+
+class TestIntervalCommand:
+    def test_runs_and_reports(self, capsys):
+        code, out = run_cli(
+            capsys, "interval", "--config", "SWIM", "-c", "2",
+            "-d", "4.0", "-i", "0.001", "-t", "15", *SMALL,
+        )
+        assert code == 0
+        assert "FP events" in out
+        assert "messages sent" in out
+
+
+class TestStressCommand:
+    def test_runs_and_reports(self, capsys):
+        code, out = run_cli(
+            capsys, "stress", "--config", "Lifeguard", "--stressed", "2",
+            "-t", "20", *SMALL,
+        )
+        assert code == 0
+        assert "total FP" in out
+
+
+class TestCompareCommand:
+    def test_lists_all_configurations(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "-c", "2", "-d", "4.0", "-i", "0.002",
+            "-t", "10", *SMALL,
+        )
+        assert code == 0
+        for name in ("SWIM", "LHA-Probe", "LHA-Suspicion", "Buddy System",
+                     "Lifeguard"):
+            assert name in out
+
+
+class TestArgumentValidation:
+    def test_unknown_config_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["interval", "--config", "Nonsense"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,104 @@
+"""Tests for the in-memory test fabric."""
+
+import pytest
+
+from repro.transport.inmem import InMemoryFabric, InMemoryTransport
+
+
+class TestAutoDelivery:
+    def test_synchronous_delivery(self):
+        fabric = InMemoryFabric()
+        a = InMemoryTransport("a", fabric)
+        b = InMemoryTransport("b", fabric)
+        received = []
+        b.bind(lambda p, s, r: received.append((p, s, r)))
+        a.send("b", b"hi")
+        assert received == [(b"hi", "a", False)]
+
+    def test_reliable_flag_passed(self):
+        fabric = InMemoryFabric()
+        a = InMemoryTransport("a", fabric)
+        b = InMemoryTransport("b", fabric)
+        received = []
+        b.bind(lambda p, s, r: received.append(r))
+        a.send("b", b"x", reliable=True)
+        assert received == [True]
+
+    def test_unknown_destination_ignored(self):
+        fabric = InMemoryFabric()
+        a = InMemoryTransport("a", fabric)
+        a.send("ghost", b"x")  # no crash
+
+    def test_unbound_handler_ignored(self):
+        fabric = InMemoryFabric()
+        a = InMemoryTransport("a", fabric)
+        InMemoryTransport("b", fabric)
+        a.send("b", b"x")  # b has no handler; no crash
+
+    def test_log_records_everything(self):
+        fabric = InMemoryFabric()
+        a = InMemoryTransport("a", fabric)
+        a.send("b", b"x")
+        a.send("c", b"y", reliable=True)
+        assert fabric.log == [("a", "b", b"x", False), ("a", "c", b"y", True)]
+
+
+class TestBlackholes:
+    def test_blackholed_destination_drops(self):
+        fabric = InMemoryFabric()
+        a = InMemoryTransport("a", fabric)
+        b = InMemoryTransport("b", fabric)
+        received = []
+        b.bind(lambda p, s, r: received.append(p))
+        fabric.blackholes.add("b")
+        a.send("b", b"dropped")
+        assert received == []
+        assert fabric.log  # still logged
+
+    def test_unblackholing_restores(self):
+        fabric = InMemoryFabric()
+        a = InMemoryTransport("a", fabric)
+        b = InMemoryTransport("b", fabric)
+        received = []
+        b.bind(lambda p, s, r: received.append(p))
+        fabric.blackholes.add("b")
+        a.send("b", b"one")
+        fabric.blackholes.discard("b")
+        a.send("b", b"two")
+        assert received == [b"two"]
+
+
+class TestManualDelivery:
+    def test_queued_until_delivered(self):
+        fabric = InMemoryFabric(auto_deliver=False)
+        a = InMemoryTransport("a", fabric)
+        b = InMemoryTransport("b", fabric)
+        received = []
+        b.bind(lambda p, s, r: received.append(p))
+        a.send("b", b"one")
+        a.send("b", b"two")
+        assert received == []
+        assert fabric.pending() == 2
+        assert fabric.deliver_one()
+        assert received == [b"one"]
+        fabric.deliver_all()
+        assert received == [b"one", b"two"]
+
+    def test_deliver_one_on_empty(self):
+        assert not InMemoryFabric(auto_deliver=False).deliver_one()
+
+    def test_duplicate_attach_rejected(self):
+        fabric = InMemoryFabric()
+        InMemoryTransport("a", fabric)
+        with pytest.raises(ValueError):
+            InMemoryTransport("a", fabric)
+
+    def test_detach(self):
+        fabric = InMemoryFabric()
+        a = InMemoryTransport("a", fabric)
+        b = InMemoryTransport("b", fabric)
+        received = []
+        b.bind(lambda p, s, r: received.append(p))
+        fabric.detach("b")
+        a.send("b", b"x")
+        assert received == []

@@ -1,0 +1,64 @@
+"""Tests for the simulated-network transport adapter."""
+
+import random
+
+import pytest
+
+from repro.sim.network import LatencyModel, SimNetwork
+from repro.sim.scheduler import EventScheduler
+from repro.transport.sim import SimTransport
+
+
+def make_net():
+    scheduler = EventScheduler()
+    network = SimNetwork(
+        scheduler,
+        random.Random(1),
+        latency=LatencyModel(base=0.001, jitter_mean=0.0),
+    )
+    return scheduler, network
+
+
+class TestSimTransport:
+    def test_send_and_receive(self):
+        scheduler, network = make_net()
+        a = SimTransport("a", network)
+        b = SimTransport("b", network)
+        received = []
+        b.bind(lambda p, s, r: received.append((p, s, r)))
+        a.send("b", b"hello")
+        scheduler.run_until(1.0)
+        assert received == [(b"hello", "a", False)]
+
+    def test_local_address(self):
+        _scheduler, network = make_net()
+        assert SimTransport("me", network).local_address == "me"
+
+    def test_unbound_packets_dropped(self):
+        scheduler, network = make_net()
+        a = SimTransport("a", network)
+        SimTransport("b", network)  # never bound
+        a.send("b", b"x")
+        scheduler.run_until(1.0)  # no crash
+
+    def test_close_unregisters(self):
+        scheduler, network = make_net()
+        a = SimTransport("a", network)
+        b = SimTransport("b", network)
+        received = []
+        b.bind(lambda p, s, r: received.append(p))
+        b.close()
+        a.send("b", b"x")
+        scheduler.run_until(1.0)
+        assert received == []
+
+    def test_reliable_flag_propagates(self):
+        scheduler, network = make_net()
+        a = SimTransport("a", network)
+        b = SimTransport("b", network)
+        flags = []
+        b.bind(lambda p, s, r: flags.append(r))
+        a.send("b", b"x", reliable=True)
+        a.send("b", b"y", reliable=False)
+        scheduler.run_until(1.0)
+        assert sorted(flags) == [False, True]
