@@ -59,6 +59,15 @@ async def main() -> None:
         f"{sorted({e.observer for e in failures})}"
     )
 
+    survivor = members[0]
+    transport_events = survivor.node.telemetry.transport.as_dict()
+    pooled = {
+        k: v
+        for k, v in sorted(transport_events.items())
+        if k.startswith(("conns_", "reliable_"))
+    }
+    print(f"{survivor.node.name} reliable-channel telemetry: {pooled}")
+
     for member in members:
         if member is not victim:
             await member.stop()

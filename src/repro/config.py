@@ -125,6 +125,32 @@ class SwimConfig:
     reconnect_interval: float = 30.0
 
     # ------------------------------------------------------------------ #
+    # Reliable channel (real-network transport only; see
+    # :mod:`repro.transport.udp`). The simulator models the reliable
+    # channel abstractly and ignores these.
+    # ------------------------------------------------------------------ #
+    #: Maximum idle TCP connections retained per peer. Concurrent sends may
+    #: open more; the surplus is closed instead of pooled.
+    reliable_pool_size: int = 2
+    #: Idle pooled connections older than this are reaped (seconds).
+    reliable_idle_timeout: float = 30.0
+    #: Per-attempt TCP connect timeout (seconds).
+    reliable_connect_timeout: float = 2.0
+    #: Connect retries after the first failed attempt (0 disables retry).
+    reliable_connect_retries: int = 2
+    #: First retry backoff (seconds); doubled per attempt, with jitter.
+    reliable_backoff_base: float = 0.05
+    #: Ceiling on the per-attempt backoff (seconds).
+    reliable_backoff_max: float = 1.0
+    #: Window over which reliable-send failures to distinct peers are
+    #: correlated into a local-health signal (seconds).
+    reliable_failure_window: float = 30.0
+    #: Distinct peers whose reliable sends must fail within the window
+    #: before the node counts one LHM event (>=2 avoids blaming ourselves
+    #: for a single dead peer).
+    reliable_failure_peer_threshold: int = 2
+
+    # ------------------------------------------------------------------ #
     # Lifeguard component switches
     # ------------------------------------------------------------------ #
     flags: LifeguardFlags = dataclasses.field(default_factory=LifeguardFlags)
@@ -156,6 +182,24 @@ class SwimConfig:
             raise ValueError("gossip_fanout must be >= 1")
         if self.max_packet_size < 128:
             raise ValueError("max_packet_size must be >= 128 bytes")
+        if self.reliable_pool_size < 1:
+            raise ValueError("reliable_pool_size must be >= 1")
+        if self.reliable_idle_timeout <= 0:
+            raise ValueError("reliable_idle_timeout must be positive")
+        if self.reliable_connect_timeout <= 0:
+            raise ValueError("reliable_connect_timeout must be positive")
+        if self.reliable_connect_retries < 0:
+            raise ValueError("reliable_connect_retries must be non-negative")
+        if self.reliable_backoff_base <= 0:
+            raise ValueError("reliable_backoff_base must be positive")
+        if self.reliable_backoff_max < self.reliable_backoff_base:
+            raise ValueError(
+                "reliable_backoff_max must be >= reliable_backoff_base"
+            )
+        if self.reliable_failure_window <= 0:
+            raise ValueError("reliable_failure_window must be positive")
+        if self.reliable_failure_peer_threshold < 1:
+            raise ValueError("reliable_failure_peer_threshold must be >= 1")
 
     def replace(self, **changes: object) -> "SwimConfig":
         """Return a copy of this config with ``changes`` applied."""

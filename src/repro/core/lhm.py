@@ -43,14 +43,22 @@ class LhmEvent(enum.Enum):
     #: An enlisted ``ping-req`` helper failed to return even a ``nack``,
     #: suggesting the local member may be slow to receive.
     MISSED_NACK = "missed_nack"
+    #: Reliable-channel sends to several distinct peers failed within a
+    #: short window, suggesting the local member's networking (or the
+    #: member itself) is degraded. Not in the paper's Section IV-A table;
+    #: an extension fed by the real-network transport (see
+    #: :meth:`repro.swim.node.SwimNode.note_reliable_send_failure`).
+    RELIABLE_SEND_FAILED = "reliable_send_failed"
 
 
-#: Score applied to the counter for each event (paper, Section IV-A).
+#: Score applied to the counter for each event (paper, Section IV-A;
+#: ``RELIABLE_SEND_FAILED`` is a transport-fed extension).
 EVENT_SCORES = {
     LhmEvent.PROBE_SUCCESS: -1,
     LhmEvent.PROBE_FAILED: +1,
     LhmEvent.REFUTE_SELF: +1,
     LhmEvent.MISSED_NACK: +1,
+    LhmEvent.RELIABLE_SEND_FAILED: +1,
 }
 
 

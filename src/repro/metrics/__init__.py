@@ -18,13 +18,14 @@ from repro.metrics.analysis import (
     ratio_pct,
 )
 from repro.metrics.event_log import ClusterEventLog
-from repro.metrics.telemetry import Telemetry
+from repro.metrics.telemetry import Telemetry, TransportStats
 
 __all__ = [
     "ClusterEventLog",
     "DisseminationStats",
     "FalsePositiveStats",
     "Telemetry",
+    "TransportStats",
     "classify_false_positives",
     "detection_latencies",
     "percentile_summary",

@@ -12,6 +12,45 @@ from collections import Counter
 from typing import Dict, Iterable
 
 
+class TransportStats:
+    """Channel-level counters for a real-network transport.
+
+    The protocol-level :class:`Telemetry` counts messages the *node*
+    decided to send; ``TransportStats`` counts what happened underneath —
+    connections opened/reused/closed, retries, drops, truncated frames.
+    Event names are free-form strings so transports can add events without
+    touching this module; the well-known ones emitted by
+    :class:`repro.transport.udp.UdpTransport` are:
+
+    ``udp_send_error``, ``reliable_send_ok``, ``reliable_send_failed``,
+    ``reliable_connect_retries``, ``conns_opened``, ``conns_reused``,
+    ``conns_closed_idle``, ``conns_closed_surplus``,
+    ``conns_closed_error``, ``connect_failures``, ``frames_received``,
+    ``frames_truncated``, ``frames_oversized``,
+    ``datagrams_buffered_early``, ``reliable_failure_signals``.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: Counter = Counter()
+
+    def incr(self, event: str, n: int = 1) -> None:
+        self.events[event] += n
+
+    def get(self, event: str) -> int:
+        return self.events[event]
+
+    def merge(self, other: "TransportStats") -> None:
+        self.events.update(other.events)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TransportStats({dict(self.events)})"
+
+
 class Telemetry:
     """Counters for one member's sent (and optionally received) traffic."""
 
@@ -24,6 +63,8 @@ class Telemetry:
         "bytes_received",
         "reliable_msgs_sent",
         "reliable_bytes_sent",
+        "oversized_broadcasts",
+        "transport",
     )
 
     def __init__(self) -> None:
@@ -35,6 +76,8 @@ class Telemetry:
         self.bytes_received = 0
         self.reliable_msgs_sent = 0
         self.reliable_bytes_sent = 0
+        self.oversized_broadcasts = 0
+        self.transport = TransportStats()
 
     def record_send(self, kind: str, n_bytes: int, reliable: bool = False) -> None:
         """Record one outgoing packet of the given primary ``kind``."""
@@ -50,6 +93,11 @@ class Telemetry:
         self.msgs_received += 1
         self.bytes_received += n_bytes
 
+    def record_oversized_broadcast(self, n_bytes: int) -> None:
+        """Record a broadcast dropped because it can never fit a packet."""
+        del n_bytes  # size kept in the signature for future byte accounting
+        self.oversized_broadcasts += 1
+
     def merge(self, other: "Telemetry") -> None:
         """Fold ``other``'s counters into this one (for aggregation)."""
         self.msgs_sent += other.msgs_sent
@@ -60,6 +108,8 @@ class Telemetry:
         self.bytes_received += other.bytes_received
         self.reliable_msgs_sent += other.reliable_msgs_sent
         self.reliable_bytes_sent += other.reliable_bytes_sent
+        self.oversized_broadcasts += other.oversized_broadcasts
+        self.transport.merge(other.transport)
 
     @classmethod
     def aggregate(cls, parts: Iterable["Telemetry"]) -> "Telemetry":
@@ -76,6 +126,8 @@ class Telemetry:
             "bytes_received": self.bytes_received,
             "reliable_msgs_sent": self.reliable_msgs_sent,
             "reliable_bytes_sent": self.reliable_bytes_sent,
+            "oversized_broadcasts": self.oversized_broadcasts,
+            "transport": self.transport.as_dict(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

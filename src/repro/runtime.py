@@ -48,6 +48,19 @@ class Transport(Protocol):
     ``reliable=True`` models the TCP path used for memberlist's push-pull
     sync and fallback probe (delivered in order, never silently dropped
     while the peer is reachable).
+
+    "Reliable" is a per-message ordering/integrity guarantee while a
+    connection holds, not end-to-end delivery confirmation: the real
+    transport (:class:`repro.transport.udp.UdpTransport`) pools
+    connections per peer and retries transient connect failures with
+    jittered exponential backoff, but a send whose retries are exhausted
+    is dropped and reported out-of-band — via the transport's
+    ``on_reliable_failure`` callback, which :class:`~repro.transport.udp.
+    UdpMember` wires to :meth:`SwimNode.note_reliable_send_failure
+    <repro.swim.node.SwimNode.note_reliable_send_failure>` so persistent
+    failures count as local-health evidence. Protocol code must therefore
+    tolerate the loss of any individual reliable message (anti-entropy is
+    periodic; the fallback probe is redundant with indirect probes).
     """
 
     @property

@@ -14,6 +14,7 @@ queue never spreads self-contradictory state.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from repro.swim import codec
@@ -47,17 +48,46 @@ class BroadcastQueue:
     n_members_fn:
         Callable returning the current known group size, so the limit
         tracks membership changes.
+    max_payload:
+        Largest encoded payload that can ever fit a packet (the packet
+        budget of the *dedicated gossip tick*, which is the most generous
+        caller). Broadcasts larger than this can never be transmitted, so
+        they are dropped on enqueue (and retired from the queue if already
+        present) instead of pinning the queue forever. ``None`` disables
+        the check.
+    on_oversized:
+        Optional callback invoked with the payload size whenever an
+        oversized broadcast is dropped (telemetry hook).
     """
 
-    __slots__ = ("_mult", "_n_members_fn", "_queue", "_seq", "total_enqueued")
+    __slots__ = (
+        "_mult",
+        "_n_members_fn",
+        "_queue",
+        "_seq",
+        "total_enqueued",
+        "_max_payload",
+        "_on_oversized",
+        "total_oversized",
+    )
 
-    def __init__(self, retransmit_mult: int, n_members_fn: Callable[[], int]) -> None:
+    def __init__(
+        self,
+        retransmit_mult: int,
+        n_members_fn: Callable[[], int],
+        max_payload: Optional[int] = None,
+        on_oversized: Optional[Callable[[int], None]] = None,
+    ) -> None:
         self._mult = retransmit_mult
         self._n_members_fn = n_members_fn
         self._queue: Dict[str, _QueuedBroadcast] = {}
         self._seq = 0
         #: Total broadcasts ever enqueued (telemetry).
         self.total_enqueued = 0
+        self._max_payload = max_payload
+        self._on_oversized = on_oversized
+        #: Total broadcasts dropped as undeliverably large (telemetry).
+        self.total_oversized = 0
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -71,13 +101,34 @@ class BroadcastQueue:
 
     def enqueue(self, message: GossipMessage) -> None:
         """Queue ``message``, replacing any queued claim about the same
-        member (the replacement restarts the transmit count)."""
+        member (the replacement restarts the transmit count).
+
+        An undeliverably large message is dropped — and any older queued
+        claim about the same member retired with it, since the new claim
+        supersedes it and a stale claim must not keep circulating."""
+        payload = codec.encode(message)
+        if self._drop_if_oversized(gossip_subject(message), payload):
+            return
         self._seq += 1
         self.total_enqueued += 1
-        payload = codec.encode(message)
         self._queue[gossip_subject(message)] = _QueuedBroadcast(
             message, payload, self._seq
         )
+
+    def _drop_if_oversized(self, subject: str, payload: bytes) -> bool:
+        if self._max_payload is None or len(payload) <= self._max_payload:
+            return False
+        self._queue.pop(subject, None)
+        self.total_oversized += 1
+        warnings.warn(
+            f"dropping oversized broadcast about {subject!r}: "
+            f"{len(payload)} > {self._max_payload} bytes",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        if self._on_oversized is not None:
+            self._on_oversized(len(payload))
+        return True
 
     def invalidate(self, member: str) -> None:
         """Drop any queued broadcast about ``member``."""

@@ -150,14 +150,28 @@ class SwimNode:
         self.telemetry = Telemetry()
         self._members = MemberMap(name, transport.local_address, self._rng)
         self._members.local.meta = meta
+        # The largest broadcast any packet can carry: the dedicated gossip
+        # tick's budget minus one part's framing. Anything bigger would be
+        # skipped on every packet yet never retired, pinning the queue.
+        max_broadcast = (
+            config.max_packet_size
+            - codec.COMPOUND_HEADER_OVERHEAD
+            - codec.COMPOUND_PART_OVERHEAD
+        )
         self._broadcasts = BroadcastQueue(
-            config.retransmit_mult, lambda: len(self._members)
+            config.retransmit_mult,
+            lambda: len(self._members),
+            max_payload=max_broadcast,
+            on_oversized=self.telemetry.record_oversized_broadcast,
         )
         # Application-level gossip rides in a second, lower-priority
         # queue so bursts of user events can never starve membership
         # updates (memberlist's system/user queue split).
         self._user_broadcasts = BroadcastQueue(
-            config.retransmit_mult, lambda: len(self._members)
+            config.retransmit_mult,
+            lambda: len(self._members),
+            max_payload=max_broadcast,
+            on_oversized=self.telemetry.record_oversized_broadcast,
         )
         self._user_seq = 0
         self._seen_user_events: Dict[tuple, None] = {}
@@ -175,6 +189,7 @@ class SwimNode:
         self._relays: Dict[int, _IndirectRelay] = {}
         self._suspicions: Dict[str, _SuspicionEntry] = {}
 
+        self._reliable_failures: Dict[str, float] = {}
         self._running = False
         self._probe_timer: Optional[TimerHandle] = None
         self._gossip_timer: Optional[TimerHandle] = None
@@ -282,6 +297,33 @@ class SwimNode:
 
     def now(self) -> float:
         return self._clock()
+
+    def note_reliable_send_failure(self, destination: str) -> None:
+        """Transport feedback: a reliable send to ``destination`` failed
+        after exhausting its retries.
+
+        A single unreachable peer says nothing about *us* — it is probably
+        just dead, and the probe cycle will find that out. But failures to
+        ``reliable_failure_peer_threshold`` distinct peers within
+        ``reliable_failure_window`` seconds point at the local member
+        (overload, a dying NIC, an exhausted FD table) and are scored as
+        one Local Health event, slowing our own probing the same way
+        missed nacks do (an extension of Section IV-A's event table).
+        """
+        now = self._clock()
+        window = self.config.reliable_failure_window
+        self._reliable_failures[destination] = now
+        stale = [
+            address
+            for address, failed_at in self._reliable_failures.items()
+            if now - failed_at > window
+        ]
+        for address in stale:
+            del self._reliable_failures[address]
+        if len(self._reliable_failures) >= self.config.reliable_failure_peer_threshold:
+            self._reliable_failures.clear()
+            self.telemetry.transport.incr("reliable_failure_signals")
+            self._lhm.note(LhmEvent.RELIABLE_SEND_FAILED)
 
     def current_probe_interval(self) -> float:
         """The LHM-scaled probe interval currently in effect."""

@@ -7,10 +7,23 @@ here unchanged, wired to:
 * an asyncio **clock/scheduler adapter** (:class:`AsyncioScheduler`) over
   ``loop.time()`` / ``loop.call_at``;
 * a **UDP socket** for the datagram channel (probes and gossip);
-* a lightweight **TCP listener** for the reliable channel (anti-entropy
-  push/pull sync and the fallback probe), with one short-lived connection
-  per message, length-prefixed and carrying the sender's canonical
-  address so replies can be routed.
+* a pooled **TCP reliable channel** for anti-entropy push/pull sync and
+  the fallback probe: per-peer connection pools with an idle reaper,
+  length-prefixed frames multiplexed over persistent connections, and
+  jittered-exponential-backoff retry for transient connect failures.
+
+Each frame carries the sender's canonical address so replies can be
+routed. Channel-level events (connections opened/reused/reaped, retries,
+truncated frames, permanent send failures) are counted in a
+:class:`~repro.metrics.telemetry.TransportStats`; when wired through
+:class:`UdpMember` these land in the node's
+:class:`~repro.metrics.telemetry.Telemetry` and permanent reliable-send
+failures feed :meth:`SwimNode.note_reliable_send_failure
+<repro.swim.node.SwimNode.note_reliable_send_failure>` as a
+local-health signal.
+
+Pool/retry behaviour is tuned by the ``reliable_*`` knobs on
+:class:`~repro.config.SwimConfig`.
 
 Addresses are ``"host:port"`` strings throughout, matching the address
 field gossiped in ``alive`` messages.
@@ -19,15 +32,21 @@ field gossiped in ``alive`` messages.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import random
 import struct
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SwimConfig
+from repro.metrics.telemetry import TransportStats
 from repro.swim.events import EventListener
 from repro.swim.node import SwimNode
 
 _FRAME = struct.Struct(">HI")  # address length, payload length
+
+#: Upper bound on a single reliable frame's payload; a header announcing
+#: more than this is treated as a protocol violation, not an allocation.
+MAX_FRAME_PAYLOAD = 16 * 1024 * 1024
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -38,13 +57,27 @@ def parse_address(address: str) -> Tuple[str, int]:
     return host, int(port)
 
 
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    """Close ``writer`` and wait for the transport to release its FD."""
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (OSError, asyncio.CancelledError):
+        pass
+
+
 class AsyncioScheduler:
-    """Adapter satisfying :class:`repro.runtime.Scheduler` on an event loop."""
+    """Adapter satisfying :class:`repro.runtime.Scheduler` on an event loop.
+
+    Construct inside a running event loop (or pass one explicitly);
+    ``asyncio.get_event_loop()``'s implicit-creation behaviour is
+    deprecated and unavailable on modern Python, so it is not used.
+    """
 
     __slots__ = ("_loop",)
 
     def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
-        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
 
     def time(self) -> float:
         return self._loop.time()
@@ -54,49 +87,269 @@ class AsyncioScheduler:
 
 
 class _UdpProtocol(asyncio.DatagramProtocol):
-    def __init__(self, owner: "UdpTransport") -> None:
+    """Datagram protocol that tolerates packets arriving before its owner
+    transport is fully constructed: early datagrams are buffered and
+    flushed once :meth:`set_owner` runs (previously they crashed the
+    receive callback with an ``AttributeError``)."""
+
+    _MAX_EARLY_DATAGRAMS = 128
+
+    def __init__(self, owner: Optional["UdpTransport"] = None) -> None:
         self._owner = owner
+        self._early: List[Tuple[bytes, tuple]] = []
+
+    def set_owner(self, owner: "UdpTransport") -> int:
+        """Attach the owning transport and flush buffered datagrams;
+        returns how many had been buffered."""
+        self._owner = owner
+        early, self._early = self._early, []
+        for data, addr in early:
+            owner._on_datagram(data, addr)
+        return len(early)
 
     def datagram_received(self, data: bytes, addr) -> None:
+        if self._owner is None:
+            if len(self._early) < self._MAX_EARLY_DATAGRAMS:
+                self._early.append((data, addr))
+            return
         self._owner._on_datagram(data, addr)
 
     def error_received(self, exc) -> None:  # pragma: no cover - OS specific
         pass
 
 
+class _PooledConn:
+    """One established TCP connection in a peer's pool."""
+
+    __slots__ = ("reader", "writer", "last_used")
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        last_used: float,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.last_used = last_used
+
+
+class _PeerChannel:
+    """Pooled reliable (TCP) connections to a single peer.
+
+    A send first tries pooled idle connections — a stale one (the peer
+    restarted since we last talked) is discarded without consuming a
+    retry attempt — then falls back to opening a fresh connection, with
+    up to ``reliable_connect_retries`` retries spaced by jittered
+    exponential backoff. At most ``reliable_pool_size`` idle connections
+    are retained; the transport's reaper closes ones idle longer than
+    ``reliable_idle_timeout``.
+    """
+
+    __slots__ = ("_owner", "_host", "_port", "_idle", "_in_flight")
+
+    def __init__(self, owner: "UdpTransport", host: str, port: int) -> None:
+        self._owner = owner
+        self._host = host
+        self._port = port
+        self._idle: List[_PooledConn] = []
+        self._in_flight = 0
+
+    @property
+    def _stats(self) -> TransportStats:
+        return self._owner.stats
+
+    @property
+    def idle_count(self) -> int:
+        return len(self._idle)
+
+    @property
+    def unused(self) -> bool:
+        return not self._idle and self._in_flight == 0
+
+    async def send(self, frame: bytes) -> bool:
+        """Deliver one frame; returns ``False`` on permanent failure."""
+        self._in_flight += 1
+        try:
+            if await self._send_on_pooled(frame):
+                return True
+            return await self._send_on_fresh(frame)
+        finally:
+            self._in_flight -= 1
+
+    async def _send_on_pooled(self, frame: bytes) -> bool:
+        while self._idle:
+            conn = self._idle.pop()
+            if conn.writer.is_closing():
+                self._stats.incr("conns_closed_error")
+                continue
+            try:
+                conn.writer.write(frame)
+                await conn.writer.drain()
+            except asyncio.CancelledError:
+                await _close_writer(conn.writer)
+                raise
+            except OSError:
+                self._stats.incr("conns_closed_error")
+                await _close_writer(conn.writer)
+                continue
+            self._stats.incr("conns_reused")
+            self._stats.incr("reliable_send_ok")
+            self._checkin(conn)
+            return True
+        return False
+
+    async def _send_on_fresh(self, frame: bytes) -> bool:
+        opts = self._owner.config
+        for attempt in range(opts.reliable_connect_retries + 1):
+            if attempt:
+                self._stats.incr("reliable_connect_retries")
+                await asyncio.sleep(self._backoff_delay(attempt))
+            if self._owner.closed:
+                return False
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self._host, self._port),
+                    opts.reliable_connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError):
+                self._stats.incr("connect_failures")
+                continue
+            self._stats.incr("conns_opened")
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except asyncio.CancelledError:
+                await _close_writer(writer)
+                raise
+            except OSError:
+                self._stats.incr("conns_closed_error")
+                await _close_writer(writer)
+                continue
+            self._stats.incr("reliable_send_ok")
+            self._checkin(
+                _PooledConn(reader, writer, self._owner.loop_time())
+            )
+            return True
+        self._stats.incr("reliable_send_failed")
+        return False
+
+    def _backoff_delay(self, attempt: int) -> float:
+        opts = self._owner.config
+        delay = min(
+            opts.reliable_backoff_max,
+            opts.reliable_backoff_base * (2 ** (attempt - 1)),
+        )
+        return delay * random.uniform(0.5, 1.5)
+
+    def _checkin(self, conn: _PooledConn) -> None:
+        if conn.writer.is_closing():
+            return
+        if len(self._idle) >= self._owner.config.reliable_pool_size:
+            self._stats.incr("conns_closed_surplus")
+            conn.writer.close()
+            return
+        conn.last_used = self._owner.loop_time()
+        self._idle.append(conn)
+
+    async def reap_idle(self, now: float, idle_timeout: float) -> None:
+        """Close pooled connections idle longer than ``idle_timeout``."""
+        keep: List[_PooledConn] = []
+        reap: List[_PooledConn] = []
+        for conn in self._idle:
+            if now - conn.last_used > idle_timeout or conn.writer.is_closing():
+                reap.append(conn)
+            else:
+                keep.append(conn)
+        self._idle = keep
+        for conn in reap:
+            self._stats.incr("conns_closed_idle")
+            await _close_writer(conn.writer)
+
+    async def close(self) -> None:
+        idle, self._idle = self._idle, []
+        for conn in idle:
+            await _close_writer(conn.writer)
+
+
 class UdpTransport:
     """Satisfies :class:`repro.runtime.Transport` over real sockets.
 
     Create with :meth:`UdpTransport.create` inside a running event loop.
+    The reliable channel is fire-and-forget from the node's perspective;
+    permanent failures (connect retries exhausted) are reported through
+    :attr:`on_reliable_failure` and counted in :attr:`stats`.
     """
 
-    def __init__(self, local_address: str) -> None:
+    def __init__(
+        self, local_address: str, config: Optional[SwimConfig] = None
+    ) -> None:
         self._local_address = local_address
+        self.config = config if config is not None else SwimConfig()
         self._handler: Optional[Callable[[bytes, str, bool], None]] = None
         self._udp: Optional[asyncio.DatagramTransport] = None
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._closed = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._channels: Dict[str, _PeerChannel] = {}
+        self._pending_sends: set = set()
+        self._reaper: Optional[asyncio.Task] = None
+        self._stats = TransportStats()
+        #: Called with the destination address when a reliable send fails
+        #: permanently (wired to the node's local-health hook by
+        #: :class:`UdpMember`).
+        self.on_reliable_failure: Optional[Callable[[str], None]] = None
 
     @classmethod
-    async def create(cls, host: str = "127.0.0.1", port: int = 0) -> "UdpTransport":
-        loop = asyncio.get_event_loop()
-        udp_transport, _protocol = await loop.create_datagram_endpoint(
-            lambda: _UdpProtocol(None),  # placeholder, patched below
-            local_addr=(host, port),
+    async def create(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[SwimConfig] = None,
+    ) -> "UdpTransport":
+        loop = asyncio.get_running_loop()
+        udp_transport, protocol = await loop.create_datagram_endpoint(
+            _UdpProtocol, local_addr=(host, port)
         )
         bound_host, bound_port = udp_transport.get_extra_info("sockname")[:2]
-        self = cls(f"{bound_host}:{bound_port}")
-        # Re-point the protocol at the constructed instance.
-        _protocol._owner = self
+        self = cls(f"{bound_host}:{bound_port}", config)
+        self._loop = loop
         self._udp = udp_transport
+        buffered = protocol.set_owner(self)
+        if buffered:
+            self._stats.incr("datagrams_buffered_early", buffered)
         self._tcp_server = await asyncio.start_server(
             self._on_tcp_connection, host=bound_host, port=bound_port
         )
+        self._reaper = loop.create_task(self._reap_idle_loop())
         return self
 
     @property
     def local_address(self) -> str:
         return self._local_address
+
+    @property
+    def stats(self) -> TransportStats:
+        """Channel-level counters (see :class:`TransportStats`)."""
+        return self._stats
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def use_stats(self, stats: TransportStats) -> None:
+        """Redirect counting into ``stats`` (folding in anything already
+        counted), so transport events surface in a node's telemetry."""
+        stats.merge(self._stats)
+        self._stats = stats
+
+    def loop_time(self) -> float:
+        return self._loop.time()
+
+    def pooled_connections(self, destination: str) -> int:
+        """Idle pooled connections to ``destination`` (introspection)."""
+        channel = self._channels.get(destination)
+        return channel.idle_count if channel is not None else 0
 
     def bind(self, handler: Callable[[bytes, str, bool], None]) -> None:
         self._handler = handler
@@ -105,46 +358,91 @@ class UdpTransport:
         if self._closed:
             return
         if reliable:
-            asyncio.ensure_future(self._send_reliable(destination, payload))
+            task = asyncio.ensure_future(self._send_reliable(destination, payload))
+            self._pending_sends.add(task)
+            task.add_done_callback(self._pending_sends.discard)
         else:
             try:
                 self._udp.sendto(payload, parse_address(destination))
             except (OSError, ValueError):
-                pass
+                self._stats.incr("udp_send_error")
 
     async def _send_reliable(self, destination: str, payload: bytes) -> None:
         try:
             host, port = parse_address(destination)
-            _reader, writer = await asyncio.open_connection(host, port)
-        except (OSError, ValueError):
+        except ValueError:
+            self._stats.incr("reliable_send_failed")
             return
-        try:
-            addr = self._local_address.encode("utf-8")
-            writer.write(_FRAME.pack(len(addr), len(payload)) + addr + payload)
-            await writer.drain()
-            writer.close()
-        except OSError:
-            pass
+        channel = self._channels.get(destination)
+        if channel is None:
+            channel = self._channels[destination] = _PeerChannel(self, host, port)
+        addr = self._local_address.encode("utf-8")
+        frame = _FRAME.pack(len(addr), len(payload)) + addr + payload
+        ok = await channel.send(frame)
+        if not ok and not self._closed and self.on_reliable_failure is not None:
+            self.on_reliable_failure(destination)
 
     async def _on_tcp_connection(self, reader, writer) -> None:
+        """Serve one inbound reliable connection: a loop of length-prefixed
+        frames until the peer closes (peers pool connections, so many
+        frames per connection is the common case)."""
         try:
-            header = await reader.readexactly(_FRAME.size)
-            addr_len, payload_len = _FRAME.unpack(header)
-            addr = (await reader.readexactly(addr_len)).decode("utf-8")
-            payload = await reader.readexactly(payload_len)
-        except (asyncio.IncompleteReadError, OSError):
-            return
+            while True:
+                try:
+                    header = await reader.readexactly(_FRAME.size)
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        self._stats.incr("frames_truncated")
+                    return
+                addr_len, payload_len = _FRAME.unpack(header)
+                if payload_len > MAX_FRAME_PAYLOAD:
+                    self._stats.incr("frames_oversized")
+                    return
+                try:
+                    addr_bytes = await reader.readexactly(addr_len)
+                    payload = await reader.readexactly(payload_len)
+                    addr = addr_bytes.decode("utf-8")
+                except (asyncio.IncompleteReadError, UnicodeDecodeError):
+                    self._stats.incr("frames_truncated")
+                    return
+                self._stats.incr("frames_received")
+                if self._handler is not None:
+                    self._handler(payload, addr, True)
+        except OSError:
+            pass
         finally:
-            writer.close()
-        if self._handler is not None:
-            self._handler(payload, addr, True)
+            await _close_writer(writer)
 
     def _on_datagram(self, data: bytes, addr) -> None:
         if self._handler is not None:
             self._handler(data, f"{addr[0]}:{addr[1]}", False)
 
+    async def _reap_idle_loop(self) -> None:
+        idle_timeout = self.config.reliable_idle_timeout
+        interval = max(0.05, idle_timeout / 4)
+        while True:
+            await asyncio.sleep(interval)
+            now = self.loop_time()
+            for address, channel in list(self._channels.items()):
+                await channel.reap_idle(now, idle_timeout)
+                if channel.unused:
+                    del self._channels[address]
+
     async def close(self) -> None:
         self._closed = True
+        if self._reaper is not None:
+            self._reaper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper
+            self._reaper = None
+        pending = list(self._pending_sends)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for channel in self._channels.values():
+            await channel.close()
+        self._channels.clear()
         if self._udp is not None:
             self._udp.close()
         if self._tcp_server is not None:
@@ -156,7 +454,9 @@ class UdpMember:
     """A fully wired SWIM/Lifeguard member on real sockets.
 
     The asyncio analogue of what :class:`~repro.sim.runtime.SimCluster`
-    builds per member in the simulator.
+    builds per member in the simulator. Transport events are folded into
+    ``node.telemetry.transport`` and permanent reliable-send failures
+    feed the node's local-health hook.
     """
 
     def __init__(self, node: SwimNode, transport: UdpTransport) -> None:
@@ -175,11 +475,12 @@ class UdpMember:
         meta: bytes = b"",
         on_user_event=None,
     ) -> "UdpMember":
-        transport = await UdpTransport.create(host, port)
+        config = config if config is not None else SwimConfig.lifeguard()
+        transport = await UdpTransport.create(host, port, config=config)
         scheduler = AsyncioScheduler()
         node = SwimNode(
             name,
-            config if config is not None else SwimConfig.lifeguard(),
+            config,
             clock=scheduler.time,
             scheduler=scheduler,
             transport=transport,
@@ -189,6 +490,8 @@ class UdpMember:
             on_user_event=on_user_event,
         )
         transport.bind(node.handle_packet)
+        transport.use_stats(node.telemetry.transport)
+        transport.on_reliable_failure = node.note_reliable_send_failure
         return cls(node, transport)
 
     @property

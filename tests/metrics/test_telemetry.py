@@ -62,3 +62,47 @@ class TestAggregation:
         data = telemetry.as_dict()
         assert data["msgs_sent"] == 1
         assert data["bytes_sent"] == 10
+
+
+class TestTransportStats:
+    def test_incr_and_get(self):
+        from repro.metrics.telemetry import TransportStats
+
+        stats = TransportStats()
+        stats.incr("conns_opened")
+        stats.incr("conns_reused", 3)
+        assert stats.get("conns_opened") == 1
+        assert stats.get("conns_reused") == 3
+        assert stats.get("never_seen") == 0
+
+    def test_merge(self):
+        from repro.metrics.telemetry import TransportStats
+
+        a, b = TransportStats(), TransportStats()
+        a.incr("frames_received", 2)
+        b.incr("frames_received", 3)
+        b.incr("frames_truncated")
+        a.merge(b)
+        assert a.get("frames_received") == 5
+        assert a.get("frames_truncated") == 1
+
+    def test_telemetry_carries_transport_stats(self):
+        a, b = Telemetry(), Telemetry()
+        a.transport.incr("reliable_send_ok")
+        b.transport.incr("reliable_send_ok", 2)
+        b.record_oversized_broadcast(2000)
+        a.merge(b)
+        assert a.transport.get("reliable_send_ok") == 3
+        assert a.oversized_broadcasts == 1
+        data = a.as_dict()
+        assert data["transport"]["reliable_send_ok"] == 3
+        assert data["oversized_broadcasts"] == 1
+
+    def test_aggregate_includes_transport(self):
+        parts = []
+        for _ in range(3):
+            telemetry = Telemetry()
+            telemetry.transport.incr("conns_opened")
+            parts.append(telemetry)
+        total = Telemetry.aggregate(parts)
+        assert total.transport.get("conns_opened") == 3

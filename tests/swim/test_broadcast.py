@@ -141,3 +141,43 @@ class TestPayloadSelection:
                 break
             total += len(got)
         assert total <= unique * limit
+
+
+class TestOversizedBroadcasts:
+    """A broadcast that can never fit a packet must not pin the queue."""
+
+    def test_oversized_enqueue_is_dropped_and_counted(self):
+        drops = []
+        queue = BroadcastQueue(
+            4, lambda: 9, max_payload=32, on_oversized=drops.append
+        )
+        big = Alive(1, "m1", "addr", meta=b"x" * 200)
+        with pytest.warns(RuntimeWarning, match="oversized broadcast"):
+            queue.enqueue(big)
+        assert not queue.pending
+        assert queue.total_oversized == 1
+        assert queue.total_enqueued == 0
+        assert drops and drops[0] > 32
+
+    def test_oversized_replacement_retires_old_claim(self):
+        queue = BroadcastQueue(4, lambda: 9, max_payload=64)
+        queue.enqueue(Suspect(1, "m1", "s"))
+        assert queue.pending
+        with pytest.warns(RuntimeWarning):
+            queue.enqueue(Alive(2, "m1", "addr", meta=b"x" * 200))
+        # The stale claim must not keep circulating once superseded.
+        assert not queue.pending
+
+    def test_oversized_does_not_starve_other_broadcasts(self):
+        queue = BroadcastQueue(4, lambda: 9, max_payload=40)
+        with pytest.warns(RuntimeWarning):
+            queue.enqueue(Alive(1, "big", "addr", meta=b"x" * 100))
+        queue.enqueue(Suspect(1, "small", "s"))
+        got = queue.get_payloads(1000, 2)
+        assert got == [codec.encode(Suspect(1, "small", "s"))]
+
+    def test_no_limit_keeps_legacy_behaviour(self):
+        queue = make_queue()
+        queue.enqueue(Alive(1, "m1", "addr", meta=b"x" * 200))
+        assert queue.pending
+        assert queue.total_oversized == 0

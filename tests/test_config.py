@@ -97,6 +97,14 @@ class TestSwimConfigValidation:
             dict(gossip_interval=0.0),
             dict(gossip_fanout=0),
             dict(max_packet_size=64),
+            dict(reliable_pool_size=0),
+            dict(reliable_idle_timeout=0.0),
+            dict(reliable_connect_timeout=0.0),
+            dict(reliable_connect_retries=-1),
+            dict(reliable_backoff_base=0.0),
+            dict(reliable_backoff_base=0.5, reliable_backoff_max=0.1),
+            dict(reliable_failure_window=0.0),
+            dict(reliable_failure_peer_threshold=0),
         ],
     )
     def test_rejects_invalid(self, kwargs):

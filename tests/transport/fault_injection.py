@@ -1,0 +1,133 @@
+"""Loopback fault-injection harness for the TCP reliable channel.
+
+:class:`TcpFaultProxy` sits between a sender and a real
+:class:`~repro.transport.udp.UdpTransport` backend and injects faults on
+the reliable (TCP) side channel:
+
+* **drop** — accept the connection, then close it immediately
+  (``drop_next_connections``), which models a peer dying right after
+  accepting;
+* **delay** — hold every accepted connection for ``accept_delay``
+  seconds before forwarding, which models a slow peer or congested path;
+* **truncate** — forward only ``truncate_client_bytes`` bytes from the
+  client to the backend, then kill both sides, which models a mid-stream
+  disconnect that leaves a partial frame at the receiver.
+
+All knobs are plain attributes and may be flipped while the proxy is
+running, so one proxy can serve several test phases. Used by
+``tests/transport/test_udp_faults.py`` and
+``benchmarks/bench_transport_faults.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Optional, Set
+
+
+async def _close_quietly(writer: asyncio.StreamWriter) -> None:
+    writer.close()
+    with contextlib.suppress(OSError, asyncio.CancelledError):
+        await writer.wait_closed()
+
+
+class TcpFaultProxy:
+    """A localhost TCP proxy with injectable faults."""
+
+    def __init__(self, backend_host: str, backend_port: int) -> None:
+        self._backend_host = backend_host
+        self._backend_port = backend_port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._port = 0
+        #: Accept then immediately close this many connections.
+        self.drop_next_connections = 0
+        #: Seconds to hold each accepted connection before forwarding.
+        self.accept_delay = 0.0
+        #: Forward only this many client bytes, then kill both sides.
+        self.truncate_client_bytes: Optional[int] = None
+        #: Total connections accepted (including dropped ones).
+        self.connections_accepted = 0
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` senders should use instead of the backend."""
+        return f"127.0.0.1:{self._port}"
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host="127.0.0.1", port=0
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.kill_active_connections()
+
+    async def kill_active_connections(self) -> None:
+        """Abort every proxied connection, leaving the listener running.
+
+        Models the peer (or the path to it) dying under established
+        connections: senders holding pooled connections are left with
+        stale sockets."""
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        if self.drop_next_connections > 0:
+            self.drop_next_connections -= 1
+            await _close_quietly(client_writer)
+            return
+        if self.accept_delay > 0:
+            await asyncio.sleep(self.accept_delay)
+        try:
+            backend_reader, backend_writer = await asyncio.open_connection(
+                self._backend_host, self._backend_port
+            )
+        except OSError:
+            await _close_quietly(client_writer)
+            return
+        up = asyncio.ensure_future(
+            self._pump(client_reader, backend_writer, self.truncate_client_bytes)
+        )
+        down = asyncio.ensure_future(self._pump(backend_reader, client_writer, None))
+        for task in (up, down):
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        await asyncio.wait({up, down})
+        await _close_quietly(client_writer)
+        await _close_quietly(backend_writer)
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        byte_limit: Optional[int],
+    ) -> None:
+        forwarded = 0
+        try:
+            while True:
+                chunk = await reader.read(4096)
+                if not chunk:
+                    return
+                if byte_limit is not None and forwarded + len(chunk) >= byte_limit:
+                    writer.write(chunk[: byte_limit - forwarded])
+                    await writer.drain()
+                    return
+                writer.write(chunk)
+                await writer.drain()
+                forwarded += len(chunk)
+        except OSError:
+            pass
+        finally:
+            await _close_quietly(writer)

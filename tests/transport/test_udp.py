@@ -39,7 +39,7 @@ class TestUdpTransport:
         async def scenario():
             a = await UdpTransport.create()
             b = await UdpTransport.create()
-            received = asyncio.get_event_loop().create_future()
+            received = asyncio.get_running_loop().create_future()
             b.bind(lambda p, s, r: received.set_result((p, s, r)))
             a.send(b.local_address, b"hello")
             payload, source, reliable = await asyncio.wait_for(received, 5)
@@ -55,7 +55,7 @@ class TestUdpTransport:
         async def scenario():
             a = await UdpTransport.create()
             b = await UdpTransport.create()
-            received = asyncio.get_event_loop().create_future()
+            received = asyncio.get_running_loop().create_future()
             b.bind(lambda p, s, r: received.set_result((p, s, r)))
             a.send(b.local_address, b"sync", reliable=True)
             payload, source, reliable = await asyncio.wait_for(received, 5)
