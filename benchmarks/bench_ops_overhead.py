@@ -1,0 +1,102 @@
+"""Cost of the ops plane on the protocol's hot path.
+
+The ops plane promises to be pull-based: installing the metrics registry
+on a cluster adds only the ack-latency hook to the probe path (one
+callback per directly-acked probe); everything else is snapshotted at
+scrape time. This benchmark measures both halves on a simulated cluster:
+
+* **hooks** — wall-clock to run the identical simulation with the
+  registry installed but never scraped. Asserted < 5% over baseline.
+* **scraped** — the same run scraping (collect + render) once per
+  virtual second, reported for context: scrape cost scales with cluster
+  size, not with protocol traffic, and happens off the probe path.
+
+Wall-clock is min-of-N over identical deterministic runs, which strips
+scheduler noise the way ``timeit`` does.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import publish
+from repro.config import SwimConfig
+from repro.ops.exposition import render_text
+from repro.sim.runtime import SimCluster
+
+N_MEMBERS = 24
+VIRTUAL_SECONDS = 60.0
+REPS = 3
+SCRAPE_EVERY = 1.0
+MAX_HOOK_OVERHEAD = 0.05
+
+
+def _build() -> SimCluster:
+    return SimCluster(
+        n_members=N_MEMBERS, config=SwimConfig.lifeguard(), seed=11
+    )
+
+
+def _run(mode: str) -> float:
+    """Wall-clock seconds for one full simulated run in the given mode."""
+    cluster = _build()
+    registry = None
+    if mode != "baseline":
+        registry = cluster.install_ops_registry()
+    cluster.start()
+    started = time.perf_counter()
+    if mode == "scraped":
+        elapsed = 0.0
+        while elapsed < VIRTUAL_SECONDS:
+            step = min(SCRAPE_EVERY, VIRTUAL_SECONDS - elapsed)
+            cluster.run_for(step)
+            elapsed += step
+            render_text(registry)
+    else:
+        cluster.run_for(VIRTUAL_SECONDS)
+    return time.perf_counter() - started
+
+
+def _best(mode: str) -> float:
+    return min(_run(mode) for _ in range(REPS))
+
+
+class TestOpsOverhead:
+    def test_hook_overhead_under_five_percent(self):
+        baseline = _best("baseline")
+        hooks = _best("hooks")
+        scraped = _best("scraped")
+
+        overhead = hooks / baseline - 1.0
+        scrape_overhead = scraped / baseline - 1.0
+        rows = [
+            ("baseline (no registry)", baseline, ""),
+            ("registry installed", hooks, f"{overhead:+.1%}"),
+            (f"scraped every {SCRAPE_EVERY:g}s", scraped,
+             f"{scrape_overhead:+.1%}"),
+        ]
+        lines = [
+            f"Ops-plane overhead: n={N_MEMBERS}, {VIRTUAL_SECONDS:g} virtual "
+            f"seconds, min of {REPS} runs",
+            f"{'mode':26s} {'wall-clock':>11s} {'vs baseline':>12s}",
+        ]
+        for label, seconds, delta in rows:
+            lines.append(f"{label:26s} {seconds:10.3f}s {delta:>12s}")
+        publish(
+            "ops_overhead",
+            "\n".join(lines),
+            {
+                "n_members": N_MEMBERS,
+                "virtual_seconds": VIRTUAL_SECONDS,
+                "reps": REPS,
+                "baseline_s": baseline,
+                "hooks_s": hooks,
+                "scraped_s": scraped,
+                "hook_overhead": overhead,
+                "scrape_overhead": scrape_overhead,
+            },
+        )
+        assert overhead < MAX_HOOK_OVERHEAD, (
+            f"registry hooks cost {overhead:.1%} of the probe cycle "
+            f"(limit {MAX_HOOK_OVERHEAD:.0%})"
+        )

@@ -3,12 +3,22 @@
 
 The very same protocol engine that runs under the simulator is wired to
 asyncio sockets: five members bind real ports, join through a seed, reach
-full membership, and then detect the hard kill of one member.
+full membership, and then detect the hard kill of one member. The seed
+member also serves the ops-plane admin API (metrics, membership, health,
+events) — point a browser or ``lifeguard-repro watch`` at the printed
+URL while the demo runs.
 
 Run:  python examples/real_udp_cluster.py
+
+Press Ctrl-C at any point for a graceful shutdown (all members stopped,
+all sockets closed). Set ``REPRO_ADMIN_PORT`` to pin the admin port
+(default: an ephemeral port chosen by the OS).
 """
 
 import asyncio
+import contextlib
+import os
+import signal
 
 from repro import EventKind, SwimConfig
 from repro.metrics import ClusterEventLog
@@ -17,8 +27,23 @@ from repro.transport.udp import UdpMember
 N_MEMBERS = 5
 
 
+async def interruptible_sleep(duration: float, stop: asyncio.Event) -> bool:
+    """Sleep, but wake early on Ctrl-C. Returns True if interrupted."""
+    with contextlib.suppress(asyncio.TimeoutError):
+        await asyncio.wait_for(stop.wait(), timeout=duration)
+    return stop.is_set()
+
+
 async def main() -> None:
     log = ClusterEventLog()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGINT, stop.set)
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+    except NotImplementedError:  # pragma: no cover - non-POSIX platforms
+        pass
+
     # Faster-than-default timing so the demo completes in seconds; a real
     # deployment would keep the 1 s probe interval.
     config = SwimConfig.lifeguard(
@@ -26,51 +51,69 @@ async def main() -> None:
         probe_timeout=0.15,
         gossip_interval=0.1,
         push_pull_interval=2.0,
+        # The seed member serves the admin API; 0 = ephemeral port.
+        admin_port=int(os.environ.get("REPRO_ADMIN_PORT", "0")),
+    )
+    follower_config = SwimConfig.lifeguard(
+        probe_interval=0.3,
+        probe_timeout=0.15,
+        gossip_interval=0.1,
+        push_pull_interval=2.0,
     )
 
     members = []
-    for i in range(N_MEMBERS):
-        member = await UdpMember.create(f"node-{i}", config, listener=log)
-        members.append(member)
-        print(f"node-{i} listening on {member.address}")
+    try:
+        for i in range(N_MEMBERS):
+            member = await UdpMember.create(
+                f"node-{i}",
+                config if i == 0 else follower_config,
+                listener=log,
+            )
+            members.append(member)
+            print(f"node-{i} listening on {member.address}")
 
-    seed = members[0]
-    seed.start()
-    for member in members[1:]:
-        member.start()
-        member.join([seed.address])
+        seed = members[0]
+        print(f"admin API: {seed.admin.url} (try /metrics, /members, /health)")
+        seed.start()
+        for member in members[1:]:
+            member.start()
+            member.join([seed.address])
 
-    await asyncio.sleep(3.0)
-    sizes = {m.node.name: len(m.node.members) for m in members}
-    print(f"membership sizes after join: {sizes}")
+        if await interruptible_sleep(3.0, stop):
+            return
+        sizes = {m.node.name: len(m.node.members) for m in members}
+        print(f"membership sizes after join: {sizes}")
 
-    victim = members[2]
-    print(f"killing {victim.node.name} ({victim.address})")
-    await victim.stop()
+        victim = members[2]
+        print(f"killing {victim.node.name} ({victim.address})")
+        await victim.stop()
 
-    await asyncio.sleep(8.0)
-    failures = [
-        e
-        for e in log.events
-        if e.kind is EventKind.FAILED and e.subject == victim.node.name
-    ]
-    print(
-        f"{len(failures)} members declared {victim.node.name} failed: "
-        f"{sorted({e.observer for e in failures})}"
-    )
+        if await interruptible_sleep(8.0, stop):
+            return
+        failures = [
+            e
+            for e in log.events
+            if e.kind is EventKind.FAILED and e.subject == victim.node.name
+        ]
+        print(
+            f"{len(failures)} members declared {victim.node.name} failed: "
+            f"{sorted({e.observer for e in failures})}"
+        )
 
-    survivor = members[0]
-    transport_events = survivor.node.telemetry.transport.as_dict()
-    pooled = {
-        k: v
-        for k, v in sorted(transport_events.items())
-        if k.startswith(("conns_", "reliable_"))
-    }
-    print(f"{survivor.node.name} reliable-channel telemetry: {pooled}")
-
-    for member in members:
-        if member is not victim:
-            await member.stop()
+        survivor = members[0]
+        transport_events = survivor.node.telemetry.transport.as_dict()
+        pooled = {
+            k: v
+            for k, v in sorted(transport_events.items())
+            if k.startswith(("conns_", "reliable_"))
+        }
+        print(f"{survivor.node.name} reliable-channel telemetry: {pooled}")
+    finally:
+        if stop.is_set():
+            print("\ninterrupted -- shutting down")
+        for member in members:
+            with contextlib.suppress(Exception):
+                await member.stop()
 
 
 if __name__ == "__main__":

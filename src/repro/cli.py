@@ -1,4 +1,4 @@
-"""Command-line interface to the experiment harness.
+"""Command-line interface to the experiment harness and live clusters.
 
 Run as ``python -m repro`` (or the ``lifeguard-repro`` entry point):
 
@@ -8,15 +8,23 @@ Run as ``python -m repro`` (or the ``lifeguard-repro`` entry point):
     $ python -m repro interval  --config SWIM -c 16 -d 8.192 -i 0.001
     $ python -m repro stress    --config Lifeguard --stressed 8
     $ python -m repro compare   -c 8 -d 16.384       # all five configs
+    $ python -m repro watch 127.0.0.1:8787           # poll a live node
 
-Each subcommand runs one simulated experiment and prints its metrics;
-``compare`` runs the same experiment under every Table I configuration.
+Each experiment subcommand runs one simulated experiment and prints its
+metrics; ``compare`` runs the same experiment under every Table I
+configuration. All four accept ``--json`` for machine-readable output in
+the shared ops-plane schema (:mod:`repro.ops.schema`). ``watch`` polls a
+live member's admin endpoint (see :mod:`repro.ops.http`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+import urllib.error
+import urllib.request
 from typing import List, Optional
 
 from repro.harness.configurations import CONFIGURATION_NAMES
@@ -24,6 +32,7 @@ from repro.harness.interval import IntervalParams, run_interval
 from repro.harness.stress import StressParams, run_stress
 from repro.harness.threshold import ThresholdParams, run_threshold
 from repro.metrics.analysis import percentile_summary
+from repro.ops.schema import envelope
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -41,6 +50,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="suspicion timeout beta (default: 6)")
     parser.add_argument("--seed", type=int, default=0,
                         help="simulation seed (default: 0)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+
+
+def _emit_json(kind: str, payload: dict) -> int:
+    print(json.dumps(envelope(kind, payload), indent=2, sort_keys=True))
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -87,6 +103,19 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-d", "--duration", type=float, default=8.192)
     compare.add_argument("-i", "--interval", type=float, default=0.001)
     compare.add_argument("-t", "--test-time", type=float, default=120.0)
+
+    watch = sub.add_parser(
+        "watch", help="poll a live node's admin endpoint (repro.ops)"
+    )
+    watch.add_argument("address", help="host:port of the node's admin API")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between polls (default: 2)")
+    watch.add_argument("--once", action="store_true",
+                       help="poll a single time and exit")
+    watch.add_argument("--timeout", type=float, default=3.0,
+                       help="per-request timeout, seconds (default: 3)")
+    watch.add_argument("--json", action="store_true",
+                       help="print the raw /info JSON instead of a summary")
     return parser
 
 
@@ -102,6 +131,8 @@ def _cmd_threshold(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
+    if args.json:
+        return _emit_json("threshold-result", result.as_dict())
     print(f"configuration : {args.config} (alpha={args.alpha}, beta={args.beta})")
     print(f"anomalous     : {', '.join(sorted(result.anomalous))}")
     first = percentile_summary(result.first_detection)
@@ -135,6 +166,8 @@ def _cmd_interval(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
+    if args.json:
+        return _emit_json("interval-result", result.as_dict())
     print(f"configuration : {args.config} (alpha={args.alpha}, beta={args.beta})")
     print(f"test time     : {result.test_time:.1f}s")
     print(f"FP events     : {result.fp_events}")
@@ -156,6 +189,8 @@ def _cmd_stress(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
+    if args.json:
+        return _emit_json("stress-result", result.as_dict())
     print(f"configuration : {args.config}")
     print(f"stressed      : {', '.join(sorted(result.stressed))}")
     print(f"total FP      : {result.total_false_positives}")
@@ -164,26 +199,35 @@ def _cmd_stress(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    results = []
+    for configuration in CONFIGURATION_NAMES:
+        results.append(
+            run_interval(
+                IntervalParams(
+                    configuration=configuration,
+                    n_members=args.members,
+                    concurrent=args.concurrent,
+                    duration=args.duration,
+                    interval=args.interval,
+                    alpha=args.alpha,
+                    beta=args.beta,
+                    min_test_time=args.test_time,
+                    seed=args.seed,
+                )
+            )
+        )
+    if args.json:
+        return _emit_json(
+            "compare-result",
+            {"results": [result.as_dict() for result in results]},
+        )
     print(
         f"Interval experiment: n={args.members} C={args.concurrent} "
         f"D={args.duration}s I={args.interval}s T>={args.test_time}s "
         f"(alpha={args.alpha}, beta={args.beta})"
     )
     print(f"{'configuration':15s} {'FP':>7s} {'FP-':>6s} {'msgs':>9s} {'MiB':>8s}")
-    for configuration in CONFIGURATION_NAMES:
-        result = run_interval(
-            IntervalParams(
-                configuration=configuration,
-                n_members=args.members,
-                concurrent=args.concurrent,
-                duration=args.duration,
-                interval=args.interval,
-                alpha=args.alpha,
-                beta=args.beta,
-                min_test_time=args.test_time,
-                seed=args.seed,
-            )
-        )
+    for configuration, result in zip(CONFIGURATION_NAMES, results):
         print(
             f"{configuration:15s} {result.fp_events:7d} "
             f"{result.fp_healthy_events:6d} {result.msgs_sent:9d} "
@@ -192,11 +236,54 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_json(url: str, timeout: float) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _render_watch(info: dict) -> str:
+    lhm = info["lhm"]
+    probe = info["probe"]
+    members = info["members"]
+    by_state = members.get("by_state", {})
+    states = ", ".join(f"{state}={count}" for state, count in sorted(by_state.items()))
+    health = "healthy" if lhm["healthy"] else (
+        "saturated" if lhm["saturated"] else "degrading"
+    )
+    return (
+        f"{info['name']} @ {info['address']}  inc={info['incarnation']}  "
+        f"lhm={lhm['score']}/{lhm['max']} ({health})  "
+        f"probe={probe['interval']:.2f}s/{probe['timeout']:.2f}s  "
+        f"members: {states}  suspicions={info['suspicions']}"
+    )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    base = f"http://{args.address}"
+    while True:
+        try:
+            info = _fetch_json(base + "/info", args.timeout)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"watch: cannot reach {base}/info: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+        else:
+            print(_render_watch(info))
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+
+
 _COMMANDS = {
     "threshold": _cmd_threshold,
     "interval": _cmd_interval,
     "stress": _cmd_stress,
     "compare": _cmd_compare,
+    "watch": _cmd_watch,
 }
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -151,6 +152,23 @@ class SwimConfig:
     reliable_failure_peer_threshold: int = 2
 
     # ------------------------------------------------------------------ #
+    # Ops / admin plane (real-network members only; see :mod:`repro.ops`).
+    # The simulator exposes the same metrics registry directly, without
+    # the HTTP server.
+    # ------------------------------------------------------------------ #
+    #: TCP port for the admin HTTP API (``/metrics``, ``/health``, ...).
+    #: ``None`` disables the admin server; ``0`` binds an ephemeral port.
+    admin_port: Optional[int] = None
+    #: Interface the admin server binds to. Loopback by default — the
+    #: admin API is unauthenticated, so exposing it wider is a deliberate
+    #: deployment decision.
+    admin_host: str = "127.0.0.1"
+    #: ``/health`` reports degraded (HTTP 503) while the Local Health
+    #: Multiplier score exceeds this value: an overloaded member keeps
+    #: liveness but sheds readiness.
+    admin_degraded_lhm: int = 2
+
+    # ------------------------------------------------------------------ #
     # Lifeguard component switches
     # ------------------------------------------------------------------ #
     flags: LifeguardFlags = dataclasses.field(default_factory=LifeguardFlags)
@@ -200,6 +218,12 @@ class SwimConfig:
             raise ValueError("reliable_failure_window must be positive")
         if self.reliable_failure_peer_threshold < 1:
             raise ValueError("reliable_failure_peer_threshold must be >= 1")
+        if self.admin_port is not None and not 0 <= self.admin_port <= 65535:
+            raise ValueError("admin_port must be in [0, 65535]")
+        if not self.admin_host:
+            raise ValueError("admin_host must be non-empty")
+        if self.admin_degraded_lhm < 0:
+            raise ValueError("admin_degraded_lhm must be non-negative")
 
     def replace(self, **changes: object) -> "SwimConfig":
         """Return a copy of this config with ``changes`` applied."""

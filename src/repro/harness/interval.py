@@ -11,6 +11,7 @@ to measure false positives (Table IV, Figures 2-3) and message load
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import List
@@ -67,6 +68,19 @@ class IntervalResult:
     @property
     def fp_healthy_events(self) -> int:
         return self.false_positives.fp_healthy_events
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (shared schema with the ops plane; see
+        :mod:`repro.ops.schema`)."""
+        return {
+            "params": dataclasses.asdict(self.params),
+            "anomalous": sorted(self.anomalous),
+            "fp_events": self.fp_events,
+            "fp_healthy_events": self.fp_healthy_events,
+            "msgs_sent": self.msgs_sent,
+            "bytes_sent": self.bytes_sent,
+            "test_time": self.test_time,
+        }
 
 
 def run_interval(params: IntervalParams) -> IntervalResult:

@@ -12,6 +12,7 @@ agent fighting 128 hogs for one core.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import List
@@ -70,6 +71,16 @@ class StressResult:
     def false_positives_at_healthy(self) -> int:
         """Figure 1's 'False Positives at Healthy Members'."""
         return self.false_positives.fp_healthy_events
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (shared schema with the ops plane; see
+        :mod:`repro.ops.schema`)."""
+        return {
+            "params": dataclasses.asdict(self.params),
+            "stressed": sorted(self.stressed),
+            "total_false_positives": self.total_false_positives,
+            "false_positives_at_healthy": self.false_positives_at_healthy,
+        }
 
 
 def run_stress(params: StressParams) -> StressResult:

@@ -12,12 +12,17 @@ correlated anomalies, such as from power loss to a rack"), 120 s cap.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.harness.configurations import make_config
-from repro.metrics.analysis import DisseminationStats, detection_latencies
+from repro.metrics.analysis import (
+    DisseminationStats,
+    detection_latencies,
+    percentile_summary,
+)
 from repro.sim.runtime import SimCluster
 
 
@@ -66,6 +71,24 @@ class ThresholdResult:
     @property
     def full_dissemination(self) -> List[float]:
         return self.latencies.full_dissemination_values
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (shared schema with the ops plane; see
+        :mod:`repro.ops.schema`)."""
+        return {
+            "params": dataclasses.asdict(self.params),
+            "anomalous": sorted(self.anomalous),
+            "first_detection": {
+                str(p): v for p, v in percentile_summary(self.first_detection).items()
+            },
+            "full_dissemination": {
+                str(p): v
+                for p, v in percentile_summary(self.full_dissemination).items()
+            },
+            "undetected": len(self.latencies.undetected),
+            "recovered": self.recovered,
+            "recovery_time": self.recovery_time,
+        }
 
 
 def run_threshold(params: ThresholdParams) -> ThresholdResult:

@@ -118,10 +118,12 @@ class Telemetry:
             total.merge(part)
         return total
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "msgs_sent": self.msgs_sent,
             "bytes_sent": self.bytes_sent,
+            "msgs_by_kind": dict(self.msgs_by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
             "msgs_received": self.msgs_received,
             "bytes_received": self.bytes_received,
             "reliable_msgs_sent": self.reliable_msgs_sent,

@@ -64,14 +64,16 @@ def events_from_jsonl(path: PathLike) -> List[MemberEvent]:
 
 def telemetry_to_json(telemetry: Telemetry, path: PathLike) -> None:
     """Persist telemetry counters (including the per-kind breakdown)."""
-    record = telemetry.as_dict()
-    record["msgs_by_kind"] = dict(telemetry.msgs_by_kind)
-    record["bytes_by_kind"] = dict(telemetry.bytes_by_kind)
-    Path(path).write_text(json.dumps(record, indent=2, sort_keys=True))
+    Path(path).write_text(json.dumps(telemetry.as_dict(), indent=2, sort_keys=True))
 
 
 def telemetry_from_json(path: PathLike) -> Telemetry:
-    """Load telemetry persisted by :func:`telemetry_to_json`."""
+    """Load telemetry persisted by :func:`telemetry_to_json`.
+
+    Inverse of :meth:`Telemetry.as_dict`: round-trips every counter,
+    including the per-kind breakdown, oversized-broadcast count and
+    transport events.
+    """
     record = json.loads(Path(path).read_text())
     telemetry = Telemetry()
     telemetry.msgs_sent = int(record["msgs_sent"])
@@ -80,6 +82,9 @@ def telemetry_from_json(path: PathLike) -> Telemetry:
     telemetry.bytes_received = int(record["bytes_received"])
     telemetry.reliable_msgs_sent = int(record["reliable_msgs_sent"])
     telemetry.reliable_bytes_sent = int(record["reliable_bytes_sent"])
+    telemetry.oversized_broadcasts = int(record.get("oversized_broadcasts", 0))
     telemetry.msgs_by_kind.update(record.get("msgs_by_kind", {}))
     telemetry.bytes_by_kind.update(record.get("bytes_by_kind", {}))
+    for event, count in record.get("transport", {}).items():
+        telemetry.transport.incr(event, int(count))
     return telemetry

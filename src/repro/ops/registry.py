@@ -1,0 +1,452 @@
+"""A dependency-free metrics registry with Prometheus semantics.
+
+Three metric types, all optionally labelled:
+
+* :class:`Counter` — monotonically increasing totals.
+* :class:`Gauge` — point-in-time values.
+* :class:`Histogram` — fixed cumulative buckets plus ``_sum``/``_count``.
+
+Metrics are owned by a :class:`MetricsRegistry`. Besides direct
+instrumentation (``counter.labels(node="a").inc()``), the registry
+supports pull-time *collectors*: callbacks run at the start of every
+:meth:`MetricsRegistry.collect` that snapshot external state into
+gauges/counters. :class:`NodeCollector` is the collector for one
+:class:`~repro.swim.node.SwimNode`: member counts by state, incarnation,
+LHM score, scaled probe timing, suspicion-table size, broadcast-queue
+depths, the full :class:`~repro.metrics.telemetry.Telemetry` /
+:class:`~repro.metrics.telemetry.TransportStats` counter set, and a
+probe-RTT histogram fed by the node's ack-latency hook
+(:attr:`SwimNode.on_probe_rtt <repro.swim.node.SwimNode.on_probe_rtt>`).
+
+Every per-node sample carries a ``node`` label, so one registry can host
+a whole simulated cluster (see
+:meth:`SimCluster.install_ops_registry
+<repro.sim.runtime.SimCluster.install_ops_registry>`) with the same
+metric names a single live member exposes over HTTP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.lhm import LhmEvent
+from repro.swim.state import MemberState
+
+#: Cumulative upper bounds (seconds) for the probe-RTT histogram. Spans
+#: loopback (sub-millisecond) through LHM-scaled WAN timeouts.
+DEFAULT_RTT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class _Child:
+    """One labelled time series inside a metric family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class _HistogramChild:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Metric:
+    """Base class for one metric family (name + type + label names)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str]) -> None:
+        if not name or not name.replace("_", "a").isalnum() or name[0].isdigit():
+            raise ValueError(f"invalid metric name: {name!r}")
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _child_for(self, labels: Dict[str, str]):
+        if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        key = tuple(str(labels[k]) for k in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._new_child()
+        return child
+
+    def _new_child(self):
+        return _Child()
+
+    def labels(self, **labels: str):
+        """The child series for the given label values (created lazily)."""
+        return self._child_for(labels)
+
+    def samples(self) -> Iterable[Tuple[str, Tuple[Tuple[str, str], ...], float]]:
+        """Yield ``(sample_name, label_pairs, value)`` for exposition."""
+        for key, child in self._children.items():
+            yield self.name, tuple(zip(self.labelnames, key)), child.value
+
+
+class _CounterChild(_Child):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.value += amount
+
+    def set_total(self, total: float) -> None:
+        """Overwrite the running total.
+
+        For collectors mirroring an externally maintained monotonic
+        counter (e.g. :class:`~repro.metrics.telemetry.Telemetry`), where
+        the source of truth is elsewhere and already monotonic.
+        """
+        self.value = total
+
+
+class Counter(Metric):
+    kind = "counter"
+
+    def _new_child(self):
+        return _CounterChild()
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        self._child_for(labels).inc(amount)
+
+
+class _GaugeChild(_Child):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Gauge(Metric):
+    kind = "gauge"
+
+    def _new_child(self):
+        return _GaugeChild()
+
+    def set(self, value: float, **labels: str) -> None:
+        self._child_for(labels).set(value)
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram (cumulative ``le`` buckets, Prometheus style)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_RTT_BUCKETS,
+    ) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be sorted and distinct")
+        super().__init__(name, help_text, labelnames)
+        self.buckets = bounds
+
+    def _new_child(self):
+        return _HistogramChild(len(self.buckets))
+
+    def observe(self, value: float, **labels: str) -> None:
+        self._observe_child(self._child_for(labels), value)
+
+    def _observe_child(self, child: _HistogramChild, value: float) -> None:
+        child.sum += value
+        child.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                child.bucket_counts[index] += 1
+                break
+
+    def labels(self, **labels: str) -> "_BoundHistogram":
+        return _BoundHistogram(self, dict(labels))
+
+    def samples(self):
+        for key, child in self._children.items():
+            base = tuple(zip(self.labelnames, key))
+            cumulative = 0
+            for bound, count in zip(self.buckets, child.bucket_counts):
+                cumulative += count
+                yield (
+                    self.name + "_bucket",
+                    base + (("le", _format_bound(bound)),),
+                    cumulative,
+                )
+            yield self.name + "_bucket", base + (("le", "+Inf"),), child.count
+            yield self.name + "_sum", base, child.sum
+            yield self.name + "_count", base, child.count
+
+
+class _BoundHistogram:
+    """A histogram pre-bound to one label set.
+
+    Labels are validated and the child series resolved once, at bind
+    time, so :meth:`observe` is cheap enough for per-packet hot paths
+    (the node's ack-latency hook fires on every directly-acked probe).
+    """
+
+    __slots__ = ("_histogram", "_child")
+
+    def __init__(self, histogram: Histogram, labels: Dict[str, str]) -> None:
+        self._histogram = histogram
+        self._child = histogram._child_for(labels)
+
+    def observe(self, value: float) -> None:
+        self._histogram._observe_child(self._child, value)
+
+
+def _format_bound(bound: float) -> str:
+    return repr(bound) if bound != int(bound) else f"{bound:g}.0"
+
+
+class MetricsRegistry:
+    """Owns metric families and pull-time collectors.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same family (so several
+    :class:`NodeCollector` instances can share families, distinguished by
+    their ``node`` label), but re-asking with a different type or label
+    set is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    def _get_or_create(self, cls, name, help_text, labelnames, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered with a different "
+                    f"type or label set"
+                )
+            return existing
+        metric = cls(name, help_text, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_RTT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def add_collector(self, collect: Callable[[], None]) -> None:
+        """Register a callback run at the start of every :meth:`collect`."""
+        self._collectors.append(collect)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def collect(self) -> List[Metric]:
+        """Refresh collector-backed metrics and return all families,
+        sorted by name for stable exposition output."""
+        for collect in self._collectors:
+            collect()
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+
+class NodeCollector:
+    """Snapshots one :class:`~repro.swim.node.SwimNode` into a registry.
+
+    All samples carry a ``node`` label with the member name. Construction
+    registers (or reuses) the metric families and a pull-time collector;
+    :meth:`install_rtt_hook` additionally wires the node's ack-latency
+    hook into the ``lifeguard_probe_rtt_seconds`` histogram.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        node,
+        rtt_buckets: Sequence[float] = DEFAULT_RTT_BUCKETS,
+    ) -> None:
+        self.registry = registry
+        self.node = node
+        label = ("node",)
+
+        g, c = registry.gauge, registry.counter
+        self._members = g(
+            "lifeguard_members",
+            "Known members by state, as seen by this node (includes itself).",
+            ("node", "state"),
+        )
+        self._incarnation = g(
+            "lifeguard_incarnation", "This member's own incarnation number.", label
+        )
+        self._lhm_score = g(
+            "lifeguard_lhm_score",
+            "Current Local Health Multiplier score (0 = healthy).",
+            label,
+        )
+        self._lhm_max = g(
+            "lifeguard_lhm_max", "LHM saturation limit S.", label
+        )
+        self._probe_interval = g(
+            "lifeguard_probe_interval_seconds",
+            "LHM-scaled probe interval currently in effect.",
+            label,
+        )
+        self._probe_timeout = g(
+            "lifeguard_probe_timeout_seconds",
+            "LHM-scaled probe timeout currently in effect.",
+            label,
+        )
+        self._suspicions = g(
+            "lifeguard_suspicions",
+            "Entries in the local suspicion table.",
+            label,
+        )
+        self._queue_depth = g(
+            "lifeguard_broadcast_queue_depth",
+            "Broadcasts pending in the gossip queues.",
+            ("node", "queue"),
+        )
+        self._running = g(
+            "lifeguard_node_running",
+            "1 while the protocol loops are running.",
+            label,
+        )
+        self._msgs_sent = c(
+            "lifeguard_msgs_sent_total", "Messages sent (compound = 1).", label
+        )
+        self._bytes_sent = c(
+            "lifeguard_bytes_sent_total", "Payload bytes sent.", label
+        )
+        self._msgs_received = c(
+            "lifeguard_msgs_received_total", "Messages received.", label
+        )
+        self._bytes_received = c(
+            "lifeguard_bytes_received_total", "Payload bytes received.", label
+        )
+        self._reliable_msgs = c(
+            "lifeguard_reliable_msgs_sent_total",
+            "Messages sent over the reliable channel.",
+            label,
+        )
+        self._reliable_bytes = c(
+            "lifeguard_reliable_bytes_sent_total",
+            "Payload bytes sent over the reliable channel.",
+            label,
+        )
+        self._oversized = c(
+            "lifeguard_oversized_broadcasts_total",
+            "Broadcasts dropped as undeliverably large.",
+            label,
+        )
+        self._by_kind_msgs = c(
+            "lifeguard_msgs_sent_by_kind_total",
+            "Messages sent by primary message kind.",
+            ("node", "kind"),
+        )
+        self._by_kind_bytes = c(
+            "lifeguard_bytes_sent_by_kind_total",
+            "Payload bytes sent by primary message kind.",
+            ("node", "kind"),
+        )
+        self._transport_events = c(
+            "lifeguard_transport_events_total",
+            "Channel-level transport events (see TransportStats).",
+            ("node", "event"),
+        )
+        self._lhm_events = c(
+            "lifeguard_lhm_events_total",
+            "Local Health events recorded, by kind (counted even when "
+            "LHA-Probe is disabled).",
+            ("node", "event"),
+        )
+        self.rtt = registry.histogram(
+            "lifeguard_probe_rtt_seconds",
+            "Round-trip time of directly acked probes (ack received "
+            "within the probe timeout; indirect and nack paths excluded).",
+            label,
+            buckets=rtt_buckets,
+        )
+        self._rtt_child = self.rtt.labels(node=node.name)
+        registry.add_collector(self.collect)
+
+    def install_rtt_hook(self) -> None:
+        """Point the node's ack-latency hook at the RTT histogram."""
+        self.node.on_probe_rtt = self.observe_rtt
+
+    def observe_rtt(self, target: str, rtt: float) -> None:
+        del target  # per-target RTT series would explode cardinality
+        self._rtt_child.observe(rtt)
+
+    def collect(self) -> None:
+        node = self.node
+        name = node.name
+        members = node.members
+        for state in MemberState:
+            self._members.set(
+                members.num_in_state(state), node=name, state=state.name.lower()
+            )
+        self._incarnation.set(node.incarnation, node=name)
+        lhm = node.local_health
+        self._lhm_score.set(lhm.score, node=name)
+        self._lhm_max.set(lhm.max_value, node=name)
+        self._probe_interval.set(node.current_probe_interval(), node=name)
+        self._probe_timeout.set(node.current_probe_timeout(), node=name)
+        self._suspicions.set(node.suspicion_count, node=name)
+        self._queue_depth.set(len(node.broadcasts), node=name, queue="system")
+        self._queue_depth.set(len(node.user_broadcasts), node=name, queue="user")
+        self._running.set(1 if node.running else 0, node=name)
+
+        telemetry = node.telemetry
+        self._msgs_sent.labels(node=name).set_total(telemetry.msgs_sent)
+        self._bytes_sent.labels(node=name).set_total(telemetry.bytes_sent)
+        self._msgs_received.labels(node=name).set_total(telemetry.msgs_received)
+        self._bytes_received.labels(node=name).set_total(telemetry.bytes_received)
+        self._reliable_msgs.labels(node=name).set_total(telemetry.reliable_msgs_sent)
+        self._reliable_bytes.labels(node=name).set_total(
+            telemetry.reliable_bytes_sent
+        )
+        self._oversized.labels(node=name).set_total(telemetry.oversized_broadcasts)
+        for kind, count in telemetry.msgs_by_kind.items():
+            self._by_kind_msgs.labels(node=name, kind=kind).set_total(count)
+        for kind, n_bytes in telemetry.bytes_by_kind.items():
+            self._by_kind_bytes.labels(node=name, kind=kind).set_total(n_bytes)
+        for event, count in telemetry.transport.as_dict().items():
+            self._transport_events.labels(node=name, event=event).set_total(count)
+        for event in LhmEvent:
+            self._lhm_events.labels(node=name, event=event.value).set_total(
+                lhm.event_count(event)
+            )

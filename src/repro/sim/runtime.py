@@ -129,6 +129,10 @@ class SimCluster:
 
         self._bootstrap = bootstrap
         self._started = False
+        #: Shared metrics registry, populated by
+        #: :meth:`install_ops_registry` (``None`` until installed).
+        self.ops_registry = None
+        self.ops_collectors: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -181,6 +185,29 @@ class SimCluster:
             adjacency[name] = neighbors
             self.nodes[name].set_gossip_overlay(neighbors)
         return adjacency
+
+    def install_ops_registry(self):
+        """Attach the ops plane's metrics registry to every node.
+
+        The registry-only face of :mod:`repro.ops`: one shared
+        :class:`~repro.ops.registry.MetricsRegistry` hosts a
+        :class:`~repro.ops.registry.NodeCollector` per member (samples
+        labelled by node name) and every node's ack-latency hook feeds
+        the ``lifeguard_probe_rtt_seconds`` histogram — so simulated
+        experiments can assert on exactly the metrics a live member
+        serves from ``/metrics``. Returns the registry.
+        """
+        from repro.ops.registry import MetricsRegistry, NodeCollector
+
+        if self.ops_registry is not None:
+            return self.ops_registry
+        registry = MetricsRegistry()
+        for name, node in self.nodes.items():
+            collector = NodeCollector(registry, node)
+            collector.install_rtt_hook()
+            self.ops_collectors[name] = collector
+        self.ops_registry = registry
+        return registry
 
     def _on_anomaly_transition(self, member: str, blocked: bool, _now: float) -> None:
         """Suspend/resume a member's protocol loops around its anomaly

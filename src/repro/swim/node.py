@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 import struct
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.config import SwimConfig
 from repro.core.buddy import BuddyPiggybacker
@@ -144,8 +144,15 @@ class SwimNode:
         self._scheduler = scheduler
         self._transport = transport
         self._rng = rng if rng is not None else random.Random()
-        self._listener = listener
+        self._listeners: List[EventListener] = [] if listener is None else [listener]
         self._on_user_event = on_user_event
+        #: Optional ack-latency hook: called as ``hook(target, rtt_seconds)``
+        #: for every probe whose ``ack`` arrived on the *direct* path (i.e.
+        #: before the probe timeout launched indirect helpers). Indirect
+        #: acks and nacks are excluded, so the observations measure the
+        #: peer round trip, not the relay detour. Feeds the ops plane's
+        #: probe-RTT histogram (:class:`repro.ops.registry.NodeCollector`).
+        self.on_probe_rtt: Optional[Callable[[str, float], None]] = None
 
         self.telemetry = Telemetry()
         self._members = MemberMap(name, transport.local_address, self._rng)
@@ -286,6 +293,40 @@ class SwimNode:
     @property
     def buddy(self) -> BuddyPiggybacker:
         return self._buddy
+
+    def add_listener(self, listener: EventListener) -> None:
+        """Register an additional membership-event listener.
+
+        Listeners are invoked in registration order for every event; used
+        by the ops plane to tee events into an
+        :class:`~repro.ops.events.EventStream` without displacing the
+        application's listener.
+        """
+        self._listeners.append(listener)
+
+    @property
+    def suspicion_count(self) -> int:
+        """Entries currently in the local suspicion table."""
+        return len(self._suspicions)
+
+    def suspicion_snapshot(self) -> List[dict]:
+        """The live suspicion table as JSON-safe records (ops plane)."""
+        now = self._clock()
+        out = []
+        for name, entry in self._suspicions.items():
+            suspicion = entry.suspicion
+            out.append(
+                {
+                    "member": name,
+                    "confirmations": suspicion.confirmations,
+                    "confirmers": sorted(suspicion.confirmers),
+                    "k": suspicion.k,
+                    "started_at": suspicion.started_at,
+                    "deadline": suspicion.deadline(),
+                    "remaining": suspicion.remaining(now),
+                }
+            )
+        return out
 
     @property
     def incarnation(self) -> int:
@@ -635,6 +676,14 @@ class SwimNode:
         probe = self._probes.get(ack.seq_no)
         if probe is not None:
             if not probe.acked:
+                # A still-pending timeout timer means the ack beat the
+                # probe timeout: it came over the direct path (indirect
+                # helpers and the reliable fallback only launch when the
+                # timeout fires), so it is a clean peer-RTT observation.
+                if probe.timeout_timer is not None and self.on_probe_rtt is not None:
+                    self.on_probe_rtt(
+                        probe.target, self._clock() - probe.started_at
+                    )
                 probe.acked = True
                 self._lhm.note(LhmEvent.PROBE_SUCCESS)
                 if probe.timeout_timer is not None:
@@ -1055,8 +1104,10 @@ class SwimNode:
         return self._seq
 
     def _emit(self, kind: EventKind, subject: str, incarnation: int, now: float) -> None:
-        if self._listener is not None:
-            self._listener(MemberEvent(now, self.name, subject, kind, incarnation))
+        if self._listeners:
+            event = MemberEvent(now, self.name, subject, kind, incarnation)
+            for listener in self._listeners:
+                listener(event)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

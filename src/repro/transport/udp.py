@@ -457,11 +457,19 @@ class UdpMember:
     builds per member in the simulator. Transport events are folded into
     ``node.telemetry.transport`` and permanent reliable-send failures
     feed the node's local-health hook.
+
+    When ``config.admin_port`` is set (``0`` = ephemeral), an
+    :class:`~repro.ops.http.AdminServer` is started alongside the member:
+    its metrics registry snapshots this node at scrape time, the node's
+    ack-latency hook feeds the probe-RTT histogram, and membership events
+    are teed into the server's bounded event stream.
     """
 
-    def __init__(self, node: SwimNode, transport: UdpTransport) -> None:
+    def __init__(self, node: SwimNode, transport: UdpTransport, admin=None) -> None:
         self.node = node
         self.transport = transport
+        #: The attached :class:`~repro.ops.http.AdminServer`, or ``None``.
+        self.admin = admin
 
     @classmethod
     async def create(
@@ -492,11 +500,27 @@ class UdpMember:
         transport.bind(node.handle_packet)
         transport.use_stats(node.telemetry.transport)
         transport.on_reliable_failure = node.note_reliable_send_failure
-        return cls(node, transport)
+        admin = None
+        if config.admin_port is not None:
+            from repro.ops.http import AdminServer
+
+            try:
+                admin = await AdminServer.start(
+                    node, host=config.admin_host, port=config.admin_port
+                )
+            except OSError:
+                await transport.close()
+                raise
+        return cls(node, transport, admin)
 
     @property
     def address(self) -> str:
         return self.transport.local_address
+
+    @property
+    def admin_address(self) -> Optional[str]:
+        """``host:port`` of the admin API, or ``None`` when disabled."""
+        return self.admin.address if self.admin is not None else None
 
     def start(self) -> None:
         self.node.start()
@@ -507,4 +531,6 @@ class UdpMember:
     async def stop(self) -> None:
         if self.node.running:
             self.node.stop()
+        if self.admin is not None:
+            await self.admin.close()
         await self.transport.close()

@@ -80,3 +80,48 @@ class TestTelemetryTrace:
         assert loaded.as_dict() == telemetry.as_dict()
         assert loaded.msgs_by_kind == telemetry.msgs_by_kind
         assert loaded.bytes_by_kind == telemetry.bytes_by_kind
+
+    def test_round_trip_preserves_every_counter(self, tmp_path):
+        """Regression: as_dict carries the per-kind breakdown itself, and
+        from_json restores oversized-broadcast and transport counters."""
+        telemetry = Telemetry()
+        telemetry.record_send("ping", 20)
+        telemetry.record_send("ping", 24)
+        telemetry.record_send("pushpull", 900, reliable=True)
+        telemetry.record_receive(55)
+        telemetry.record_oversized_broadcast(3000)
+        telemetry.transport.incr("conns_opened", 2)
+        telemetry.transport.incr("reliable_send_ok", 5)
+        path = tmp_path / "telemetry.json"
+        telemetry_to_json(telemetry, path)
+
+        data = telemetry.as_dict()
+        assert data["msgs_by_kind"] == {"ping": 2, "pushpull": 1}
+        assert data["bytes_by_kind"] == {"ping": 44, "pushpull": 900}
+
+        loaded = telemetry_from_json(path)
+        assert loaded.as_dict() == telemetry.as_dict()
+        assert loaded.oversized_broadcasts == 1
+        assert loaded.transport.get("conns_opened") == 2
+        assert loaded.transport.get("reliable_send_ok") == 5
+
+    def test_from_json_tolerates_legacy_records(self, tmp_path):
+        """Traces written before oversized/transport counters existed
+        still load, with the missing counters at zero."""
+        import json
+
+        path = tmp_path / "telemetry.json"
+        path.write_text(json.dumps({
+            "msgs_sent": 3,
+            "bytes_sent": 120,
+            "msgs_received": 1,
+            "bytes_received": 40,
+            "reliable_msgs_sent": 0,
+            "reliable_bytes_sent": 0,
+            "msgs_by_kind": {"ping": 3},
+            "bytes_by_kind": {"ping": 120},
+        }))
+        loaded = telemetry_from_json(path)
+        assert loaded.msgs_sent == 3
+        assert loaded.oversized_broadcasts == 0
+        assert loaded.transport.as_dict() == {}

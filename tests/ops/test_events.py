@@ -1,0 +1,127 @@
+"""Tests for the bounded, resumable event stream."""
+
+import json
+
+import pytest
+
+from repro.ops.events import EventStream, event_record
+from repro.swim.events import EventKind, MemberEvent
+
+
+def make_event(i, kind=EventKind.SUSPECTED):
+    return MemberEvent(float(i), "a", f"m{i}", kind, i)
+
+
+class TestStamping:
+    def test_sequence_starts_at_one_and_increases(self):
+        stream = EventStream()
+        assert stream.last_seq == 0
+        assert stream.append(make_event(1)) == 1
+        assert stream.append(make_event(2)) == 2
+        assert stream.last_seq == 2
+
+    def test_usable_as_listener_callable(self):
+        stream = EventStream()
+        stream(make_event(1))
+        assert len(stream) == 1
+
+    def test_record_shape(self):
+        record = event_record(7, make_event(3, EventKind.FAILED))
+        assert record == {
+            "seq": 7,
+            "t": 3.0,
+            "observer": "a",
+            "subject": "m3",
+            "kind": "failed",
+            "incarnation": 3,
+        }
+
+
+class TestResume:
+    def test_since_returns_strictly_newer(self):
+        stream = EventStream()
+        for i in range(1, 6):
+            stream.append(make_event(i))
+        batch = stream.since(0)
+        assert [e["seq"] for e in batch] == [1, 2, 3, 4, 5]
+        resumed = stream.since(batch[-1]["seq"])
+        assert resumed == []
+
+    def test_poll_resume_sees_each_event_exactly_once(self):
+        stream = EventStream()
+        seen = []
+        cursor = 0
+        for i in range(1, 10):
+            stream.append(make_event(i))
+            if i % 3 == 0:  # poll every third event
+                batch = stream.since(cursor)
+                seen.extend(e["seq"] for e in batch)
+                cursor = batch[-1]["seq"]
+        assert seen == list(range(1, 10))
+
+    def test_limit_caps_batch_oldest_first(self):
+        stream = EventStream()
+        for i in range(1, 6):
+            stream.append(make_event(i))
+        batch = stream.since(0, limit=2)
+        assert [e["seq"] for e in batch] == [1, 2]
+
+
+class TestEviction:
+    def test_capacity_bounds_retention(self):
+        stream = EventStream(capacity=3)
+        for i in range(1, 8):
+            stream.append(make_event(i))
+        assert len(stream) == 3
+        assert stream.first_seq == 5
+        assert stream.last_seq == 7
+        assert stream.dropped == 4
+
+    def test_gap_is_visible_to_lagging_consumer(self):
+        stream = EventStream(capacity=2)
+        for i in range(1, 6):
+            stream.append(make_event(i))
+        batch = stream.since(1)  # consumer last saw seq 1
+        assert [e["seq"] for e in batch] == [4, 5]  # gap: 2 and 3 lost
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventStream(capacity=0)
+
+
+class TestJsonl:
+    def test_round_trips_through_json(self):
+        stream = EventStream()
+        stream.append(make_event(1))
+        stream.append(make_event(2, EventKind.FAILED))
+        text = EventStream.to_jsonl(stream.since(0))
+        lines = [json.loads(line) for line in text.splitlines()]
+        assert [line["seq"] for line in lines] == [1, 2]
+        assert lines[1]["kind"] == "failed"
+
+    def test_empty_stream_renders_empty_string(self):
+        assert EventStream.to_jsonl([]) == ""
+
+
+class TestNodeIntegration:
+    def test_add_listener_tees_events(self):
+        from repro.config import SwimConfig
+        from tests.conftest import LocalCluster
+
+        cluster = LocalCluster(
+            ["a", "b", "c"],
+            config=SwimConfig.lifeguard(
+                push_pull_interval=0.0, reconnect_interval=0.0
+            ),
+        )
+        stream = EventStream()
+        cluster.nodes["a"].add_listener(stream)
+        cluster.blackhole("b")
+        for name, node in cluster.nodes.items():
+            if name != "b":
+                node.start(first_probe_delay=0.05)
+        cluster.run_for(60.0)
+        kinds = {e["kind"] for e in stream.since(0)}
+        assert "failed" in kinds
+        # The original listener (the cluster event log) still fired too.
+        assert any(e.kind is EventKind.FAILED for e in cluster.events.events)

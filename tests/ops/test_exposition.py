@@ -1,0 +1,163 @@
+"""Parser-level validation of the Prometheus text exposition output."""
+
+import re
+
+import pytest
+
+from repro.config import SwimConfig
+from repro.ops.exposition import CONTENT_TYPE, render_text
+from repro.ops.registry import MetricsRegistry, NodeCollector
+
+from tests.conftest import LocalCluster
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text):
+    """Parse text-format output into (types, samples).
+
+    ``types`` maps family name -> declared type; ``samples`` is a list of
+    ``(sample_name, labels_dict, float_value)``. Raises AssertionError on
+    any line that does not conform to the format.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types = {}
+    helps = {}
+    samples = []
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert kind in ("counter", "gauge", "histogram", "untyped"), kind
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        match = SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        labels = dict(LABEL_RE.findall(match.group("labels") or ""))
+        value = float("inf") if match.group("value") == "+Inf" else float(
+            match.group("value")
+        )
+        samples.append((match.group("name"), labels, value))
+    return types, samples
+
+
+def family_of(sample_name, types):
+    """Resolve a sample name back to its declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in types:
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+class TestFormat:
+    def test_content_type_pins_format_version(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_counter_gauge_histogram_render(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs processed").inc(3)
+        registry.gauge("depth", "queue depth", ("queue",)).set(2, queue="user")
+        histogram = registry.histogram("latency", "rtt", buckets=(0.5, 1.0))
+        histogram.observe(0.2)
+        histogram.observe(0.7)
+
+        types, samples = parse_exposition(render_text(registry))
+        assert types == {
+            "depth": "gauge",
+            "jobs_total": "counter",
+            "latency": "histogram",
+        }
+        by_name = {(n, tuple(sorted(labels.items()))): v for n, labels, v in samples}
+        assert by_name[("jobs_total", ())] == 3
+        assert by_name[("depth", (("queue", "user"),))] == 2
+        assert by_name[("latency_bucket", (("le", "0.5"),))] == 1
+        assert by_name[("latency_bucket", (("le", "1.0"),))] == 2
+        assert by_name[("latency_bucket", (("le", "+Inf"),))] == 2
+        assert by_name[("latency_sum", ())] == pytest.approx(0.9)
+        assert by_name[("latency_count", ())] == 2
+
+    def test_every_sample_belongs_to_a_typed_family(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        types, samples = parse_exposition(render_text(registry))
+        for name, _labels, _value in samples:
+            assert family_of(name, types) in types
+
+    def test_histogram_buckets_cumulative_and_capped_by_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.1, 0.2, 0.4))
+        for value in (0.05, 0.15, 0.3, 9.0):
+            histogram.observe(value)
+        _types, samples = parse_exposition(render_text(registry))
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in samples
+            if name == "h_bucket"
+        ]
+        counts = [value for _le, value in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert buckets[-1][0] == "+Inf"
+        count = next(v for n, _l, v in samples if n == "h_count")
+        assert buckets[-1][1] == count == 4
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "with \"quotes\"\nand newline", ("tag",)).set(
+            1, tag='a"b\\c\nd'
+        )
+        text = render_text(registry)
+        assert '# HELP g with "quotes"\\nand newline' in text
+        assert 'tag="a\\"b\\\\c\\nd"' in text
+        # And the escaped form survives a parse round trip.
+        _types, samples = parse_exposition(text)
+        assert samples[0][0] == "g"
+
+    def test_integral_floats_render_without_fraction(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.0)
+        registry.gauge("f").set(0.25)
+        text = render_text(registry)
+        assert "g 3\n" in text
+        assert "f 0.25\n" in text
+
+
+class TestNodeExposition:
+    def test_live_node_families_all_valid(self):
+        cluster = LocalCluster(
+            ["a", "b", "c"],
+            config=SwimConfig.lifeguard(
+                push_pull_interval=0.0, reconnect_interval=0.0
+            ),
+        )
+        registry = MetricsRegistry()
+        collector = NodeCollector(registry, cluster.nodes["a"])
+        collector.install_rtt_hook()
+        cluster.start_all()
+        cluster.run_for(5.0)
+
+        types, samples = parse_exposition(render_text(registry))
+        assert types["lifeguard_members"] == "gauge"
+        assert types["lifeguard_msgs_sent_total"] == "counter"
+        assert types["lifeguard_probe_rtt_seconds"] == "histogram"
+        rtt_counts = [
+            value
+            for name, _labels, value in samples
+            if name == "lifeguard_probe_rtt_seconds_count"
+        ]
+        assert rtt_counts and rtt_counts[0] > 0
+        # Every sample resolves to a declared family and carries the node label.
+        for name, labels, _value in samples:
+            assert family_of(name, types) in types
+            assert labels.get("node") == "a"

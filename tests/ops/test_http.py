@@ -1,0 +1,272 @@
+"""Asyncio integration tests for the admin HTTP API on a live member."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config import SwimConfig
+from repro.transport.udp import UdpMember
+
+from tests.ops.test_exposition import family_of, parse_exposition
+
+
+def admin_config(**overrides):
+    params = dict(
+        probe_interval=0.25,
+        probe_timeout=0.12,
+        gossip_interval=0.08,
+        push_pull_interval=1.5,
+        reconnect_interval=0.0,
+        admin_port=0,  # ephemeral
+    )
+    params.update(overrides)
+    return SwimConfig.lifeguard(**params)
+
+
+async def http_request(address, target, method="GET", timeout=5.0):
+    """Raw HTTP/1.0-style request; returns (status_line, headers, body)."""
+    host, port = address.rsplit(":", 1)
+    reader, writer = await asyncio.open_connection(host, int(port))
+    writer.write(
+        f"{method} {target} HTTP/1.1\r\nHost: {address}\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(), timeout)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except OSError:
+        pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = lines[0]
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body.decode("utf-8")
+
+
+class TestAdminEndpoints:
+    def test_metrics_members_info_health_events(self):
+        async def scenario():
+            a = await UdpMember.create("alpha", admin_config())
+            b = await UdpMember.create("beta", admin_config(admin_port=None))
+            try:
+                assert b.admin is None  # opt-in: default config has no admin
+                a.start()
+                b.start()
+                b.join([a.address])
+                await asyncio.sleep(1.2)  # a few probe cycles
+
+                address = a.admin_address
+                assert address == a.admin.address
+
+                # /metrics: valid Prometheus text with the core families.
+                status, headers, body = await http_request(address, "/metrics")
+                assert status == "HTTP/1.1 200 OK"
+                assert headers["content-type"].startswith("text/plain")
+                assert headers["connection"] == "close"
+                assert int(headers["content-length"]) == len(body.encode())
+                types, samples = parse_exposition(body)
+                assert types["lifeguard_members"] == "gauge"
+                assert types["lifeguard_msgs_sent_total"] == "counter"
+                assert types["lifeguard_probe_rtt_seconds"] == "histogram"
+                for name, _labels, _value in samples:
+                    assert family_of(name, types) in types
+                alive = [
+                    value
+                    for name, labels, value in samples
+                    if name == "lifeguard_members" and labels["state"] == "alive"
+                ]
+                assert alive == [2.0]  # alpha sees itself and beta
+                rtt_count = next(
+                    value
+                    for name, _labels, value in samples
+                    if name == "lifeguard_probe_rtt_seconds_count"
+                )
+                assert rtt_count > 0  # direct acks flowed over real UDP
+
+                # /members mirrors the membership table.
+                status, _headers, body = await http_request(address, "/members")
+                assert status == "HTTP/1.1 200 OK"
+                payload = json.loads(body)
+                assert payload["schema"] == "lifeguard-repro/v1"
+                assert payload["kind"] == "members"
+                names = {m["name"] for m in payload["members"]}
+                assert names == {"alpha", "beta"}
+
+                # /suspicions is empty on a healthy group.
+                _status, _headers, body = await http_request(address, "/suspicions")
+                assert json.loads(body)["suspicions"] == []
+
+                # /info carries the shared envelope and live LHM/probe data.
+                status, _headers, body = await http_request(address, "/info")
+                info = json.loads(body)
+                assert info["kind"] == "node-info"
+                assert info["name"] == "alpha"
+                assert info["running"] is True
+                assert info["members"]["alive"] == 2
+                assert info["probe"]["base_interval"] == 0.25
+
+                # /health: ok now, degraded (503) once the LHM rises.
+                status, _headers, body = await http_request(address, "/health")
+                assert status == "HTTP/1.1 200 OK"
+                assert json.loads(body)["status"] == "ok"
+                a.node.local_health.apply_delta(5)  # past the default 2
+                status, _headers, body = await http_request(address, "/health")
+                assert status == "HTTP/1.1 503 Service Unavailable"
+                health = json.loads(body)
+                assert health["status"] == "degraded"
+                # A concurrent probe success may already have walked the
+                # score down one; it must still be above the threshold.
+                assert health["lhm"] > 2
+                a.node.local_health.apply_delta(-8)
+                status, _headers, _body = await http_request(address, "/health")
+                assert status == "HTTP/1.1 200 OK"
+            finally:
+                await a.stop()
+                await b.stop()
+
+        asyncio.run(scenario())
+
+    def test_events_resume_without_duplication(self):
+        async def scenario():
+            a = await UdpMember.create("alpha", admin_config())
+            b = await UdpMember.create("beta", admin_config(admin_port=None))
+            try:
+                a.start()
+                b.start()
+                b.join([a.address])
+                await asyncio.sleep(0.8)
+                # Kill beta so alpha raises suspected/failed events.
+                await b.stop()
+                await asyncio.sleep(3.0)
+
+                address = a.admin_address
+                _s, headers, body = await http_request(address, "/events")
+                assert headers["content-type"].startswith("application/jsonl")
+                first = [json.loads(line) for line in body.splitlines()]
+                assert first, "expected at least the join event"
+                seqs = [e["seq"] for e in first]
+                assert seqs == sorted(seqs)
+                kinds = {e["kind"] for e in first}
+                assert "suspected" in kinds
+
+                # Resuming from the last seen seq returns nothing new...
+                last = seqs[-1]
+                _s, _h, body = await http_request(address, f"/events?since={last}")
+                assert body == ""
+                # ...and from one earlier returns exactly the final event.
+                _s, _h, body = await http_request(
+                    address, f"/events?since={last - 1}"
+                )
+                resumed = [json.loads(line) for line in body.splitlines()]
+                assert [e["seq"] for e in resumed] == [last]
+
+                # Full re-poll has no duplicates.
+                _s, _h, body = await http_request(address, "/events?since=0")
+                again = [e["seq"] for e in
+                         (json.loads(line) for line in body.splitlines())]
+                assert len(again) == len(set(again))
+
+                _s, _h, body = await http_request(address, "/events?limit=1")
+                assert [json.loads(line)["seq"] for line in body.splitlines()] == [
+                    seqs[0]
+                ]
+
+                status, _h, _b = await http_request(address, "/events?since=nope")
+                assert status == "HTTP/1.1 400 Bad Request"
+            finally:
+                await a.stop()
+
+        asyncio.run(scenario())
+
+    def test_error_paths(self):
+        async def scenario():
+            a = await UdpMember.create("alpha", admin_config())
+            try:
+                address = a.admin_address
+                status, _h, body = await http_request(address, "/nope")
+                assert status == "HTTP/1.1 404 Not Found"
+                assert json.loads(body)["kind"] == "error"
+
+                status, _h, _b = await http_request(
+                    address, "/metrics", method="POST"
+                )
+                assert status == "HTTP/1.1 405 Method Not Allowed"
+            finally:
+                await a.stop()
+
+        asyncio.run(scenario())
+
+    def test_port_conflict_cleans_up_transport(self):
+        async def scenario():
+            a = await UdpMember.create("alpha", admin_config())
+            port = int(a.admin_address.rsplit(":", 1)[1])
+            try:
+                with pytest.raises(OSError):
+                    await UdpMember.create(
+                        "clash", admin_config(admin_port=port)
+                    )
+            finally:
+                await a.stop()
+
+        asyncio.run(scenario())
+
+    def test_degraded_threshold_configurable(self):
+        async def scenario():
+            a = await UdpMember.create(
+                "alpha", admin_config(admin_degraded_lhm=0)
+            )
+            try:
+                a.node.local_health.apply_delta(1)
+                status, _h, _b = await http_request(a.admin_address, "/health")
+                assert status == "HTTP/1.1 503 Service Unavailable"
+            finally:
+                await a.stop()
+
+        asyncio.run(scenario())
+
+    def test_watch_cli_against_live_member(self):
+        """`lifeguard-repro watch --once` renders a live member's /info."""
+        import threading
+
+        from repro.cli import main
+
+        started = threading.Event()
+        done = threading.Event()
+        holder = {}
+
+        def serve():
+            async def scenario():
+                member = await UdpMember.create("alpha", admin_config())
+                member.start()
+                holder["address"] = member.admin_address
+                started.set()
+                # Keep the loop alive while the CLI polls from the main thread.
+                while not done.is_set():
+                    await asyncio.sleep(0.05)
+                await member.stop()
+
+            asyncio.run(scenario())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            assert started.wait(10)
+            code = main(["watch", holder["address"], "--once"])
+            assert code == 0
+            code = main(["watch", holder["address"], "--once", "--json"])
+            assert code == 0
+        finally:
+            done.set()
+            thread.join(10)
+
+    def test_watch_unreachable_reports_error(self, capsys):
+        from repro.cli import main
+
+        code = main(["watch", "127.0.0.1:1", "--once", "--timeout", "0.5"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err

@@ -1,5 +1,7 @@
 """Tests for the experiment CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -9,6 +11,12 @@ def run_cli(capsys, *argv):
     code = main(list(argv))
     captured = capsys.readouterr()
     return code, captured.out
+
+
+def run_cli_json(capsys, *argv):
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    return json.loads(out)
 
 
 SMALL = ["-n", "24", "--seed", "3"]
@@ -64,6 +72,52 @@ class TestCompareCommand:
         for name in ("SWIM", "LHA-Probe", "LHA-Suspicion", "Buddy System",
                      "Lifeguard"):
             assert name in out
+
+
+class TestJsonOutput:
+    """--json emits the shared ops-plane envelope on every subcommand."""
+
+    def test_threshold_json(self, capsys):
+        payload = run_cli_json(
+            capsys, "threshold", "--json", "--config", "SWIM", "-c", "2",
+            "-d", "14.0", *SMALL,
+        )
+        assert payload["schema"] == "lifeguard-repro/v1"
+        assert payload["kind"] == "threshold-result"
+        assert payload["params"]["configuration"] == "SWIM"
+        assert payload["params"]["n_members"] == 24
+        assert len(payload["anomalous"]) == 2
+        assert "50.0" in payload["first_detection"]
+        assert isinstance(payload["recovered"], bool)
+
+    def test_interval_json(self, capsys):
+        payload = run_cli_json(
+            capsys, "interval", "--json", "--config", "SWIM", "-c", "2",
+            "-d", "4.0", "-i", "0.001", "-t", "15", *SMALL,
+        )
+        assert payload["kind"] == "interval-result"
+        assert payload["msgs_sent"] > 0
+        assert payload["bytes_sent"] > 0
+        assert payload["test_time"] >= 15
+
+    def test_stress_json(self, capsys):
+        payload = run_cli_json(
+            capsys, "stress", "--json", "--config", "Lifeguard",
+            "--stressed", "2", "-t", "20", *SMALL,
+        )
+        assert payload["kind"] == "stress-result"
+        assert len(payload["stressed"]) == 2
+        assert payload["total_false_positives"] >= 0
+
+    def test_compare_json_covers_all_configurations(self, capsys):
+        payload = run_cli_json(
+            capsys, "compare", "--json", "-c", "2", "-d", "4.0",
+            "-i", "0.002", "-t", "10", *SMALL,
+        )
+        assert payload["kind"] == "compare-result"
+        names = [r["params"]["configuration"] for r in payload["results"]]
+        assert names == ["SWIM", "LHA-Probe", "LHA-Suspicion", "Buddy System",
+                         "Lifeguard"]
 
 
 class TestArgumentValidation:
