@@ -1,0 +1,48 @@
+"""Protocol fuzzer and invariant oracles (``repro check``).
+
+A dependency-free property-testing harness over the deterministic
+simulation: random fault schedules (:mod:`repro.check.scenarios`) run
+against the full oracle suite (:mod:`repro.check.invariants`), and any
+counterexample is shrunk to a minimal, replayable JSON artifact
+(:mod:`repro.check.runner`). See ``docs/CHECKING.md``.
+"""
+
+from repro.check.invariants import (
+    Oracle,
+    OracleSuite,
+    Violation,
+    default_oracles,
+)
+from repro.check.runner import (
+    CheckResult,
+    SweepResult,
+    build_artifact,
+    replay_file,
+    run_scenario,
+    run_sweep,
+    shrink_failure,
+)
+from repro.check.scenarios import (
+    FaultEntry,
+    GeneratorParams,
+    ScenarioSpec,
+    generate_scenario,
+)
+
+__all__ = [
+    "Oracle",
+    "OracleSuite",
+    "Violation",
+    "default_oracles",
+    "CheckResult",
+    "SweepResult",
+    "build_artifact",
+    "replay_file",
+    "run_scenario",
+    "run_sweep",
+    "shrink_failure",
+    "FaultEntry",
+    "GeneratorParams",
+    "ScenarioSpec",
+    "generate_scenario",
+]

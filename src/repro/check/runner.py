@@ -1,0 +1,526 @@
+"""Scenario execution, seed sweeps and counterexample shrinking.
+
+``run_scenario`` replays one :class:`~repro.check.scenarios.ScenarioSpec`
+against a fresh :class:`~repro.sim.runtime.SimCluster` with the full
+oracle suite attached to the event tap; ``run_sweep`` drives N generated
+scenarios and, for every failing seed, greedily shrinks the schedule to
+a minimal spec that still violates the same invariants, then packages a
+replayable JSON artifact (``repro check --replay file.json``).
+
+Everything is deterministic in the spec: shrinking re-runs candidates
+with the same seed, so a kept candidate is guaranteed to reproduce.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.check.invariants import Oracle, OracleSuite, Violation, default_oracles
+from repro.check.scenarios import (
+    FaultEntry,
+    GeneratorParams,
+    ScenarioSpec,
+    generate_scenario,
+    shrink_candidates,
+)
+from repro.harness.configurations import make_config
+from repro.sim.runtime import SimCluster, default_member_names
+
+ARTIFACT_SCHEMA = "repro-check/v1"
+
+#: Virtual-time chunk between early-abort checks while running a scenario.
+_CHUNK = 5.0
+
+#: How often an isolated joiner retries its join (virtual seconds).
+_JOIN_RETRY = 5.0
+
+
+class _FaultDriver:
+    """Schedules a spec's faults onto a cluster and tracks expected
+    liveness for the convergence oracle."""
+
+    def __init__(self, cluster: SimCluster, spec: ScenarioSpec) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.expected_gone: Set[str] = set()
+        self._base_names = list(cluster.names)
+        self._partitions: List[FaultEntry] = []
+        self._loss_rates: List[float] = []
+        self._link_loss: List[FaultEntry] = []
+
+    # -- composition helpers ------------------------------------------- #
+
+    def _apply_partitions(self) -> None:
+        network = self.cluster.network
+        if not self._partitions:
+            network.heal_partition()
+            return
+        entry = self._partitions[-1]
+        group = [n for n in entry.members if n in self.cluster.nodes]
+        rest = [n for n in self.cluster.names if n not in entry.members]
+        network.partition(group, rest)
+
+    def _apply_loss(self) -> None:
+        rates = self._loss_rates + [self.spec.loss_rate]
+        self.cluster.network.loss_rate = max(rates)
+
+    def _apply_link_loss(self) -> None:
+        network = self.cluster.network
+        network.clear_link_loss()
+        rates: Dict[Tuple[str, str], float] = {}
+        for entry in self._link_loss:
+            pair = (entry.members[0], entry.members[1])
+            rates[pair] = max(rates.get(pair, 0.0), entry.rate)
+        for (src, dst), rate in rates.items():
+            network.set_link_loss(src, dst, rate)
+
+    # -- per-fault scheduling ------------------------------------------ #
+
+    def schedule(self) -> None:
+        scheduler = self.cluster.scheduler
+        for index, entry in enumerate(self.spec.faults):
+            if entry.kind == "block":
+                for member in entry.members:
+                    self.cluster.anomalies.block_window(
+                        member, entry.start, entry.end
+                    )
+            elif entry.kind == "cpu_stress":
+                stress_rng = Random(self.spec.seed * 31_337 + index * 101 + 7)
+                self.cluster.anomalies.cpu_stress(
+                    entry.members[0], entry.start, entry.duration, rng=stress_rng
+                )
+            elif entry.kind == "partition":
+                scheduler.call_at(
+                    entry.start, lambda e=entry: self._begin_partition(e)
+                )
+                scheduler.call_at(
+                    entry.end, lambda e=entry: self._end_partition(e)
+                )
+            elif entry.kind == "loss":
+                scheduler.call_at(
+                    entry.start, lambda r=entry.rate: self._begin_loss(r)
+                )
+                scheduler.call_at(
+                    entry.end, lambda r=entry.rate: self._end_loss(r)
+                )
+            elif entry.kind == "link_loss":
+                scheduler.call_at(
+                    entry.start, lambda e=entry: self._begin_link_loss(e)
+                )
+                scheduler.call_at(
+                    entry.end, lambda e=entry: self._end_link_loss(e)
+                )
+            elif entry.kind == "flap":
+                member = entry.members[0]
+                scheduler.call_at(entry.start, lambda m=member: self._stop(m))
+                scheduler.call_at(entry.end, lambda m=member: self._restart(m))
+            elif entry.kind == "crash":
+                member = entry.members[0]
+                self.expected_gone.add(member)
+                scheduler.call_at(entry.start, lambda m=member: self._stop(m))
+            elif entry.kind == "leave":
+                member = entry.members[0]
+                self.expected_gone.add(member)
+                scheduler.call_at(entry.start, lambda m=member: self._leave(m))
+            elif entry.kind == "join":
+                member = entry.members[0]
+                scheduler.call_at(entry.start, lambda m=member: self._join(m))
+
+    def _begin_partition(self, entry: FaultEntry) -> None:
+        self._partitions.append(entry)
+        self._apply_partitions()
+
+    def _end_partition(self, entry: FaultEntry) -> None:
+        if entry in self._partitions:
+            self._partitions.remove(entry)
+        self._apply_partitions()
+
+    def _begin_loss(self, rate: float) -> None:
+        self._loss_rates.append(rate)
+        self._apply_loss()
+
+    def _end_loss(self, rate: float) -> None:
+        if rate in self._loss_rates:
+            self._loss_rates.remove(rate)
+        self._apply_loss()
+
+    def _begin_link_loss(self, entry: FaultEntry) -> None:
+        self._link_loss.append(entry)
+        self._apply_link_loss()
+
+    def _end_link_loss(self, entry: FaultEntry) -> None:
+        if entry in self._link_loss:
+            self._link_loss.remove(entry)
+        self._apply_link_loss()
+
+    def _stop(self, member: str) -> None:
+        node = self.cluster.nodes.get(member)
+        if node is not None and node.running:
+            node.stop()
+
+    def _restart(self, member: str) -> None:
+        node = self.cluster.nodes.get(member)
+        if node is not None and not node.running:
+            node.start()
+
+    def _leave(self, member: str) -> None:
+        node = self.cluster.nodes.get(member)
+        if node is not None and node.running:
+            node.leave()
+
+    def _join(self, member: str) -> None:
+        if member in self.cluster.nodes:
+            return
+        anchor = self._pick_anchor()
+        if anchor is None:
+            self.expected_gone.add(member)
+            return
+        self.cluster.spawn_member(member, join_via=anchor)
+        self._schedule_join_retry(member)
+
+    def _pick_anchor(self) -> Optional[str]:
+        for name in self._base_names:
+            node = self.cluster.nodes.get(name)
+            if node is not None and node.running and name not in self.expected_gone:
+                return name
+        return None
+
+    def _schedule_join_retry(self, member: str) -> None:
+        # A join announcement is a plain datagram: if it lands inside a
+        # partition or loss window the joiner would stay isolated forever.
+        # Real deployments retry; so do we, until the joiner knows a peer.
+        def retry() -> None:
+            node = self.cluster.nodes.get(member)
+            if node is None or not node.running:
+                return
+            if len(node.members) > 1:
+                return
+            anchor = self._pick_anchor()
+            if anchor is not None:
+                node.join([anchor])
+            self._schedule_join_retry(member)
+
+        self.cluster.scheduler.call_later(_JOIN_RETRY, retry)
+
+    # -- final bookkeeping --------------------------------------------- #
+
+    def expected_live(self) -> Set[str]:
+        return {
+            name
+            for name in self.cluster.names
+            if name not in self.expected_gone
+        }
+
+
+@dataclass
+class CheckResult:
+    """Verdict for one scenario run."""
+
+    spec: ScenarioSpec
+    violations: List[Violation]
+    events: int
+    sim_time: float
+    wall_time: float
+    checks_run: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.spec.seed,
+            "ok": self.ok,
+            "events": self.events,
+            "sim_time": self.sim_time,
+            "wall_time": round(self.wall_time, 3),
+            "checks_run": self.checks_run,
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    stride: int = 1,
+    oracles: Optional[Callable[[], List[Oracle]]] = None,
+    fail_fast: bool = True,
+    max_violations: int = 25,
+) -> CheckResult:
+    """Run one scenario under the oracle suite and report violations.
+
+    ``fail_fast`` stops the simulation at the next chunk boundary after
+    the first violation (runs are deterministic, so nothing more is
+    learned by continuing). ``oracles`` overrides the suite factory —
+    used by tests to check a single invariant in isolation.
+    """
+    spec.validate()
+    started = time.monotonic()
+    config = make_config(spec.configuration, alpha=spec.alpha, beta=spec.beta)
+    cluster = SimCluster(
+        names=default_member_names(spec.n_members),
+        config=config,
+        seed=spec.seed,
+        loss_rate=spec.loss_rate,
+    )
+    suite = OracleSuite(oracles=oracles() if oracles is not None else default_oracles())
+    suite.attach(cluster, stride=stride)
+    driver = _FaultDriver(cluster, spec)
+    driver.schedule()
+    cluster.start()
+
+    events = 0
+    now = 0.0
+    aborted = False
+    while now < spec.total_time:
+        step_to = min(now + _CHUNK, spec.total_time)
+        events += cluster.run_until(step_to)
+        now = step_to
+        if fail_fast and len(suite.violations) >= 1:
+            aborted = True
+            break
+        if len(suite.violations) >= max_violations:
+            aborted = True
+            break
+
+    if not aborted:
+        suite.run_final_checks(
+            cluster, cluster.now, driver.expected_live(), driver.expected_gone
+        )
+    cluster.set_event_tap(None)
+    cluster.stop()
+    return CheckResult(
+        spec=spec,
+        violations=list(suite.violations[:max_violations]),
+        events=events,
+        sim_time=cluster.now,
+        wall_time=time.monotonic() - started,
+        checks_run=suite.checks_run,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Shrinking
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ShrinkOutcome:
+    minimal: ScenarioSpec
+    violations: List[Violation]
+    runs: int
+    improved: bool
+
+
+def shrink_failure(
+    spec: ScenarioSpec,
+    original: CheckResult,
+    stride: int = 1,
+    max_runs: int = 120,
+) -> ShrinkOutcome:
+    """Greedily minimize a failing spec while it keeps violating.
+
+    A candidate is accepted when it still trips at least one oracle that
+    the original run tripped (so shrinking cannot wander to an unrelated
+    failure). Deterministic: every candidate runs with the spec's seed.
+    """
+    target_oracles = {v.oracle for v in original.violations}
+    current = spec
+    current_violations = list(original.violations)
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for candidate in shrink_candidates(current):
+            if runs >= max_runs:
+                break
+            runs += 1
+            result = run_scenario(candidate, stride=stride)
+            if result.ok:
+                continue
+            if not target_oracles & {v.oracle for v in result.violations}:
+                continue
+            current = candidate
+            current_violations = result.violations
+            improved = True
+            break
+    return ShrinkOutcome(
+        minimal=current,
+        violations=current_violations,
+        runs=runs,
+        improved=current is not spec,
+    )
+
+
+def build_artifact(
+    seed: int,
+    original: CheckResult,
+    shrunk: Optional[ShrinkOutcome] = None,
+) -> dict:
+    """The replayable failure record written next to CI logs."""
+    minimal = shrunk.minimal if shrunk is not None else original.spec
+    violations = shrunk.violations if shrunk is not None else original.violations
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "seed": seed,
+        "spec": minimal.as_dict(),
+        "violations": [v.as_dict() for v in violations],
+        "shrink": {
+            "runs": shrunk.runs if shrunk is not None else 0,
+            "original_faults": len(original.spec.faults),
+            "minimal_faults": len(minimal.faults),
+            "original_members": original.spec.n_members,
+            "minimal_members": minimal.n_members,
+        },
+        "original_spec": original.spec.as_dict(),
+    }
+
+
+def load_artifact_spec(data: dict) -> ScenarioSpec:
+    """Accept either a full artifact or a bare scenario document."""
+    if data.get("schema") == ARTIFACT_SCHEMA:
+        return ScenarioSpec.from_dict(data["spec"])
+    return ScenarioSpec.from_dict(data)
+
+
+# ---------------------------------------------------------------------- #
+# Sweeps
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class SeedFailure:
+    seed: int
+    result: CheckResult
+    shrunk: Optional[ShrinkOutcome]
+    artifact: dict
+
+
+@dataclass
+class SweepResult:
+    seeds_run: int = 0
+    seeds_failed: int = 0
+    violations: int = 0
+    shrink_runs: int = 0
+    events: int = 0
+    wall_time: float = 0.0
+    failures: List[SeedFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.seeds_failed == 0
+
+    def as_dict(self) -> dict:
+        return {
+            "seeds_run": self.seeds_run,
+            "seeds_failed": self.seeds_failed,
+            "violations": self.violations,
+            "shrink_runs": self.shrink_runs,
+            "events": self.events,
+            "wall_time": round(self.wall_time, 3),
+            "failures": [
+                {
+                    "seed": failure.seed,
+                    "violations": [
+                        v.as_dict() for v in failure.result.violations
+                    ],
+                    "minimal_faults": len(
+                        failure.shrunk.minimal.faults
+                        if failure.shrunk is not None
+                        else failure.result.spec.faults
+                    ),
+                }
+                for failure in self.failures
+            ],
+        }
+
+
+def install_check_metrics(registry) -> dict:
+    """Get-or-create the fuzzer's counters on an ops registry."""
+    return {
+        "seeds": registry.counter(
+            "lifeguard_check_seeds_total",
+            "Fuzzer scenarios executed by repro check",
+        ),
+        "failed": registry.counter(
+            "lifeguard_check_failed_seeds_total",
+            "Fuzzer scenarios that violated at least one invariant",
+        ),
+        "violations": registry.counter(
+            "lifeguard_check_violations_total",
+            "Individual invariant violations observed by repro check",
+        ),
+        "shrink_runs": registry.counter(
+            "lifeguard_check_shrink_runs_total",
+            "Scenario re-executions spent shrinking counterexamples",
+        ),
+    }
+
+
+def run_sweep(
+    seeds: int,
+    params: Optional[GeneratorParams] = None,
+    start_seed: int = 0,
+    stride: int = 1,
+    shrink: bool = True,
+    max_shrink_runs: int = 120,
+    max_failures: int = 5,
+    registry=None,
+    on_seed: Optional[Callable[[int, CheckResult], None]] = None,
+) -> SweepResult:
+    """Run ``seeds`` generated scenarios; shrink and record failures.
+
+    Stops early after ``max_failures`` failing seeds (each failure costs
+    a shrink campaign; a systemic bug fails every seed and would turn the
+    sweep into hours of redundant shrinking).
+    """
+    params = params or GeneratorParams()
+    metrics = install_check_metrics(registry) if registry is not None else None
+    sweep = SweepResult()
+    started = time.monotonic()
+    for seed in range(start_seed, start_seed + seeds):
+        spec = generate_scenario(seed, params)
+        result = run_scenario(spec, stride=stride)
+        sweep.seeds_run += 1
+        sweep.events += result.events
+        if metrics is not None:
+            metrics["seeds"].inc()
+        if not result.ok:
+            sweep.seeds_failed += 1
+            sweep.violations += len(result.violations)
+            shrunk: Optional[ShrinkOutcome] = None
+            if shrink:
+                shrunk = shrink_failure(
+                    spec, result, stride=stride, max_runs=max_shrink_runs
+                )
+                sweep.shrink_runs += shrunk.runs
+            artifact = build_artifact(seed, result, shrunk)
+            sweep.failures.append(SeedFailure(seed, result, shrunk, artifact))
+            if metrics is not None:
+                metrics["failed"].inc()
+                metrics["violations"].inc(len(result.violations))
+                if shrunk is not None:
+                    metrics["shrink_runs"].inc(shrunk.runs)
+        if on_seed is not None:
+            on_seed(seed, result)
+        if sweep.seeds_failed >= max_failures:
+            break
+    sweep.wall_time = time.monotonic() - started
+    return sweep
+
+
+def write_artifact(path: str, artifact: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def replay_file(path: str, stride: int = 1) -> CheckResult:
+    """Re-run a saved artifact or scenario JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    spec = load_artifact_spec(data)
+    return run_scenario(spec, stride=stride)

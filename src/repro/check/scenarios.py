@@ -1,0 +1,374 @@
+"""Fault scenarios: a serializable schedule language and a seeded generator.
+
+A scenario is a small cluster plus a timed schedule of faults drawn from
+the failure modes the paper studies (Section V): process freezes
+(``block``), oversubscribed CPU (``cpu_stress``), network partitions,
+symmetric and asymmetric packet loss, crash/restart flapping, graceful
+departure and mid-run joins. The schedule is plain data — it round-trips
+through JSON, which is what makes counterexamples replayable and
+shrinkable (:mod:`repro.check.runner`).
+
+Determinism contract: ``generate_scenario(seed, params)`` is a pure
+function of its arguments, and replaying a :class:`ScenarioSpec` drives
+the simulation with RNG streams derived only from ``spec.seed`` — the
+same spec always produces the same run, violation for violation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.runtime import default_member_names
+
+SCENARIO_SCHEMA = "repro-check-scenario/v1"
+
+#: Fault kinds understood by the runner. Windowed kinds occupy
+#: ``[start, start + duration)``; point kinds ignore ``duration``
+#: except where noted.
+FAULT_KINDS = (
+    "block",       # windowed: members' protocol I/O frozen
+    "cpu_stress",  # windowed: heavy-tailed scheduler stalls on one member
+    "partition",   # windowed: members split from the rest of the group
+    "loss",        # windowed: symmetric datagram loss at `rate`
+    "link_loss",   # windowed: asymmetric loss members[0] -> members[1]
+    "flap",        # crash at start, restart at start + duration
+    "crash",       # point: permanent ungraceful stop
+    "leave",       # point: graceful departure
+    "join",        # point: a brand-new member joins via a seed member
+)
+
+_WINDOWED = frozenset({"block", "cpu_stress", "partition", "loss", "link_loss", "flap"})
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One scheduled fault."""
+
+    kind: str
+    start: float
+    duration: float = 0.0
+    members: Tuple[str, ...] = ()
+    rate: float = 0.0
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.start < 0:
+            raise ValueError("fault start must be >= 0")
+        if self.duration < 0:
+            raise ValueError("fault duration must be >= 0")
+        if self.kind in _WINDOWED and self.duration <= 0:
+            raise ValueError(f"{self.kind} fault needs a positive duration")
+        if self.kind == "loss":
+            if not 0.0 <= self.rate < 1.0:
+                raise ValueError("loss rate must be in [0, 1)")
+        elif self.kind == "link_loss":
+            if not 0.0 < self.rate <= 1.0:
+                raise ValueError("link_loss rate must be in (0, 1]")
+            if len(self.members) != 2 or self.members[0] == self.members[1]:
+                raise ValueError("link_loss needs two distinct members (src, dst)")
+        if self.kind in ("block", "cpu_stress", "partition", "flap", "crash",
+                         "leave", "join") and not self.members:
+            raise ValueError(f"{self.kind} fault needs at least one member")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def as_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "start": self.start}
+        if self.duration:
+            out["duration"] = self.duration
+        if self.members:
+            out["members"] = list(self.members)
+        if self.rate:
+            out["rate"] = self.rate
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEntry":
+        entry = cls(
+            kind=data["kind"],
+            start=float(data["start"]),
+            duration=float(data.get("duration", 0.0)),
+            members=tuple(data.get("members", ())),
+            rate=float(data.get("rate", 0.0)),
+        )
+        entry.validate()
+        return entry
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, replayable experiment definition."""
+
+    seed: int
+    n_members: int
+    configuration: str = "Lifeguard"
+    alpha: float = 5.0
+    beta: float = 6.0
+    horizon: float = 40.0
+    settle: float = 150.0
+    loss_rate: float = 0.0
+    faults: Tuple[FaultEntry, ...] = ()
+
+    def validate(self) -> None:
+        if self.n_members < 2:
+            raise ValueError("need at least 2 members")
+        if self.horizon <= 0 or self.settle < 0:
+            raise ValueError("horizon must be > 0 and settle >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("ambient loss_rate must be in [0, 1)")
+        base = set(default_member_names(self.n_members))
+        joined: set = set()
+        for entry in self.faults:
+            entry.validate()
+            if entry.end > self.horizon + 1e-9:
+                raise ValueError(
+                    f"fault {entry.kind}@{entry.start} ends after the horizon"
+                )
+            if entry.kind == "join":
+                joined.update(entry.members)
+                continue
+            known = base | joined
+            for name in entry.members:
+                if name not in known:
+                    raise ValueError(
+                        f"fault {entry.kind}@{entry.start} references unknown "
+                        f"member {name!r}"
+                    )
+
+    @property
+    def total_time(self) -> float:
+        return self.horizon + self.settle
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "seed": self.seed,
+            "n_members": self.n_members,
+            "configuration": self.configuration,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "horizon": self.horizon,
+            "settle": self.settle,
+            "loss_rate": self.loss_rate,
+            "faults": [entry.as_dict() for entry in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        schema = data.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ValueError(f"unsupported scenario schema {schema!r}")
+        spec = cls(
+            seed=int(data["seed"]),
+            n_members=int(data["n_members"]),
+            configuration=data.get("configuration", "Lifeguard"),
+            alpha=float(data.get("alpha", 5.0)),
+            beta=float(data.get("beta", 6.0)),
+            horizon=float(data.get("horizon", 40.0)),
+            settle=float(data.get("settle", 150.0)),
+            loss_rate=float(data.get("loss_rate", 0.0)),
+            faults=tuple(
+                FaultEntry.from_dict(entry) for entry in data.get("faults", ())
+            ),
+        )
+        spec.validate()
+        return spec
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Knobs and weights for the random scenario generator."""
+
+    min_members: int = 5
+    max_members: int = 10
+    min_faults: int = 1
+    max_faults: int = 5
+    horizon: float = 40.0
+    settle: float = 150.0
+    configurations: Tuple[str, ...] = (
+        "Lifeguard",
+        "SWIM",
+        "LHA-Probe",
+        "LHA-Suspicion",
+        "Buddy System",
+    )
+    #: Relative likelihood of each fault kind.
+    weights: Tuple[Tuple[str, float], ...] = (
+        ("block", 3.0),
+        ("cpu_stress", 1.5),
+        ("partition", 1.5),
+        ("loss", 1.0),
+        ("link_loss", 1.5),
+        ("flap", 1.5),
+        ("crash", 1.0),
+        ("leave", 1.0),
+        ("join", 1.0),
+    )
+    max_window: float = 20.0
+    max_loss_rate: float = 0.5
+    #: At most this fraction of the initial group may crash/flap/leave
+    #: (keeps a stable core so convergence remains well-defined).
+    max_churn_fraction: float = 0.34
+
+    def validate(self) -> None:
+        if not 2 <= self.min_members <= self.max_members:
+            raise ValueError("need 2 <= min_members <= max_members")
+        if not 0 <= self.min_faults <= self.max_faults:
+            raise ValueError("need 0 <= min_faults <= max_faults")
+        if not self.configurations:
+            raise ValueError("need at least one configuration")
+        if any(kind not in FAULT_KINDS for kind, _ in self.weights):
+            raise ValueError("weights reference an unknown fault kind")
+        if all(weight <= 0 for _, weight in self.weights):
+            raise ValueError("need at least one positive weight")
+
+
+def _weighted_choice(rng: Random, weights: Sequence[Tuple[str, float]]) -> str:
+    total = sum(w for _, w in weights if w > 0)
+    mark = rng.uniform(0, total)
+    acc = 0.0
+    for kind, weight in weights:
+        if weight <= 0:
+            continue
+        acc += weight
+        if mark <= acc:
+            return kind
+    return weights[-1][0]
+
+
+def generate_scenario(
+    seed: int, params: Optional[GeneratorParams] = None
+) -> ScenarioSpec:
+    """Deterministically derive a scenario from ``seed``."""
+    params = params or GeneratorParams()
+    params.validate()
+    # Decorrelate the schedule stream from the simulation streams (which
+    # also derive from `seed`) so nearby seeds explore different schedules.
+    rng = Random((seed * 0x9E3779B1 + 0x7F4A7C15) & 0xFFFFFFFF)
+    n = rng.randint(params.min_members, params.max_members)
+    names = default_member_names(n)
+    configuration = params.configurations[
+        rng.randrange(len(params.configurations))
+    ]
+    horizon = params.horizon
+
+    churn_budget = max(1, int(n * params.max_churn_fraction))
+    churned: set = set()
+    joins = 0
+    faults: List[FaultEntry] = []
+    n_faults = rng.randint(params.min_faults, params.max_faults)
+    for _ in range(n_faults):
+        kind = _weighted_choice(rng, params.weights)
+        if kind in ("crash", "flap", "leave") and len(churned) >= churn_budget:
+            kind = "block"
+        start = round(rng.uniform(0.5, horizon * 0.75), 3)
+        window = round(rng.uniform(1.5, min(params.max_window, horizon - start)), 3)
+        if kind == "block":
+            count = rng.randint(1, max(1, min(3, n - 2)))
+            members = tuple(rng.sample(names, count))
+            faults.append(FaultEntry("block", start, window, members))
+        elif kind == "cpu_stress":
+            member = names[rng.randrange(n)]
+            faults.append(FaultEntry("cpu_stress", start, window, (member,)))
+        elif kind == "partition":
+            count = rng.randint(1, max(1, n // 2))
+            members = tuple(rng.sample(names, count))
+            faults.append(FaultEntry("partition", start, window, members))
+        elif kind == "loss":
+            rate = round(rng.uniform(0.15, params.max_loss_rate), 3)
+            faults.append(FaultEntry("loss", start, window, (), rate))
+        elif kind == "link_loss":
+            src, dst = rng.sample(names, 2)
+            rate = round(rng.uniform(0.5, 1.0), 3)
+            faults.append(FaultEntry("link_loss", start, window, (src, dst), rate))
+        elif kind in ("flap", "crash", "leave"):
+            # names[0] is the join anchor and is never churned.
+            candidates = [m for m in names[1:] if m not in churned]
+            if not candidates:
+                continue
+            member = candidates[rng.randrange(len(candidates))]
+            churned.add(member)
+            if kind == "flap":
+                outage = round(rng.uniform(2.0, min(15.0, horizon - start)), 3)
+                faults.append(FaultEntry("flap", start, outage, (member,)))
+            else:
+                faults.append(FaultEntry(kind, start, 0.0, (member,)))
+        elif kind == "join":
+            member = f"j{joins:02d}"
+            joins += 1
+            faults.append(FaultEntry("join", start, 0.0, (member,)))
+    faults.sort(key=lambda entry: (entry.start, entry.kind, entry.members))
+
+    spec = ScenarioSpec(
+        seed=seed,
+        n_members=n,
+        configuration=configuration,
+        horizon=horizon,
+        settle=params.settle,
+        faults=tuple(faults),
+    )
+    spec.validate()
+    return spec
+
+
+def shrink_candidates(spec: ScenarioSpec) -> List[ScenarioSpec]:
+    """Smaller variants of ``spec``, most aggressive first.
+
+    Used by the runner's shrinker: each candidate drops a fault, halves a
+    window or trims the group. Every candidate is a valid spec with the
+    *same seed*, so re-running it is deterministic.
+    """
+    out: List[ScenarioSpec] = []
+    faults = spec.faults
+    # Drop each fault.
+    for index in range(len(faults)):
+        out.append(
+            replace(spec, faults=faults[:index] + faults[index + 1:])
+        )
+    # Halve each meaningfully long duration.
+    for index, entry in enumerate(faults):
+        if entry.duration >= 3.0:
+            shorter = replace(entry, duration=round(entry.duration / 2, 3))
+            out.append(
+                replace(
+                    spec,
+                    faults=faults[:index] + (shorter,) + faults[index + 1:],
+                )
+            )
+    # Trim members not referenced by any fault (always keep >= 2, plus the
+    # join anchor m000 slot).
+    referenced = 1
+    for entry in faults:
+        for name in entry.members:
+            if name.startswith("m"):
+                try:
+                    referenced = max(referenced, int(name[1:]) + 1)
+                except ValueError:
+                    referenced = spec.n_members
+    needed = max(2, referenced)
+    if needed < spec.n_members:
+        out.append(replace(spec, n_members=needed))
+        # Also try a one-step trim in case the full cut no longer fails.
+        if spec.n_members - 1 > needed:
+            out.append(replace(spec, n_members=spec.n_members - 1))
+    valid: List[ScenarioSpec] = []
+    for candidate in out:
+        try:
+            candidate.validate()
+        except ValueError:
+            continue
+        valid.append(candidate)
+    return valid

@@ -104,6 +104,30 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-i", "--interval", type=float, default=0.001)
     compare.add_argument("-t", "--test-time", type=float, default=120.0)
 
+    check = sub.add_parser(
+        "check",
+        help="fuzz the protocol against the invariant oracles (repro.check)",
+    )
+    check.add_argument("--seeds", type=int, default=100,
+                       help="number of generated scenarios to run (default: 100)")
+    check.add_argument("--start-seed", type=int, default=0,
+                       help="first seed of the sweep (default: 0)")
+    check.add_argument("--stride", type=int, default=1,
+                       help="check invariants every Nth event (default: 1)")
+    check.add_argument("--no-shrink", action="store_true",
+                       help="skip counterexample shrinking on failure")
+    check.add_argument("--max-shrink", type=int, default=120,
+                       help="re-runs allowed per shrink campaign (default: 120)")
+    check.add_argument("--max-failures", type=int, default=5,
+                       help="stop the sweep after this many failing seeds")
+    check.add_argument("--artifact-dir", default=".",
+                       help="directory for minimal-repro JSON artifacts")
+    check.add_argument("--replay", metavar="FILE",
+                       help="re-run a saved artifact/scenario JSON instead "
+                            "of sweeping")
+    check.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+
     watch = sub.add_parser(
         "watch", help="poll a live node's admin endpoint (repro.ops)"
     )
@@ -236,6 +260,88 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.check.runner import (
+        build_artifact,
+        replay_file,
+        run_sweep,
+        write_artifact,
+    )
+    from repro.ops.registry import MetricsRegistry
+
+    if args.replay:
+        result = replay_file(args.replay, stride=args.stride)
+        if args.json:
+            _emit_json("check-replay", result.as_dict())
+        else:
+            verdict = "clean" if result.ok else "VIOLATED"
+            print(
+                f"replay {args.replay}: {verdict} "
+                f"({result.events} events, {result.sim_time:.0f}s simulated)"
+            )
+            for violation in result.violations:
+                print(f"  {violation}")
+        return 0 if result.ok else 1
+
+    registry = MetricsRegistry()
+    progress = None
+    if not args.json:
+        def progress(seed: int, result) -> None:
+            mark = "." if result.ok else "X"
+            print(mark, end="", flush=True)
+
+    sweep = run_sweep(
+        args.seeds,
+        start_seed=args.start_seed,
+        stride=args.stride,
+        shrink=not args.no_shrink,
+        max_shrink_runs=args.max_shrink,
+        max_failures=args.max_failures,
+        registry=registry,
+        on_seed=progress,
+    )
+    artifacts = []
+    if sweep.failures:
+        os.makedirs(args.artifact_dir, exist_ok=True)
+    for failure in sweep.failures:
+        path = os.path.join(
+            args.artifact_dir, f"repro-check-seed{failure.seed}.json"
+        )
+        write_artifact(path, failure.artifact)
+        artifacts.append(path)
+    if args.json:
+        payload = sweep.as_dict()
+        payload["artifacts"] = artifacts
+        _emit_json("check-sweep", payload)
+        return 0 if sweep.ok else 1
+    print()
+    print(
+        f"{sweep.seeds_run} seeds, {sweep.seeds_failed} failed, "
+        f"{sweep.violations} violations, {sweep.events} events, "
+        f"{sweep.wall_time:.1f}s"
+    )
+    for failure, path in zip(sweep.failures, artifacts):
+        spec = (
+            failure.shrunk.minimal
+            if failure.shrunk is not None
+            else failure.result.spec
+        )
+        print(
+            f"seed {failure.seed}: {len(failure.result.violations)} "
+            f"violation(s), shrunk to {len(spec.faults)} fault(s) "
+            f"/ {spec.n_members} members -> {path}"
+        )
+        for violation in (
+            failure.shrunk.violations
+            if failure.shrunk is not None
+            else failure.result.violations
+        )[:3]:
+            print(f"  {violation}")
+    return 0 if sweep.ok else 1
+
+
 def _fetch_json(url: str, timeout: float) -> dict:
     with urllib.request.urlopen(url, timeout=timeout) as response:
         return json.loads(response.read().decode("utf-8"))
@@ -283,6 +389,7 @@ _COMMANDS = {
     "interval": _cmd_interval,
     "stress": _cmd_stress,
     "compare": _cmd_compare,
+    "check": _cmd_check,
     "watch": _cmd_watch,
 }
 

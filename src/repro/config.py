@@ -21,6 +21,14 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.lhm import DEFAULT_LHM_MAX
+from repro.core.suspicion import (
+    DEFAULT_SUSPICION_ALPHA,
+    DEFAULT_SUSPICION_BETA,
+    DEFAULT_SUSPICION_K,
+    SWIM_SUSPICION_BETA,
+)
+
 
 @dataclass(frozen=True)
 class LifeguardFlags:
@@ -75,19 +83,19 @@ class SwimConfig:
     # ------------------------------------------------------------------ #
     #: ``alpha``: multiplier on ``log10(n) * probe_interval`` giving the
     #: minimum suspicion timeout.
-    suspicion_alpha: float = 5.0
+    suspicion_alpha: float = DEFAULT_SUSPICION_ALPHA
     #: ``beta``: the maximum suspicion timeout is ``beta`` times the minimum.
     #: Plain SWIM corresponds to ``beta == 1`` (a fixed timeout).
-    suspicion_beta: float = 6.0
+    suspicion_beta: float = DEFAULT_SUSPICION_BETA
     #: ``K``: independent suspicions needed to drive the timeout to its
     #: minimum. Only meaningful when LHA-Suspicion is enabled.
-    suspicion_k: int = 3
+    suspicion_k: int = DEFAULT_SUSPICION_K
 
     # ------------------------------------------------------------------ #
     # Local Health Aware Probe (Section IV-A)
     # ------------------------------------------------------------------ #
     #: ``S``: saturation limit of the Local Health Multiplier.
-    lhm_max: int = 8
+    lhm_max: int = DEFAULT_LHM_MAX
     #: Fraction of the probe timeout after which a ``ping-req`` recipient
     #: sends a ``nack`` if it has not yet seen an ``ack`` (80% per the paper).
     nack_timeout_fraction: float = 0.8
@@ -236,14 +244,19 @@ class SwimConfig:
         """The paper's ``SWIM`` baseline: fixed suspicion timeout with
         ``alpha`` = 5, ``beta`` = 1 and no Lifeguard components."""
         params: dict = dict(
-            suspicion_alpha=5.0, suspicion_beta=1.0, flags=LifeguardFlags.swim()
+            suspicion_alpha=DEFAULT_SUSPICION_ALPHA,
+            suspicion_beta=SWIM_SUSPICION_BETA,
+            flags=LifeguardFlags.swim(),
         )
         params.update(overrides)
         return cls(**params)
 
     @classmethod
     def lifeguard(
-        cls, alpha: float = 5.0, beta: float = 6.0, **overrides: object
+        cls,
+        alpha: float = DEFAULT_SUSPICION_ALPHA,
+        beta: float = DEFAULT_SUSPICION_BETA,
+        **overrides: object,
     ) -> "SwimConfig":
         """Full Lifeguard with the given suspicion timeout tuning."""
         params: dict = dict(

@@ -28,6 +28,16 @@ from __future__ import annotations
 import enum
 from typing import Callable, List, Optional
 
+#: Lower bound of the LHM counter. The paper's counter never goes below
+#: zero: a fully healthy member probes at the base cadence.
+LHM_MIN = 0
+
+#: The paper's default saturation limit ``S`` (Section IV-A): the
+#: multiplier tops out at ``S + 1`` = 9x the base probe timing. Exposed so
+#: configuration defaults and the invariant oracles in
+#: :mod:`repro.check.invariants` share one definition.
+DEFAULT_LHM_MAX = 8
+
 
 class LhmEvent(enum.Enum):
     """Feedback events that move the Local Health Multiplier."""
@@ -85,7 +95,7 @@ class LocalHealthMultiplier:
 
     def __init__(
         self,
-        max_value: int = 8,
+        max_value: int = DEFAULT_LHM_MAX,
         enabled: bool = True,
         on_change: Optional[Callable[[int], None]] = None,
     ) -> None:
@@ -146,7 +156,7 @@ class LocalHealthMultiplier:
         """Apply a raw delta with saturation; returns the new LHM value."""
         if not self._enabled:
             return self._score
-        new_score = min(self._max, max(0, self._score + delta))
+        new_score = min(self._max, max(LHM_MIN, self._score + delta))
         if new_score != self._score:
             self._score = new_score
             if self._on_change is not None:

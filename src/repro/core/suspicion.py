@@ -28,6 +28,22 @@ from __future__ import annotations
 import math
 from typing import Optional, Set, Tuple
 
+#: The paper's suspicion-timeout tuning defaults (Section V-C): the
+#: minimum timeout is ``alpha * log10(n) * ProbeInterval`` and the maximum
+#: is ``beta`` times that. Exposed so :mod:`repro.config` and the
+#: invariant oracles in :mod:`repro.check.invariants` share one
+#: definition.
+DEFAULT_SUSPICION_ALPHA = 5.0
+DEFAULT_SUSPICION_BETA = 6.0
+
+#: Plain SWIM's fixed suspicion timeout is the ``beta == 1`` degenerate
+#: case: ``Max == Min``, no decay.
+SWIM_SUSPICION_BETA = 1.0
+
+#: ``K`` (Section IV-B): independent confirmations that drive the timeout
+#: all the way down to ``Min``.
+DEFAULT_SUSPICION_K = 3
+
 
 def suspicion_bounds(
     alpha: float, beta: float, n_members: int, probe_interval: float
@@ -117,6 +133,16 @@ class Suspicion:
     @property
     def started_at(self) -> float:
         return self._start
+
+    @property
+    def minimum(self) -> float:
+        """The floor this suspicion's timeout decays toward (``Min``)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """The ceiling this suspicion's timeout started from (``Max``)."""
+        return self._max
 
     @property
     def k(self) -> int:

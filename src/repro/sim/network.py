@@ -107,6 +107,7 @@ class SimNetwork:
         self._endpoints: Dict[str, DeliverFn] = {}
         self._partitions: Set[frozenset] = set()
         self._partition_groups: Dict[str, int] = {}
+        self._link_loss: Dict[Tuple[str, str], float] = {}
         self._anomalies = None  # set via attach_anomalies()
         self.stats = NetworkStats()
 
@@ -147,6 +148,35 @@ class SimNetwork:
     def heal_partition(self) -> None:
         self._partition_groups = {}
 
+    def set_link_loss(self, src: str, dst: str, rate: float) -> None:
+        """Drop datagrams on the directed link ``src -> dst`` with the
+        given probability.
+
+        This is the *asymmetric* degradation mode (one direction of a
+        path greyed out by a bad NIC, a congested uplink or a half-open
+        firewall) that the global :attr:`loss_rate` cannot express — and
+        the regime where SWIM's indirect probes and Lifeguard's nacks
+        earn their keep. Reliable-channel traffic is unaffected, matching
+        the symmetric loss model (TCP retransmits through it).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("link loss rate must be in [0, 1]")
+        if rate == 0.0:
+            self._link_loss.pop((src, dst), None)
+        else:
+            self._link_loss[(src, dst)] = rate
+
+    def clear_link_loss(self, src: Optional[str] = None, dst: Optional[str] = None) -> None:
+        """Remove directed-link loss; with no arguments, remove all of it."""
+        if src is None and dst is None:
+            self._link_loss.clear()
+            return
+        self._link_loss = {
+            (s, d): rate
+            for (s, d), rate in self._link_loss.items()
+            if not ((src is None or s == src) and (dst is None or d == dst))
+        }
+
     def _partitioned(self, src: str, dst: str) -> bool:
         if not self._partition_groups:
             return False
@@ -183,6 +213,11 @@ class SimNetwork:
         if not reliable and self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
             self.stats.packets_lost += 1
             return
+        if not reliable and self._link_loss:
+            link_rate = self._link_loss.get((src, dst), 0.0)
+            if link_rate > 0.0 and self._rng.random() < link_rate:
+                self.stats.packets_lost += 1
+                return
         latency = self._latency.sample(self._rng, reliable)
         self._scheduler.call_later(
             latency, lambda: self._deliver(src, dst, payload, reliable)

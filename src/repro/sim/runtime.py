@@ -163,6 +163,61 @@ class SimCluster:
                 if node.name != seed_member:
                     node.join([seed_member])
 
+    def set_event_tap(self, tap: Optional[Callable[[float], None]]) -> None:
+        """Install (or remove) a callback run after every simulated event.
+
+        The tap fires at event boundaries — after a scheduled callback
+        and everything it did synchronously has completed — so the
+        cluster state it observes is always at a consistent point. This
+        is the hook the invariant oracles of :mod:`repro.check` attach
+        to; a tap that raises aborts the run at the offending event.
+        """
+        self.scheduler.on_event = tap
+
+    def spawn_member(
+        self,
+        name: str,
+        config: Optional[SwimConfig] = None,
+        join_via: Optional[str] = None,
+    ) -> SwimNode:
+        """Create and start a new member on the running cluster's fabric.
+
+        The join-churn primitive: the new member knows nothing about the
+        group until it contacts ``join_via`` (another member's name), so
+        this exercises the real join path mid-run. The node inherits the
+        cluster's deterministic seeding scheme and shares the event log.
+        """
+        if name in self.nodes:
+            raise ValueError(f"member {name!r} already exists")
+        if config is None:
+            first = self.nodes[self.names[0]]
+            config = first.config
+        index = len(self.names)
+        transport = SimTransport(name, self.network)
+        node = SwimNode(
+            name,
+            config,
+            clock=self.clock,
+            scheduler=self.scheduler,
+            transport=transport,
+            rng=random.Random(self.seed * 1_000_003 + index * 7919 + 17),
+            listener=self.event_log,
+        )
+        transport.bind(node.handle_packet)
+        self.names.append(name)
+        self.nodes[name] = node
+        self._transports[name] = transport
+        node.start()
+        if join_via is not None:
+            node.join([join_via])
+        if self.ops_registry is not None:
+            from repro.ops.registry import NodeCollector
+
+            collector = NodeCollector(self.ops_registry, node)
+            collector.install_rtt_hook()
+            self.ops_collectors[name] = collector
+        return node
+
     def install_gossip_overlay(self, degree: int, seed: Optional[int] = None) -> dict:
         """Wire every node's dedicated gossip onto a random regular graph.
 

@@ -51,6 +51,12 @@ class EventScheduler:
         self._seq = 0
         #: Total events executed (telemetry / performance reporting).
         self.executed = 0
+        #: Optional tap invoked as ``on_event(now)`` after every executed
+        #: event, once its callback (and everything it did synchronously)
+        #: has completed. The event-boundary hook used by the invariant
+        #: oracles in :mod:`repro.check`: handlers run atomically within
+        #: an event, so state seen here is always at a consistent point.
+        self.on_event: Optional[Callable[[float], None]] = None
 
     def __len__(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)
@@ -85,6 +91,8 @@ class EventScheduler:
             self.clock.advance_to(event.when)
             self.executed += 1
             event.callback()
+            if self.on_event is not None:
+                self.on_event(self.clock.now)
             return True
         return False
 
@@ -101,6 +109,8 @@ class EventScheduler:
             self.clock.advance_to(event.when)
             self.executed += 1
             event.callback()
+            if self.on_event is not None:
+                self.on_event(self.clock.now)
             count += 1
         self.clock.advance_to(max(self.clock.now, deadline))
         return count

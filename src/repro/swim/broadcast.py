@@ -139,6 +139,14 @@ class BroadcastQueue:
         entry = self._queue.get(member)
         return entry.message if entry is not None else None
 
+    def entries(self):
+        """Yield ``(subject, transmits, payload_size)`` for every queued
+        broadcast — inspection only (used by the retransmit-bound oracle
+        in :mod:`repro.check.invariants`); transmit counts are not
+        affected."""
+        for subject, entry in self._queue.items():
+            yield subject, entry.transmits, len(entry.payload)
+
     def get_payloads(self, byte_budget: int, per_payload_overhead: int) -> List[bytes]:
         """Select encoded broadcasts for one outgoing packet.
 

@@ -309,6 +309,10 @@ class SwimNode:
         """Entries currently in the local suspicion table."""
         return len(self._suspicions)
 
+    def suspicion_subjects(self) -> List[str]:
+        """Names with a live suspicion entry (inspection only)."""
+        return list(self._suspicions)
+
     def suspicion_snapshot(self) -> List[dict]:
         """The live suspicion table as JSON-safe records (ops plane)."""
         now = self._clock()
@@ -324,6 +328,9 @@ class SwimNode:
                     "started_at": suspicion.started_at,
                     "deadline": suspicion.deadline(),
                     "remaining": suspicion.remaining(now),
+                    "timeout": suspicion.current_timeout(),
+                    "min_timeout": suspicion.minimum,
+                    "max_timeout": suspicion.maximum,
                 }
             )
         return out
@@ -403,6 +410,25 @@ class SwimNode:
             self._reconnect_timer = self._scheduler.call_at(
                 now + self._rng.uniform(0, self.config.reconnect_interval),
                 self._reconnect_tick,
+            )
+        # A restarted node may remember SUSPECT members from before the
+        # stop: stop() cancels and drops the suspicion timers but keeps
+        # the member map. Re-arm a fresh suspicion for each so every
+        # SUSPECT state has a timer that can expire or be refuted.
+        for member in self._members.members():
+            if (
+                member.name == self.name
+                or not member.is_suspect
+                or member.name in self._suspicions
+            ):
+                continue
+            minimum, maximum, k = self._suspicion_parameters()
+            suspicion = Suspicion(self.name, now, minimum, maximum, k)
+            entry = _SuspicionEntry(suspicion, None)
+            self._suspicions[member.name] = entry
+            entry.timer = self._scheduler.call_at(
+                suspicion.deadline(),
+                lambda name=member.name: self._suspicion_expired(name),
             )
 
     def set_paused(self, paused: bool) -> None:
@@ -765,10 +791,16 @@ class SwimNode:
                     message.member, MemberState.SUSPECT, message.incarnation, now
                 )
             return
-        if not self._members.apply_claim(
+        applied = self._members.apply_claim(
             message.member, MemberState.SUSPECT, message.incarnation, now
-        ):
+        )
+        if not applied and not member.is_suspect:
             return
+        # Fall through when the member is already SUSPECT but has no
+        # suspicion entry (the claim itself cannot supersede an equal-
+        # incarnation suspect state): without a timer the suspicion could
+        # never expire. Happens after a restart, which drops the timer
+        # table but keeps the member map.
         minimum, maximum, k = self._suspicion_parameters()
         suspicion = Suspicion(message.sender, now, minimum, maximum, k)
         entry = _SuspicionEntry(suspicion, None)

@@ -1,0 +1,217 @@
+"""Tests for scenario execution, sweeps and shrinking."""
+
+import json
+
+import pytest
+
+from repro.check.runner import (
+    ARTIFACT_SCHEMA,
+    build_artifact,
+    load_artifact_spec,
+    replay_file,
+    run_scenario,
+    run_sweep,
+    shrink_failure,
+    write_artifact,
+)
+from repro.check.scenarios import FaultEntry, GeneratorParams, ScenarioSpec
+from repro.core import lhm as lhm_module
+from repro.ops.exposition import render_text
+from repro.ops.registry import MetricsRegistry
+
+#: Small/fast scenario parameters used throughout this module.
+QUICK = GeneratorParams(
+    min_members=4, max_members=6, max_faults=3, horizon=25.0, settle=90.0
+)
+
+
+def quick_spec(faults, n_members=4, seed=5, configuration="Lifeguard"):
+    return ScenarioSpec(
+        seed=seed,
+        n_members=n_members,
+        configuration=configuration,
+        horizon=25.0,
+        settle=90.0,
+        faults=tuple(faults),
+    )
+
+
+class TestRunScenario:
+    def test_fault_free_scenario_is_clean(self):
+        result = run_scenario(quick_spec([]))
+        assert result.ok
+        assert result.events > 0
+        assert result.checks_run > 0
+
+    def test_block_fault_recovers_clean(self):
+        result = run_scenario(
+            quick_spec([FaultEntry("block", 5.0, 8.0, ("m001",))])
+        )
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_crash_and_leave_change_expected_liveness(self):
+        result = run_scenario(
+            quick_spec(
+                [
+                    FaultEntry("crash", 5.0, 0.0, ("m001",)),
+                    FaultEntry("leave", 8.0, 0.0, ("m002",)),
+                ],
+                n_members=5,
+            )
+        )
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_join_fault_converges(self):
+        result = run_scenario(
+            quick_spec([FaultEntry("join", 6.0, 0.0, ("j00",))])
+        )
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_partition_and_link_loss_compose(self):
+        result = run_scenario(
+            quick_spec(
+                [
+                    FaultEntry("partition", 4.0, 6.0, ("m001",)),
+                    FaultEntry("partition", 6.0, 8.0, ("m002", "m003")),
+                    FaultEntry("link_loss", 5.0, 10.0, ("m000", "m001"), 0.9),
+                    FaultEntry("loss", 5.0, 6.0, (), 0.3),
+                ],
+                n_members=5,
+            )
+        )
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_deterministic_replay(self):
+        spec = quick_spec([FaultEntry("flap", 5.0, 3.0, ("m002",))])
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first.ok == second.ok
+        assert first.events == second.events
+        assert [v.as_dict() for v in first.violations] == [
+            v.as_dict() for v in second.violations
+        ]
+
+
+class TestBrokenInvariantIsCaught:
+    """Acceptance check: deliberately breaking the LHM clamp must be
+    caught, shrunk to a tiny schedule, and replayable from the artifact."""
+
+    @pytest.fixture()
+    def broken_clamp(self, monkeypatch):
+        def unclamped(self, delta):
+            if not self._enabled:
+                return self._score
+            self._score += delta
+            if self._on_change is not None:
+                self._on_change(self._score)
+            return self._score
+
+        monkeypatch.setattr(
+            lhm_module.LocalHealthMultiplier, "apply_delta", unclamped
+        )
+
+    def test_caught_shrunk_and_replayable(self, broken_clamp, tmp_path):
+        sweep = run_sweep(
+            6, params=QUICK, shrink=True, max_shrink_runs=60, max_failures=1
+        )
+        assert sweep.seeds_failed >= 1
+        failure = sweep.failures[0]
+        assert any(
+            v.oracle == "lhm-bounds" for v in failure.result.violations
+        )
+        minimal = failure.shrunk.minimal
+        assert len(minimal.faults) <= 3
+        # The artifact replays to the same verdict while the bug exists.
+        path = tmp_path / "artifact.json"
+        write_artifact(str(path), failure.artifact)
+        replayed = run_scenario(load_artifact_spec(json.loads(path.read_text())))
+        assert not replayed.ok
+        assert any(v.oracle == "lhm-bounds" for v in replayed.violations)
+
+
+class TestShrinking:
+    def test_shrink_drops_irrelevant_faults(self, monkeypatch):
+        def unclamped(self, delta):
+            if not self._enabled:
+                return self._score
+            self._score += delta
+            return self._score
+
+        monkeypatch.setattr(
+            lhm_module.LocalHealthMultiplier, "apply_delta", unclamped
+        )
+        spec = quick_spec(
+            [
+                FaultEntry("block", 4.0, 10.0, ("m001",)),
+                FaultEntry("leave", 18.0, 0.0, ("m003",)),
+                FaultEntry("loss", 15.0, 3.0, (), 0.2),
+            ],
+            n_members=5,
+        )
+        original = run_scenario(spec)
+        assert not original.ok
+        outcome = shrink_failure(spec, original, max_runs=40)
+        assert outcome.runs > 0
+        assert len(outcome.minimal.faults) < len(spec.faults)
+        assert outcome.violations
+        # The minimal spec still fails on its own.
+        assert not run_scenario(outcome.minimal).ok
+
+
+class TestSweepAndMetrics:
+    def test_clean_sweep_counts_seeds(self):
+        registry = MetricsRegistry()
+        sweep = run_sweep(3, params=QUICK, registry=registry)
+        assert sweep.ok
+        assert sweep.seeds_run == 3
+        rendered = render_text(registry)
+        assert "lifeguard_check_seeds_total 3" in rendered
+        # No failures: the failure counter is declared but has no samples.
+        assert "# TYPE lifeguard_check_failed_seeds_total counter" in rendered
+        assert "lifeguard_check_failed_seeds_total 1" not in rendered
+
+    def test_failing_sweep_increments_failure_metrics(self, monkeypatch):
+        def unclamped(self, delta):
+            if not self._enabled:
+                return self._score
+            self._score += delta
+            return self._score
+
+        monkeypatch.setattr(
+            lhm_module.LocalHealthMultiplier, "apply_delta", unclamped
+        )
+        registry = MetricsRegistry()
+        sweep = run_sweep(
+            8,
+            params=QUICK,
+            registry=registry,
+            shrink=False,
+            max_failures=1,
+        )
+        assert not sweep.ok
+        rendered = render_text(registry)
+        assert "lifeguard_check_failed_seeds_total 1" in rendered
+        assert "lifeguard_check_violations_total" in rendered
+
+    def test_sweep_result_serializes(self):
+        sweep = run_sweep(2, params=QUICK, shrink=False)
+        json.dumps(sweep.as_dict())
+
+
+class TestArtifacts:
+    def test_artifact_round_trip(self, tmp_path):
+        spec = quick_spec([FaultEntry("crash", 5.0, 0.0, ("m001",))])
+        result = run_scenario(spec)
+        artifact = build_artifact(spec.seed, result)
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+        path = tmp_path / "a.json"
+        write_artifact(str(path), artifact)
+        loaded = load_artifact_spec(json.loads(path.read_text()))
+        assert loaded == spec
+
+    def test_replay_accepts_bare_scenario_file(self, tmp_path):
+        spec = quick_spec([])
+        path = tmp_path / "scenario.json"
+        path.write_text(spec.to_json())
+        result = replay_file(str(path))
+        assert result.ok

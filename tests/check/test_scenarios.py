@@ -1,0 +1,166 @@
+"""Tests for the scenario schedule language and seeded generator."""
+
+import json
+
+import pytest
+
+from repro.check.scenarios import (
+    FAULT_KINDS,
+    FaultEntry,
+    GeneratorParams,
+    ScenarioSpec,
+    generate_scenario,
+    shrink_candidates,
+)
+from repro.sim.runtime import default_member_names
+
+
+class TestFaultEntry:
+    def test_round_trip(self):
+        entry = FaultEntry("partition", 3.0, 5.0, ("m000", "m001"))
+        assert FaultEntry.from_dict(entry.as_dict()) == entry
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEntry("meteor", 1.0, 1.0, ("m000",)).validate()
+
+    def test_windowed_kind_needs_duration(self):
+        with pytest.raises(ValueError, match="positive duration"):
+            FaultEntry("block", 1.0, 0.0, ("m000",)).validate()
+
+    def test_link_loss_needs_two_distinct_members(self):
+        with pytest.raises(ValueError, match="two distinct members"):
+            FaultEntry("link_loss", 1.0, 2.0, ("m000",), 0.9).validate()
+        with pytest.raises(ValueError, match="two distinct members"):
+            FaultEntry("link_loss", 1.0, 2.0, ("m000", "m000"), 0.9).validate()
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultEntry("loss", 1.0, 2.0, (), 1.0).validate()
+        with pytest.raises(ValueError):
+            FaultEntry("link_loss", 1.0, 2.0, ("a", "b"), 0.0).validate()
+
+
+class TestScenarioSpec:
+    def spec(self, **overrides):
+        base = dict(
+            seed=7,
+            n_members=5,
+            faults=(
+                FaultEntry("block", 2.0, 4.0, ("m001",)),
+                FaultEntry("join", 5.0, 0.0, ("j00",)),
+                FaultEntry("crash", 8.0, 0.0, ("j00",)),
+            ),
+        )
+        base.update(overrides)
+        return ScenarioSpec(**base)
+
+    def test_json_round_trip(self):
+        spec = self.spec()
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+
+    def test_dict_is_json_serializable(self):
+        json.dumps(self.spec().as_dict())
+
+    def test_fault_past_horizon_rejected(self):
+        spec = self.spec(
+            faults=(FaultEntry("block", 39.0, 5.0, ("m001",)),)
+        )
+        with pytest.raises(ValueError, match="ends after the horizon"):
+            spec.validate()
+
+    def test_unknown_member_rejected(self):
+        spec = self.spec(faults=(FaultEntry("crash", 1.0, 0.0, ("m999",)),))
+        with pytest.raises(ValueError, match="unknown member"):
+            spec.validate()
+
+    def test_joined_member_usable_by_later_faults(self):
+        self.spec().validate()
+
+    def test_unsupported_schema_rejected(self):
+        data = self.spec().as_dict()
+        data["schema"] = "repro-check-scenario/v999"
+        with pytest.raises(ValueError, match="unsupported scenario schema"):
+            ScenarioSpec.from_dict(data)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        for seed in range(20):
+            assert generate_scenario(seed) == generate_scenario(seed)
+
+    def test_varies_across_seeds(self):
+        specs = {generate_scenario(seed).to_json() for seed in range(20)}
+        assert len(specs) > 10
+
+    def test_generated_specs_are_valid(self):
+        params = GeneratorParams()
+        for seed in range(50):
+            spec = generate_scenario(seed, params)
+            spec.validate()  # must not raise
+            assert params.min_members <= spec.n_members <= params.max_members
+            assert spec.configuration in params.configurations
+
+    def test_join_anchor_never_churned(self):
+        for seed in range(100):
+            for entry in generate_scenario(seed).faults:
+                if entry.kind in ("crash", "flap", "leave"):
+                    assert "m000" not in entry.members
+
+    def test_churn_bounded(self):
+        for seed in range(100):
+            spec = generate_scenario(seed)
+            churned = set()
+            for entry in spec.faults:
+                if entry.kind in ("crash", "flap", "leave"):
+                    churned.update(entry.members)
+            assert len(churned) <= max(1, int(spec.n_members * 0.34))
+
+    def test_weights_restrict_kinds(self):
+        params = GeneratorParams(
+            weights=(("block", 1.0),), min_faults=2, max_faults=4
+        )
+        for seed in range(20):
+            for entry in generate_scenario(seed, params).faults:
+                assert entry.kind == "block"
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorParams(min_members=1).validate()
+        with pytest.raises(ValueError):
+            GeneratorParams(weights=(("meteor", 1.0),)).validate()
+        with pytest.raises(ValueError):
+            GeneratorParams(weights=(("block", 0.0),)).validate()
+
+    def test_all_kinds_reachable(self):
+        seen = set()
+        for seed in range(300):
+            seen.update(e.kind for e in generate_scenario(seed).faults)
+        assert seen == set(FAULT_KINDS)
+
+
+class TestShrinkCandidates:
+    def test_candidates_are_valid_and_smaller(self):
+        spec = generate_scenario(9)
+        for candidate in shrink_candidates(spec):
+            candidate.validate()
+            assert candidate.seed == spec.seed
+            smaller = (
+                len(candidate.faults) < len(spec.faults)
+                or candidate.n_members < spec.n_members
+                or sum(f.duration for f in candidate.faults)
+                < sum(f.duration for f in spec.faults)
+            )
+            assert smaller
+
+    def test_member_trim_keeps_referenced_members(self):
+        spec = ScenarioSpec(
+            seed=1,
+            n_members=9,
+            faults=(FaultEntry("crash", 1.0, 0.0, ("m002",)),),
+        )
+        for candidate in shrink_candidates(spec):
+            names = set(default_member_names(candidate.n_members))
+            for entry in candidate.faults:
+                assert set(entry.members) <= names

@@ -1,0 +1,91 @@
+"""Property-style tests for the Local Health Multiplier.
+
+Random event sequences from a seeded ``random.Random`` (no third-party
+property-testing dependency): every sequence must keep the LHM inside
+``[LHM_MIN, S]``, and the final score must equal the saturating fold of
+the Section IV-A event table over the sequence.
+"""
+
+import random
+
+import pytest
+
+from repro.core.lhm import (
+    DEFAULT_LHM_MAX,
+    EVENT_SCORES,
+    LHM_MIN,
+    LhmEvent,
+    LocalHealthMultiplier,
+)
+
+EVENTS = list(EVENT_SCORES)
+
+
+def saturating_fold(events, max_value):
+    score = LHM_MIN
+    for event in events:
+        score = min(max_value, max(LHM_MIN, score + EVENT_SCORES[event]))
+    return score
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_sequences_stay_bounded_and_match_fold(seed):
+    rng = random.Random(seed)
+    max_value = rng.choice([1, 2, DEFAULT_LHM_MAX, 20])
+    lhm = LocalHealthMultiplier(max_value=max_value)
+    applied = []
+    for _ in range(rng.randrange(0, 300)):
+        event = rng.choice(EVENTS)
+        applied.append(event)
+        lhm.note(event)
+        assert LHM_MIN <= lhm.score <= max_value
+        assert lhm.multiplier == lhm.score + 1
+        assert lhm.saturated == (lhm.score == max_value)
+        assert lhm.healthy == (lhm.score == LHM_MIN)
+    assert lhm.score == saturating_fold(applied, max_value)
+    for event in EVENTS:
+        assert lhm.event_count(event) == applied.count(event)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_disabled_lhm_never_moves_but_still_counts(seed):
+    rng = random.Random(seed)
+    lhm = LocalHealthMultiplier(enabled=False)
+    applied = []
+    for _ in range(200):
+        event = rng.choice(EVENTS)
+        applied.append(event)
+        lhm.note(event)
+        assert lhm.score == LHM_MIN
+        assert lhm.multiplier == 1
+    for event in EVENTS:
+        assert lhm.event_count(event) == applied.count(event)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_reset_restores_floor_after_any_sequence(seed):
+    rng = random.Random(seed)
+    lhm = LocalHealthMultiplier()
+    for _ in range(100):
+        lhm.note(rng.choice(EVENTS))
+    lhm.reset()
+    assert lhm.score == LHM_MIN
+    assert lhm.healthy
+
+
+def test_success_and_failure_cancel_exactly_between_bounds():
+    lhm = LocalHealthMultiplier()
+    lhm.apply_delta(4)
+    before = lhm.score
+    lhm.note(LhmEvent.PROBE_FAILED)
+    lhm.note(LhmEvent.PROBE_SUCCESS)
+    assert lhm.score == before
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_apply_delta_saturates_for_any_delta(seed):
+    rng = random.Random(seed)
+    lhm = LocalHealthMultiplier()
+    for _ in range(100):
+        lhm.apply_delta(rng.randint(-5, 5))
+        assert LHM_MIN <= lhm.score <= DEFAULT_LHM_MAX

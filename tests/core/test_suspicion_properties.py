@@ -1,0 +1,110 @@
+"""Property-style tests for LHA-Suspicion's decaying timeout.
+
+Seeded random confirmation sequences (no third-party property-testing
+dependency) against the Section IV-B invariants: the timeout is confined
+to ``[Min, Max]``, the deadline is monotonically non-increasing as
+independent confirmations arrive, duplicates and confirmations beyond
+``K`` change nothing, and the decay formula hits its endpoints exactly.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.suspicion import (
+    DEFAULT_SUSPICION_K,
+    Suspicion,
+    suspicion_bounds,
+    suspicion_timeout,
+)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_confirmation_sequences(seed):
+    rng = random.Random(seed)
+    probe_interval = rng.choice([0.2, 0.5, 1.0])
+    n_members = rng.randint(2, 256)
+    alpha = rng.choice([1.0, 5.0, 8.0])
+    beta = rng.choice([1.0, 4.0, 6.0])
+    minimum, maximum = suspicion_bounds(alpha, beta, n_members, probe_interval)
+    assert 0 < minimum <= maximum
+    k = rng.randint(0, 6)
+    suspicion = Suspicion("creator", started_at=rng.uniform(0, 100),
+                          minimum=minimum, maximum=maximum, k=k)
+    peers = [f"p{i}" for i in range(10)]
+    last_deadline = suspicion.deadline()
+    for _ in range(40):
+        peer = rng.choice(peers + ["creator"])
+        accepted = suspicion.confirm(peer)
+        timeout = suspicion.current_timeout()
+        deadline = suspicion.deadline()
+        # Confinement and monotone decay.
+        assert minimum - 1e-9 <= timeout <= maximum + 1e-9
+        assert deadline <= last_deadline + 1e-9
+        if accepted:
+            assert deadline <= last_deadline
+        else:
+            assert deadline == last_deadline
+        assert suspicion.confirmations <= k
+        assert deadline == suspicion.started_at + timeout
+        last_deadline = deadline
+    # Creator is excluded from C; duplicates never counted twice.
+    assert suspicion.confirmations == len(suspicion.confirmers) - 1
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5])
+def test_decay_endpoints_exact(k):
+    minimum, maximum = 2.0, 12.0
+    assert suspicion_timeout(minimum, maximum, 0, k) == pytest.approx(maximum)
+    assert suspicion_timeout(minimum, maximum, k, k) == pytest.approx(minimum)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_decay_strictly_decreasing_up_to_k(seed):
+    rng = random.Random(seed)
+    minimum = rng.uniform(0.5, 3.0)
+    maximum = minimum * rng.uniform(1.5, 8.0)
+    k = rng.randint(1, 8)
+    timeouts = [
+        suspicion_timeout(minimum, maximum, c, k) for c in range(k + 3)
+    ]
+    for earlier, later in zip(timeouts, timeouts[1:]):
+        assert later <= earlier
+    for c in range(k):
+        assert timeouts[c + 1] < timeouts[c]
+    # Past K the formula would keep shrinking mathematically, but the
+    # floor holds.
+    assert timeouts[-1] >= minimum - 1e-12
+
+
+def test_k_zero_is_plain_swim_fixed_timeout():
+    assert suspicion_timeout(3.0, 18.0, 0, 0) == 3.0
+    suspicion = Suspicion("creator", 0.0, 3.0, 3.0, 0)
+    assert not suspicion.confirm("peer")
+    assert suspicion.current_timeout() == 3.0
+
+
+def test_bounds_scale_logarithmically_with_group_size():
+    small = suspicion_bounds(5.0, 6.0, 10, 0.5)
+    large = suspicion_bounds(5.0, 6.0, 1000, 0.5)
+    assert large[0] == pytest.approx(small[0] * 3)
+    # Tiny clusters are guarded at scale factor 1.
+    tiny = suspicion_bounds(5.0, 6.0, 2, 0.5)
+    assert tiny[0] == pytest.approx(5.0 * 1.0 * 0.5)
+    assert tiny[1] == pytest.approx(6.0 * tiny[0])
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_formula_matches_paper_closed_form(seed):
+    rng = random.Random(seed)
+    minimum = rng.uniform(0.1, 5.0)
+    maximum = minimum * rng.uniform(1.0, 10.0)
+    k = rng.randint(1, 6)
+    c = rng.randint(0, k)
+    expected = maximum - (maximum - minimum) * (
+        math.log(c + 1) / math.log(k + 1)
+    )
+    assert suspicion_timeout(minimum, maximum, c, k) == pytest.approx(
+        max(minimum, expected)
+    )

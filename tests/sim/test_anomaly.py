@@ -156,6 +156,72 @@ class TestCyclicWindows:
         assert by_member["a"] == by_member["b"] == by_member["c"]
 
 
+class TestFaultComposition:
+    """Overlapping fault windows on the same member must compose."""
+
+    def test_cpu_stress_overlapping_block_window_merges(self):
+        scheduler, network, controller = make_rig()
+        inbox = Inbox()
+        network.register("b", inbox)
+        # A long manual freeze overlapping the stress period: the member
+        # must stay blocked for the union of windows, not toggle free
+        # when one of them ends.
+        controller.block_window("a", start=1.0, end=6.0)
+        controller.cpu_stress("a", start=4.0, duration=10.0, rng=random.Random(7))
+        scheduler.run_until(5.0)
+        assert controller.is_blocked("a")
+        network.send("a", "b", b"held")
+        # At t=6 the manual window ends; if a stress stall overlaps it
+        # the member must still be blocked until that stall ends too.
+        overlapping = [
+            end for m, start, end in controller.windows
+            if m == "a" and start < 6.0 < end
+        ]
+        scheduler.run_until(6.05)
+        assert controller.is_blocked("a") == bool(
+            [e for e in overlapping if e > 6.05]
+        )
+        scheduler.run_until(20.0)
+        assert not controller.is_blocked("a")
+        assert inbox.packets == [b"held"]
+
+    def test_blocked_member_flush_respects_partition(self):
+        scheduler, network, controller = make_rig()
+        inbox = Inbox()
+        network.register("b", inbox)
+        controller.block_window("a", start=0.0, end=2.0)
+        scheduler.run_until(1.0)
+        network.send("a", "b", b"doomed")
+        # Partition lands while the send is still queued in the anomaly
+        # buffer; the flush at window end must hit the partition, not
+        # bypass it.
+        network.partition(["a"], ["b"])
+        scheduler.run_until(3.0)
+        assert inbox.packets == []
+        assert network.stats.packets_cut == 1
+        network.heal_partition()
+        scheduler.run_until(4.0)
+        assert inbox.packets == []  # datagrams are not retransmitted
+
+    def test_link_loss_composes_with_block_window(self):
+        scheduler, network, controller = make_rig()
+        inbox = Inbox()
+        network.register("b", inbox)
+        network.set_link_loss("a", "b", 1.0)
+        controller.block_window("a", start=0.0, end=2.0)
+        scheduler.run_until(1.0)
+        network.send("a", "b", b"lost")
+        scheduler.run_until(3.0)
+        assert inbox.packets == []
+        assert network.stats.packets_lost == 1
+        # The reverse direction is unaffected (asymmetric loss).
+        network.send("b", "a", b"fine-direction")
+        network.clear_link_loss()
+        network.send("a", "b", b"healed")
+        scheduler.run_until(4.0)
+        assert inbox.packets == [b"healed"]
+
+
 class TestCpuStress:
     def test_windows_stay_inside_stress_period(self):
         _sched, _net, controller = make_rig()

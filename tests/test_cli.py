@@ -62,6 +62,35 @@ class TestStressCommand:
         assert "total FP" in out
 
 
+class TestCheckCommand:
+    def test_small_sweep_clean(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "check", "--seeds", "2", "--artifact-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "2 seeds, 0 failed" in out
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_json_output(self, capsys, tmp_path):
+        payload = run_cli_json(
+            capsys, "check", "--seeds", "1", "--json",
+            "--artifact-dir", str(tmp_path),
+        )
+        assert payload["kind"] == "check-sweep"
+        assert payload["seeds_run"] == 1
+        assert payload["seeds_failed"] == 0
+
+    def test_replay_committed_repro(self, capsys):
+        import pathlib
+
+        repro = sorted(
+            (pathlib.Path(__file__).parent / "check" / "repros").glob("*.json")
+        )[0]
+        code, out = run_cli(capsys, "check", "--replay", str(repro))
+        assert code == 0
+        assert "clean" in out
+
+
 class TestCompareCommand:
     def test_lists_all_configurations(self, capsys):
         code, out = run_cli(
