@@ -27,7 +27,12 @@ def test_table6_message_load(benchmark, interval_data):
         "table6_message_load",
         rendered,
         raw={
-            a.configuration: {"msgs": a.msgs_sent, "bytes": a.bytes_sent}
+            a.configuration: {
+                "msgs": a.msgs_sent,
+                "bytes": a.bytes_sent,
+                "member_seconds": a.member_seconds,
+                "msgs_per_member_per_sec": a.msgs_per_member_per_sec,
+            }
             for a in aggregates
         },
     )

@@ -1,0 +1,222 @@
+"""Benchmark-regression gate: collect pinned metrics, compare to baseline.
+
+Two subcommands, stdlib only (CI runs this between pytest steps):
+
+``collect --sha <sha>``
+    Reads the raw JSON the pinned benchmark subset just published under
+    ``benchmarks/results/`` (``table5_latency``, ``table6_message_load``,
+    ``ops_overhead``), distils the gated metrics and writes
+    ``BENCH_<sha>.json``.
+
+``compare --baseline benchmarks/baseline.json --current BENCH_<sha>.json``
+    Fails (exit 1) when a *gated* metric regressed by more than the
+    threshold (default 15%) over the committed baseline:
+
+    * ``detection_latency_p50`` — median first-detection latency
+      (seconds) for SWIM and Lifeguard; higher is worse.
+    * ``msgs_per_member_per_sec`` — message load normalized by
+      member-seconds, per configuration; higher is worse.
+
+    ``ops_overhead`` numbers are wall-clock and therefore noisy on
+    shared CI runners; they are carried in the artifact and printed for
+    context but never gate.
+
+The sweeps behind the gated metrics are deterministic (seeded simulation
+at a pinned scale), so runs only move when the protocol does. To refresh
+the baseline after an intentional change, regenerate it at the pinned
+scale (see docs/CHECKING.md) and commit the new ``benchmarks/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCHEMA = "repro-bench-regression/v1"
+
+#: Gate threshold: fail on > 15% regression.
+DEFAULT_THRESHOLD = 0.15
+
+#: Configurations whose latency/load rows gate the build.
+GATED_CONFIGURATIONS = ("SWIM", "Lifeguard")
+
+
+# --------------------------------------------------------------------- #
+# collect
+# --------------------------------------------------------------------- #
+
+
+def _load_result(name: str, results_dir: Path) -> Optional[dict]:
+    path = results_dir / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
+    """Distil the gated + informational metrics from published results."""
+    metrics: Dict[str, Dict[str, float]] = {
+        "detection_latency_p50": {},
+        "msgs_per_member_per_sec": {},
+    }
+
+    table5 = _load_result("table5_latency", results_dir)
+    if table5 is not None:
+        for configuration in GATED_CONFIGURATIONS:
+            row = table5.get(configuration)
+            if row is None:
+                continue
+            p50 = row.get("first", {}).get("50.0")
+            if p50 is not None:
+                metrics["detection_latency_p50"][configuration] = p50
+
+    table6 = _load_result("table6_message_load", results_dir)
+    if table6 is not None:
+        for configuration in GATED_CONFIGURATIONS:
+            row = table6.get(configuration)
+            if row is None:
+                continue
+            rate = row.get("msgs_per_member_per_sec")
+            if rate:
+                metrics["msgs_per_member_per_sec"][configuration] = rate
+
+    document = {"schema": SCHEMA, "metrics": metrics}
+    ops = _load_result("ops_overhead", results_dir)
+    if ops is not None:
+        document["ops_overhead"] = {
+            "hook_overhead": ops.get("hook_overhead"),
+            "scrape_overhead": ops.get("scrape_overhead"),
+        }
+    return document
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    document = collect_metrics(Path(args.results_dir))
+    document["sha"] = args.sha
+    missing = [
+        name for name, values in document["metrics"].items() if not values
+    ]
+    if missing:
+        print(
+            f"error: no data collected for gated metric(s): {', '.join(missing)}"
+            f" — did the pinned benchmarks run?",
+            file=sys.stderr,
+        )
+        return 1
+    out = Path(args.out or f"BENCH_{args.sha}.json")
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# compare
+# --------------------------------------------------------------------- #
+
+
+def compare_documents(
+    baseline: dict, current: dict, threshold: float = DEFAULT_THRESHOLD
+) -> Tuple[List[str], List[str]]:
+    """Returns ``(report_lines, regressions)``.
+
+    A gated metric regresses when ``current > baseline * (1 + threshold)``
+    (both gated metrics are higher-is-worse). Metrics present on only
+    one side are reported but never gate — that happens when the
+    baseline predates a new metric, and the fix is a baseline refresh,
+    not a red build.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for metric in sorted(set(base_metrics) | set(cur_metrics)):
+        base_rows = base_metrics.get(metric, {})
+        cur_rows = cur_metrics.get(metric, {})
+        for configuration in sorted(set(base_rows) | set(cur_rows)):
+            base_value = base_rows.get(configuration)
+            cur_value = cur_rows.get(configuration)
+            label = f"{metric}[{configuration}]"
+            if base_value is None or cur_value is None:
+                side = "baseline" if base_value is None else "current"
+                lines.append(f"  {label}: missing in {side} (not gated)")
+                continue
+            ratio = cur_value / base_value if base_value else float("inf")
+            verdict = "ok"
+            if cur_value > base_value * (1.0 + threshold):
+                verdict = f"REGRESSION (>{threshold:.0%})"
+                regressions.append(label)
+            lines.append(
+                f"  {label}: {base_value:.4f} -> {cur_value:.4f} "
+                f"({ratio - 1.0:+.1%}) {verdict}"
+            )
+    ops = current.get("ops_overhead")
+    if ops is not None:
+        lines.append(
+            "  ops_overhead (informational): "
+            f"hook={ops.get('hook_overhead')}, scrape={ops.get('scrape_overhead')}"
+        )
+    return lines, regressions
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    for name, document in (("baseline", baseline), ("current", current)):
+        if document.get("schema") != SCHEMA:
+            print(
+                f"error: {name} file has schema {document.get('schema')!r}, "
+                f"expected {SCHEMA!r}",
+                file=sys.stderr,
+            )
+            return 2
+    lines, regressions = compare_documents(
+        baseline, current, threshold=args.threshold
+    )
+    print(
+        f"bench regression gate: {current.get('sha', '?')} vs "
+        f"baseline {baseline.get('sha', '?')} (threshold {args.threshold:.0%})"
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"FAILED: {len(regressions)} regression(s): {', '.join(regressions)}")
+        return 1
+    print("ok: no gated metric regressed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="regression.py", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    collect = sub.add_parser("collect", help="distil gated metrics to BENCH_<sha>.json")
+    collect.add_argument("--sha", required=True, help="commit SHA being measured")
+    collect.add_argument("--out", help="output path (default BENCH_<sha>.json)")
+    collect.add_argument(
+        "--results-dir",
+        default=str(RESULTS_DIR),
+        help="directory holding the published benchmark JSON",
+    )
+    collect.set_defaults(func=cmd_collect)
+
+    compare = sub.add_parser("compare", help="gate a collected file against baseline")
+    compare.add_argument("--baseline", required=True)
+    compare.add_argument("--current", required=True)
+    compare.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,28 @@ The shipped oracles and their paper anchors:
     The paper's recovery criterion (Section V): once the fault schedule
     ends, all surviving members' views agree within the scenario's
     settle time — live members are seen ALIVE, departed members are not.
-    Checked once, at the end of a scenario, by the runner.
+    Checked once, at the end of a scenario, by the runner. For clusters
+    running *without* push-pull anti-entropy, liveness agreement is not
+    a theorem (gossip transmit budgets are finite), so only the
+    achievable half is demanded: no unresolved suspicions, and departed
+    members not seen alive.
+
+``sync-convergence``
+    Anti-entropy's stronger promise (memberlist push-pull, paper
+    Section II's full-sync lineage): when every member runs push-pull
+    rounds, surviving views agree not just on liveness but on the
+    *incarnation* of every live member after settle — full-state
+    exchange closes gaps that transmit-limited gossip may leave.
+    Checked once at scenario end; skipped for clusters with push-pull
+    disabled.
+
+``dead-retention``
+    The resurrection veto: a member an observer saw DEAD/LEFT at
+    incarnation ``i`` must never reappear non-terminal at an incarnation
+    ``<= i`` while the observer's ``dead_member_reclaim`` window for
+    that sighting is still open — not even if the entry itself was
+    dropped and re-added in between. (Past the window the observer has
+    legitimately forgotten, and a stale re-add is tolerated.)
 """
 
 from __future__ import annotations
@@ -376,9 +397,34 @@ class BroadcastQueueOracle(Oracle):
 
 
 class ConvergenceOracle(Oracle):
-    """All surviving views agree after the fault schedule ends."""
+    """All surviving views agree after the fault schedule ends.
+
+    The full liveness-agreement check is conditional on anti-entropy:
+    with push-pull enabled, every false DEAD verdict is eventually
+    offered back to its victim (who refutes) or overwritten by a fresher
+    snapshot, so "all live members seen ALIVE" is a theorem. With
+    push-pull disabled, dissemination is gossip alone — transmit budgets
+    are finite, so a victim that never hears a false ``dead`` claim about
+    itself can stay written off in some views forever. Gossip-only
+    clusters are therefore held to the achievable property instead: no
+    view may be stuck mid-protocol (SUSPECT after settle means a
+    suspicion that never resolved), and departed members must not be
+    seen alive (the observer's own probing guarantees that much without
+    any dissemination at all).
+    """
 
     name = "convergence"
+
+    @staticmethod
+    def _sync_enabled(cluster, observers: Set[str]) -> bool:
+        nodes = [
+            cluster.nodes.get(name)
+            for name in observers
+        ]
+        running = [n for n in nodes if n is not None and n.running]
+        return bool(running) and all(
+            n.config.push_pull_interval > 0 for n in running
+        )
 
     def check_final(
         self,
@@ -388,6 +434,7 @@ class ConvergenceOracle(Oracle):
         expected_gone: Set[str],
     ) -> List[Violation]:
         out: List[Violation] = []
+        sync_enabled = self._sync_enabled(cluster, expected_live)
         for observer in sorted(expected_live):
             node = cluster.nodes.get(observer)
             if node is None or not node.running:
@@ -402,12 +449,22 @@ class ConvergenceOracle(Oracle):
                 if subject == observer:
                     continue
                 member = node.members.get(subject)
-                if member is None or not member.is_alive:
-                    state = "unknown" if member is None else member.state.name
+                if sync_enabled:
+                    if member is None or not member.is_alive:
+                        state = "unknown" if member is None else member.state.name
+                        out.append(
+                            Violation(
+                                self.name, now, observer,
+                                f"sees live member as {state} after settle",
+                                subject=subject,
+                            )
+                        )
+                elif member is not None and member.is_suspect:
                     out.append(
                         Violation(
                             self.name, now, observer,
-                            f"sees live member as {state} after settle",
+                            "suspicion of a live member never resolved "
+                            "after settle (gossip-only cluster)",
                             subject=subject,
                         )
                     )
@@ -425,6 +482,129 @@ class ConvergenceOracle(Oracle):
         return out
 
 
+class SyncConvergenceOracle(Oracle):
+    """Incarnation-level agreement after settle, when push-pull runs.
+
+    The plain :class:`ConvergenceOracle` only demands agreement on
+    *liveness*; with anti-entropy enabled the full member table is
+    exchanged wholesale, so surviving observers must also agree on each
+    live member's incarnation. Disagreement after settle means a
+    snapshot merge dropped or downgraded a claim somewhere.
+    """
+
+    name = "sync-convergence"
+
+    def check_final(
+        self,
+        cluster,
+        now: float,
+        expected_live: Set[str],
+        expected_gone: Set[str],
+    ) -> List[Violation]:
+        del expected_gone
+        nodes = {
+            name: cluster.nodes.get(name)
+            for name in expected_live
+        }
+        live_nodes = {
+            name: node for name, node in nodes.items()
+            if node is not None and node.running
+        }
+        # Only meaningful when every surviving member runs push-pull
+        # rounds; a mixed or sync-off cluster only owes gossip-level
+        # (liveness) agreement.
+        if len(live_nodes) != len(expected_live) or not live_nodes:
+            return []
+        if any(n.config.push_pull_interval <= 0 for n in live_nodes.values()):
+            return []
+        out: List[Violation] = []
+        for subject in sorted(expected_live):
+            seen: Dict[int, List[str]] = {}
+            for observer, node in sorted(live_nodes.items()):
+                member = node.members.get(subject)
+                if member is None:
+                    continue  # ConvergenceOracle already flags this
+                seen.setdefault(member.incarnation, []).append(observer)
+            if len(seen) > 1:
+                detail = ", ".join(
+                    f"incarnation {inc} seen by {', '.join(obs)}"
+                    for inc, obs in sorted(seen.items())
+                )
+                out.append(
+                    Violation(
+                        self.name, now, "cluster",
+                        f"views disagree after settle with push-pull "
+                        f"enabled: {detail}",
+                        subject=subject,
+                    )
+                )
+        return out
+
+
+class ResurrectionOracle(Oracle):
+    """No resurrection inside the dead-member retention window.
+
+    Unlike :class:`MembershipOracle` (which compares consecutive
+    snapshots and therefore forgets a terminal sighting as soon as the
+    entry changes or disappears), this oracle keeps a *permanent* record
+    of the highest terminal incarnation each observer ever saw for each
+    subject. A non-terminal sighting at an incarnation at or below that
+    record is a violation while the observer's ``dead_member_reclaim``
+    window (measured from the terminal sighting) is still open — this is
+    exactly the stale-``alive`` resurrection that dead-member retention
+    plus the push-pull veto are there to prevent. Once the window
+    passes, the record is dropped: a reclaimed member re-added by an old
+    snapshot is indistinguishable from a genuine rejoin.
+    """
+
+    name = "dead-retention"
+
+    def __init__(self) -> None:
+        # (observer, subject) -> (terminal state value, incarnation, seen_at)
+        self._terminal: Dict[Tuple[str, str], Tuple[int, int, float]] = {}
+
+    def reset(self, cluster) -> None:
+        self._terminal = {}
+
+    def check(self, cluster, now: float) -> List[Violation]:
+        out: List[Violation] = []
+        for name, node in cluster.nodes.items():
+            retention = node.config.dead_member_reclaim
+            for member in node.members.members():
+                key = (name, member.name)
+                record = self._terminal.get(key)
+                if member.state in _TERMINAL:
+                    if record is None or member.incarnation >= record[1]:
+                        self._terminal[key] = (
+                            int(member.state), member.incarnation, now,
+                        )
+                    continue
+                if record is None:
+                    continue
+                state_value, incarnation, seen_at = record
+                if now - seen_at >= retention:
+                    del self._terminal[key]
+                    continue
+                if member.incarnation <= incarnation:
+                    out.append(
+                        Violation(
+                            self.name, now, name,
+                            f"seen {member.state.name} at incarnation "
+                            f"{member.incarnation} only "
+                            f"{now - seen_at:.3f}s after a "
+                            f"{MemberState(state_value).name} sighting at "
+                            f"incarnation {incarnation} (retention "
+                            f"{retention:g}s)",
+                            subject=member.name,
+                        )
+                    )
+                else:
+                    # A legitimate refutation at a higher incarnation
+                    # clears the record.
+                    del self._terminal[key]
+        return out
+
+
 def default_oracles() -> List[Oracle]:
     """The standard suite, one instance each (oracles are stateful)."""
     return [
@@ -433,6 +613,8 @@ def default_oracles() -> List[Oracle]:
         MembershipOracle(),
         BroadcastQueueOracle(),
         ConvergenceOracle(),
+        SyncConvergenceOracle(),
+        ResurrectionOracle(),
     ]
 
 

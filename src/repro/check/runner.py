@@ -29,6 +29,7 @@ from repro.check.scenarios import (
 )
 from repro.harness.configurations import make_config
 from repro.sim.runtime import SimCluster, default_member_names
+from repro.swim.state import MemberState
 
 ARTIFACT_SCHEMA = "repro-check/v1"
 
@@ -166,6 +167,12 @@ class _FaultDriver:
         node = self.cluster.nodes.get(member)
         if node is not None and not node.running:
             node.start()
+            # A restarted process rejoins the group: its peers wrote it
+            # off as DEAD and will never probe or gossip to it again, so
+            # the only protocol paths back in are the join handshake and
+            # (when enabled) periodic reconnect sync — and the sweep also
+            # runs sync-off clusters.
+            self._schedule_rejoin(member, first_delay=0.0)
 
     def _leave(self, member: str) -> None:
         node = self.cluster.nodes.get(member)
@@ -180,31 +187,60 @@ class _FaultDriver:
             self.expected_gone.add(member)
             return
         self.cluster.spawn_member(member, join_via=anchor)
-        self._schedule_join_retry(member)
+        self._schedule_rejoin(member)
 
-    def _pick_anchor(self) -> Optional[str]:
+    def _pick_anchor(self, exclude: Optional[str] = None) -> Optional[str]:
         for name in self._base_names:
+            if name == exclude:
+                continue
             node = self.cluster.nodes.get(name)
             if node is not None and node.running and name not in self.expected_gone:
                 return name
         return None
 
-    def _schedule_join_retry(self, member: str) -> None:
-        # A join announcement is a plain datagram: if it lands inside a
-        # partition or loss window the joiner would stay isolated forever.
-        # Real deployments retry; so do we, until the joiner knows a peer.
-        def retry() -> None:
+    def _reintegrated(self, member: str) -> bool:
+        """Whether every running peer currently sees ``member`` as alive.
+
+        Gossip's transmit budget is finite: with periodic sync disabled,
+        a peer that was blocked while the (re)join refutation circulated
+        can stay convinced the member is DEAD forever. A fresh sync offer
+        directly repairs such a straggler, so the rejoin loop keeps going
+        until no straggler remains.
+        """
+        peers = 0
+        for name, node in self.cluster.nodes.items():
+            if name == member or not node.running:
+                continue
+            view = node.members.get(member)
+            if view is None or not view.is_alive:
+                return False
+            peers += 1
+        return peers > 0
+
+    def _schedule_rejoin(self, member: str, first_delay: float = _JOIN_RETRY) -> None:
+        # A restarted (or newly joined) process keeps offering sync to its
+        # last-known peer list until the whole group sees it alive — the
+        # serf snapshot-rejoin behaviour. A member that knows nobody yet
+        # falls back to the driver's anchor.
+        def attempt() -> None:
             node = self.cluster.nodes.get(member)
             if node is None or not node.running:
                 return
-            if len(node.members) > 1:
+            if self._reintegrated(member):
                 return
-            anchor = self._pick_anchor()
-            if anchor is not None:
-                node.join([anchor])
-            self._schedule_join_retry(member)
+            peers = [
+                m.name
+                for m in node.members.members()
+                if m.name != member and m.state is not MemberState.LEFT
+            ]
+            if not peers:
+                anchor = self._pick_anchor(exclude=member)
+                peers = [anchor] if anchor is not None else []
+            if peers:
+                node.join(peers)
+            self.cluster.scheduler.call_later(_JOIN_RETRY, attempt)
 
-        self.cluster.scheduler.call_later(_JOIN_RETRY, retry)
+        self.cluster.scheduler.call_later(first_delay, attempt)
 
     # -- final bookkeeping --------------------------------------------- #
 
@@ -260,6 +296,9 @@ def run_scenario(
     spec.validate()
     started = time.monotonic()
     config = make_config(spec.configuration, alpha=spec.alpha, beta=spec.beta)
+    if not spec.sync:
+        # Gossip-only regime: no push-pull rounds, no reconnect offers.
+        config = config.replace(push_pull_interval=0.0, reconnect_interval=0.0)
     cluster = SimCluster(
         names=default_member_names(spec.n_members),
         config=config,
@@ -320,6 +359,7 @@ def shrink_failure(
     original: CheckResult,
     stride: int = 1,
     max_runs: int = 120,
+    oracles: Optional[Callable[[], List[Oracle]]] = None,
 ) -> ShrinkOutcome:
     """Greedily minimize a failing spec while it keeps violating.
 
@@ -338,7 +378,7 @@ def shrink_failure(
             if runs >= max_runs:
                 break
             runs += 1
-            result = run_scenario(candidate, stride=stride)
+            result = run_scenario(candidate, stride=stride, oracles=oracles)
             if result.ok:
                 continue
             if not target_oracles & {v.oracle for v in result.violations}:
@@ -470,20 +510,31 @@ def run_sweep(
     max_failures: int = 5,
     registry=None,
     on_seed: Optional[Callable[[int, CheckResult], None]] = None,
+    oracles: Optional[Callable[[], List[Oracle]]] = None,
+    seed_list: Optional[Sequence[int]] = None,
 ) -> SweepResult:
     """Run ``seeds`` generated scenarios; shrink and record failures.
 
     Stops early after ``max_failures`` failing seeds (each failure costs
     a shrink campaign; a systemic bug fails every seed and would turn the
-    sweep into hours of redundant shrinking).
+    sweep into hours of redundant shrinking). ``seed_list`` overrides the
+    contiguous ``range(start_seed, start_seed + seeds)`` — used by
+    :func:`run_partitioned_sweep` to hand each partition an interleaved
+    slice. ``oracles`` overrides the suite factory, as in
+    :func:`run_scenario`.
     """
     params = params or GeneratorParams()
     metrics = install_check_metrics(registry) if registry is not None else None
     sweep = SweepResult()
     started = time.monotonic()
-    for seed in range(start_seed, start_seed + seeds):
+    plan = (
+        list(seed_list)
+        if seed_list is not None
+        else list(range(start_seed, start_seed + seeds))
+    )
+    for seed in plan:
         spec = generate_scenario(seed, params)
-        result = run_scenario(spec, stride=stride)
+        result = run_scenario(spec, stride=stride, oracles=oracles)
         sweep.seeds_run += 1
         sweep.events += result.events
         if metrics is not None:
@@ -494,7 +545,8 @@ def run_sweep(
             shrunk: Optional[ShrinkOutcome] = None
             if shrink:
                 shrunk = shrink_failure(
-                    spec, result, stride=stride, max_runs=max_shrink_runs
+                    spec, result, stride=stride, max_runs=max_shrink_runs,
+                    oracles=oracles,
                 )
                 sweep.shrink_runs += shrunk.runs
             artifact = build_artifact(seed, result, shrunk)
@@ -510,6 +562,100 @@ def run_sweep(
             break
     sweep.wall_time = time.monotonic() - started
     return sweep
+
+
+@dataclass
+class PartitionedSweepResult:
+    """Verdicts for a sweep split into independent seed partitions.
+
+    The overall verdict is the conjunction of every partition's verdict:
+    one violating seed anywhere fails the whole sweep. (An earlier CLI
+    bug reported only the *last* partition's status, letting failures in
+    earlier partitions exit zero — :attr:`ok` is the single source of
+    truth precisely so that cannot recur.)
+    """
+
+    partitions: List[SweepResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(partition.ok for partition in self.partitions)
+
+    @property
+    def seeds_run(self) -> int:
+        return sum(p.seeds_run for p in self.partitions)
+
+    @property
+    def seeds_failed(self) -> int:
+        return sum(p.seeds_failed for p in self.partitions)
+
+    @property
+    def failures(self) -> List[SeedFailure]:
+        return [f for p in self.partitions for f in p.failures]
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seeds_run": self.seeds_run,
+            "seeds_failed": self.seeds_failed,
+            "partitions": [p.as_dict() for p in self.partitions],
+        }
+
+
+def partition_seeds(
+    seeds: int, partitions: int, start_seed: int = 0
+) -> List[List[int]]:
+    """Split ``range(start_seed, start_seed + seeds)`` into interleaved
+    slices: partition ``p`` gets ``start+p, start+p+P, start+p+2P, ...``.
+
+    Interleaving (rather than chunking) keeps every partition sampling
+    the whole seed range, so a bug clustered around e.g. high seed
+    numbers still hits every partition's share of the sweep.
+    """
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    return [
+        list(range(start_seed + p, start_seed + seeds, partitions))
+        for p in range(partitions)
+    ]
+
+
+def run_partitioned_sweep(
+    seeds: int,
+    partitions: int,
+    params: Optional[GeneratorParams] = None,
+    start_seed: int = 0,
+    stride: int = 1,
+    shrink: bool = True,
+    max_shrink_runs: int = 120,
+    max_failures: int = 5,
+    registry=None,
+    on_seed: Optional[Callable[[int, CheckResult], None]] = None,
+    oracles: Optional[Callable[[], List[Oracle]]] = None,
+) -> PartitionedSweepResult:
+    """Run a sweep as ``partitions`` independent interleaved slices.
+
+    Each partition gets its own ``max_failures`` budget, so a systemic
+    bug that exhausts one partition's budget early does not silence the
+    seeds another partition would have run.
+    """
+    result = PartitionedSweepResult()
+    for seed_list in partition_seeds(seeds, partitions, start_seed):
+        result.partitions.append(
+            run_sweep(
+                len(seed_list),
+                params=params,
+                stride=stride,
+                shrink=shrink,
+                max_shrink_runs=max_shrink_runs,
+                max_failures=max_failures,
+                registry=registry,
+                on_seed=on_seed,
+                oracles=oracles,
+                seed_list=seed_list,
+            )
+        )
+    return result
 
 
 def write_artifact(path: str, artifact: dict) -> None:

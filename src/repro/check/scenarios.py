@@ -114,6 +114,11 @@ class ScenarioSpec:
     settle: float = 150.0
     loss_rate: float = 0.0
     faults: Tuple[FaultEntry, ...] = ()
+    #: Whether push-pull anti-entropy (and the reconnect offers built on
+    #: it) runs during the scenario. Sweeps exercise both regimes: with
+    #: sync off, convergence rests on gossip alone, which is exactly the
+    #: coverage the pre-sync fuzzer provided.
+    sync: bool = True
 
     def validate(self) -> None:
         if self.n_members < 2:
@@ -156,6 +161,7 @@ class ScenarioSpec:
             "horizon": self.horizon,
             "settle": self.settle,
             "loss_rate": self.loss_rate,
+            "sync": self.sync,
             "faults": [entry.as_dict() for entry in self.faults],
         }
 
@@ -173,6 +179,7 @@ class ScenarioSpec:
             horizon=float(data.get("horizon", 40.0)),
             settle=float(data.get("settle", 150.0)),
             loss_rate=float(data.get("loss_rate", 0.0)),
+            sync=bool(data.get("sync", True)),
             faults=tuple(
                 FaultEntry.from_dict(entry) for entry in data.get("faults", ())
             ),
@@ -219,6 +226,9 @@ class GeneratorParams:
     )
     max_window: float = 20.0
     max_loss_rate: float = 0.5
+    #: Fraction of generated scenarios that disable push-pull sync, so
+    #: sweeps keep covering the gossip-only convergence path.
+    sync_off_fraction: float = 0.25
     #: At most this fraction of the initial group may crash/flap/leave
     #: (keeps a stable core so convergence remains well-defined).
     max_churn_fraction: float = 0.34
@@ -234,6 +244,8 @@ class GeneratorParams:
             raise ValueError("weights reference an unknown fault kind")
         if all(weight <= 0 for _, weight in self.weights):
             raise ValueError("need at least one positive weight")
+        if not 0.0 <= self.sync_off_fraction <= 1.0:
+            raise ValueError("sync_off_fraction must be in [0, 1]")
 
 
 def _weighted_choice(rng: Random, weights: Sequence[Tuple[str, float]]) -> str:
@@ -311,6 +323,9 @@ def generate_scenario(
             joins += 1
             faults.append(FaultEntry("join", start, 0.0, (member,)))
     faults.sort(key=lambda entry: (entry.start, entry.kind, entry.members))
+    # Drawn last so adding this knob left every pre-existing seed's fault
+    # schedule byte-for-byte unchanged.
+    sync = rng.random() >= params.sync_off_fraction
 
     spec = ScenarioSpec(
         seed=seed,
@@ -319,6 +334,7 @@ def generate_scenario(
         horizon=horizon,
         settle=params.settle,
         faults=tuple(faults),
+        sync=sync,
     )
     spec.validate()
     return spec

@@ -120,6 +120,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="re-runs allowed per shrink campaign (default: 120)")
     check.add_argument("--max-failures", type=int, default=5,
                        help="stop the sweep after this many failing seeds")
+    check.add_argument("--partitions", type=int, default=1,
+                       help="split the sweep into N interleaved seed "
+                            "partitions, each with its own failure budget "
+                            "(default: 1)")
     check.add_argument("--artifact-dir", default=".",
                        help="directory for minimal-repro JSON artifacts")
     check.add_argument("--replay", metavar="FILE",
@@ -266,7 +270,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check.runner import (
         build_artifact,
         replay_file,
-        run_sweep,
+        run_partitioned_sweep,
         write_artifact,
     )
     from repro.ops.registry import MetricsRegistry
@@ -292,8 +296,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
             mark = "." if result.ok else "X"
             print(mark, end="", flush=True)
 
-    sweep = run_sweep(
+    sweep = run_partitioned_sweep(
         args.seeds,
+        args.partitions,
         start_seed=args.start_seed,
         stride=args.stride,
         shrink=not args.no_shrink,
@@ -311,17 +316,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
         write_artifact(path, failure.artifact)
         artifacts.append(path)
+    # Exit status is the conjunction across *all* partitions — a failure
+    # in any partition must fail the command, not just one in the last.
     if args.json:
         payload = sweep.as_dict()
         payload["artifacts"] = artifacts
         _emit_json("check-sweep", payload)
         return 0 if sweep.ok else 1
     print()
-    print(
-        f"{sweep.seeds_run} seeds, {sweep.seeds_failed} failed, "
-        f"{sweep.violations} violations, {sweep.events} events, "
-        f"{sweep.wall_time:.1f}s"
-    )
+    for index, partition in enumerate(sweep.partitions):
+        prefix = f"partition {index}: " if args.partitions > 1 else ""
+        print(
+            f"{prefix}{partition.seeds_run} seeds, "
+            f"{partition.seeds_failed} failed, "
+            f"{partition.violations} violations, {partition.events} events, "
+            f"{partition.wall_time:.1f}s"
+        )
     for failure, path in zip(sweep.failures, artifacts):
         spec = (
             failure.shrunk.minimal

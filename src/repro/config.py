@@ -74,9 +74,17 @@ class SwimConfig:
     probe_timeout: float = 0.5
     #: Number of peers enlisted for an indirect probe (``k`` in the paper).
     indirect_probes: int = 3
-    #: Whether to attempt a direct probe over the reliable (TCP) channel in
-    #: parallel with the indirect UDP probes, as memberlist does.
+    #: Whether to attempt a direct probe over the reliable (TCP) channel
+    #: when the direct UDP probe times out, as memberlist does. The
+    #: fallback fires *before* the indirect ping-req round (see
+    #: ``fallback_probe_wait``); a reliable ack completes the probe and
+    #: suppresses the indirect round entirely.
     tcp_fallback_probe: bool = True
+    #: Fraction of the (LHM-scaled) probe timeout to wait after firing the
+    #: TCP fallback probe before engaging the indirect ping-req round.
+    #: Small by design: the stage-2 delay must leave ping-req helpers
+    #: enough of the protocol period to return acks/nacks.
+    fallback_probe_wait: float = 0.1
 
     # ------------------------------------------------------------------ #
     # Suspicion subprotocol (Sections III-A and IV-B)
@@ -106,6 +114,11 @@ class SwimConfig:
     #: ``lambda``: retransmission multiplier. Each broadcast is sent
     #: ``lambda * ceil(log10(n + 1))`` times.
     retransmit_mult: int = 4
+    #: Master switch for epidemic dissemination: when ``False`` the
+    #: dedicated gossip tick never runs and no gossip is piggybacked on
+    #: probe traffic, leaving anti-entropy push-pull as the only
+    #: state-propagation channel (used to test sync in isolation).
+    gossip_enabled: bool = True
     #: Interval of the dedicated gossip tick (memberlist gossips on its own
     #: schedule in addition to piggybacking on probe traffic).
     gossip_interval: float = 0.2
@@ -200,6 +213,8 @@ class SwimConfig:
             raise ValueError("lhm_max must be non-negative")
         if not 0.0 < self.nack_timeout_fraction < 1.0:
             raise ValueError("nack_timeout_fraction must be in (0, 1)")
+        if not 0.0 <= self.fallback_probe_wait < 1.0:
+            raise ValueError("fallback_probe_wait must be in [0, 1)")
         if self.retransmit_mult < 1:
             raise ValueError("retransmit_mult must be >= 1")
         if self.gossip_interval <= 0:

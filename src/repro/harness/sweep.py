@@ -240,6 +240,17 @@ class IntervalAggregate:
     msgs_sent: int
     bytes_sent: int
     runs: int
+    #: Total member-seconds observed (sum of ``n_members * test_time``
+    #: over the runs); normalizes message load into a scale-independent
+    #: rate for cross-run comparison (the CI regression gate).
+    member_seconds: float = 0.0
+
+    @property
+    def msgs_per_member_per_sec(self) -> float:
+        """Messages per member per virtual second across the sweep."""
+        if self.member_seconds <= 0:
+            return 0.0
+        return self.msgs_sent / self.member_seconds
 
     @classmethod
     def from_results(
@@ -253,6 +264,9 @@ class IntervalAggregate:
             msgs_sent=sum(r.msgs_sent for r in results),
             bytes_sent=sum(r.bytes_sent for r in results),
             runs=len(results),
+            member_seconds=sum(
+                r.params.n_members * r.test_time for r in results
+            ),
         )
 
 

@@ -64,6 +64,14 @@ class Telemetry:
         "reliable_msgs_sent",
         "reliable_bytes_sent",
         "oversized_broadcasts",
+        "fallback_probes_sent",
+        "fallback_probe_acks",
+        "fallback_probe_failures",
+        "syncs_initiated",
+        "sync_replies_sent",
+        "sync_merges",
+        "sync_entries_merged",
+        "sync_changes_applied",
         "transport",
     )
 
@@ -77,6 +85,16 @@ class Telemetry:
         self.reliable_msgs_sent = 0
         self.reliable_bytes_sent = 0
         self.oversized_broadcasts = 0
+        # TCP fallback probes (fired when a direct UDP probe times out).
+        self.fallback_probes_sent = 0
+        self.fallback_probe_acks = 0
+        self.fallback_probe_failures = 0
+        # Anti-entropy push-pull sync.
+        self.syncs_initiated = 0
+        self.sync_replies_sent = 0
+        self.sync_merges = 0
+        self.sync_entries_merged = 0
+        self.sync_changes_applied = 0
         self.transport = TransportStats()
 
     def record_send(self, kind: str, n_bytes: int, reliable: bool = False) -> None:
@@ -109,6 +127,14 @@ class Telemetry:
         self.reliable_msgs_sent += other.reliable_msgs_sent
         self.reliable_bytes_sent += other.reliable_bytes_sent
         self.oversized_broadcasts += other.oversized_broadcasts
+        self.fallback_probes_sent += other.fallback_probes_sent
+        self.fallback_probe_acks += other.fallback_probe_acks
+        self.fallback_probe_failures += other.fallback_probe_failures
+        self.syncs_initiated += other.syncs_initiated
+        self.sync_replies_sent += other.sync_replies_sent
+        self.sync_merges += other.sync_merges
+        self.sync_entries_merged += other.sync_entries_merged
+        self.sync_changes_applied += other.sync_changes_applied
         self.transport.merge(other.transport)
 
     @classmethod
@@ -129,6 +155,14 @@ class Telemetry:
             "reliable_msgs_sent": self.reliable_msgs_sent,
             "reliable_bytes_sent": self.reliable_bytes_sent,
             "oversized_broadcasts": self.oversized_broadcasts,
+            "fallback_probes_sent": self.fallback_probes_sent,
+            "fallback_probe_acks": self.fallback_probe_acks,
+            "fallback_probe_failures": self.fallback_probe_failures,
+            "syncs_initiated": self.syncs_initiated,
+            "sync_replies_sent": self.sync_replies_sent,
+            "sync_merges": self.sync_merges,
+            "sync_entries_merged": self.sync_entries_merged,
+            "sync_changes_applied": self.sync_changes_applied,
             "transport": self.transport.as_dict(),
         }
 

@@ -83,6 +83,18 @@ def telemetry_from_json(path: PathLike) -> Telemetry:
     telemetry.reliable_msgs_sent = int(record["reliable_msgs_sent"])
     telemetry.reliable_bytes_sent = int(record["reliable_bytes_sent"])
     telemetry.oversized_broadcasts = int(record.get("oversized_broadcasts", 0))
+    # Fallback-probe and push-pull sync counters arrived later; traces
+    # written before them load with zeroes.
+    telemetry.fallback_probes_sent = int(record.get("fallback_probes_sent", 0))
+    telemetry.fallback_probe_acks = int(record.get("fallback_probe_acks", 0))
+    telemetry.fallback_probe_failures = int(
+        record.get("fallback_probe_failures", 0)
+    )
+    telemetry.syncs_initiated = int(record.get("syncs_initiated", 0))
+    telemetry.sync_replies_sent = int(record.get("sync_replies_sent", 0))
+    telemetry.sync_merges = int(record.get("sync_merges", 0))
+    telemetry.sync_entries_merged = int(record.get("sync_entries_merged", 0))
+    telemetry.sync_changes_applied = int(record.get("sync_changes_applied", 0))
     telemetry.msgs_by_kind.update(record.get("msgs_by_kind", {}))
     telemetry.bytes_by_kind.update(record.get("bytes_by_kind", {}))
     for event, count in record.get("transport", {}).items():

@@ -82,6 +82,7 @@ class AdminServer:
             registry = MetricsRegistry()
             collector = NodeCollector(registry, node)
             collector.install_rtt_hook()
+            collector.install_sync_hook()
         if events is None:
             events = EventStream()
             node.add_listener(events)

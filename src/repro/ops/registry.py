@@ -14,9 +14,12 @@ gauges/counters. :class:`NodeCollector` is the collector for one
 :class:`~repro.swim.node.SwimNode`: member counts by state, incarnation,
 LHM score, scaled probe timing, suspicion-table size, broadcast-queue
 depths, the full :class:`~repro.metrics.telemetry.Telemetry` /
-:class:`~repro.metrics.telemetry.TransportStats` counter set, and a
-probe-RTT histogram fed by the node's ack-latency hook
-(:attr:`SwimNode.on_probe_rtt <repro.swim.node.SwimNode.on_probe_rtt>`).
+:class:`~repro.metrics.telemetry.TransportStats` counter set, the
+fallback-probe and push-pull sync counter families, a probe-RTT
+histogram fed by the node's ack-latency hook
+(:attr:`SwimNode.on_probe_rtt <repro.swim.node.SwimNode.on_probe_rtt>`),
+and a changes-per-merge histogram fed by the node's sync hook
+(:attr:`SwimNode.on_sync_merge <repro.swim.node.SwimNode.on_sync_merge>`).
 
 Every per-node sample carries a ``node`` label, so one registry can host
 a whole simulated cluster (see
@@ -37,6 +40,11 @@ from repro.swim.state import MemberState
 DEFAULT_RTT_BUCKETS: Tuple[float, ...] = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
+
+#: Cumulative upper bounds for the changes-per-merge histogram. A steady
+#: cluster merges mostly zeroes; post-partition catch-up merges can apply
+#: on the order of the member count.
+SYNC_MERGE_BUCKETS: Tuple[float, ...] = (0, 1, 2, 5, 10, 25, 50, 100, 250)
 
 
 class _Child:
@@ -393,6 +401,36 @@ class NodeCollector:
             "LHA-Probe is disabled).",
             ("node", "event"),
         )
+        self._fallback_probes = c(
+            "lifeguard_fallback_probes_total",
+            "Reliable-channel fallback probes by outcome (sent / ack / "
+            "failure; an acked fallback suppresses the indirect round).",
+            ("node", "outcome"),
+        )
+        self._syncs = c(
+            "lifeguard_syncs_total",
+            "Push-pull anti-entropy activity by kind (initiated / "
+            "replies / merges).",
+            ("node", "kind"),
+        )
+        self._sync_entries = c(
+            "lifeguard_sync_entries_merged_total",
+            "Member-table entries examined by push-pull merges.",
+            label,
+        )
+        self._sync_changes = c(
+            "lifeguard_sync_changes_total",
+            "Local state changes applied by push-pull merges.",
+            label,
+        )
+        self.sync_merge_changes = registry.histogram(
+            "lifeguard_sync_merge_changes",
+            "State changes applied per push-pull merge (0 = the snapshot "
+            "taught us nothing; fed by the node's on_sync_merge hook).",
+            label,
+            buckets=SYNC_MERGE_BUCKETS,
+        )
+        self._sync_merge_child = self.sync_merge_changes.labels(node=node.name)
         self.rtt = registry.histogram(
             "lifeguard_probe_rtt_seconds",
             "Round-trip time of directly acked probes (ack received "
@@ -407,9 +445,16 @@ class NodeCollector:
         """Point the node's ack-latency hook at the RTT histogram."""
         self.node.on_probe_rtt = self.observe_rtt
 
+    def install_sync_hook(self) -> None:
+        """Point the node's merge hook at the changes-per-merge histogram."""
+        self.node.on_sync_merge = self.observe_sync_merge
+
     def observe_rtt(self, target: str, rtt: float) -> None:
         del target  # per-target RTT series would explode cardinality
         self._rtt_child.observe(rtt)
+
+    def observe_sync_merge(self, changes: int) -> None:
+        self._sync_merge_child.observe(changes)
 
     def collect(self) -> None:
         node = self.node
@@ -450,3 +495,21 @@ class NodeCollector:
             self._lhm_events.labels(node=name, event=event.value).set_total(
                 lhm.event_count(event)
             )
+        self._fallback_probes.labels(node=name, outcome="sent").set_total(
+            telemetry.fallback_probes_sent
+        )
+        self._fallback_probes.labels(node=name, outcome="ack").set_total(
+            telemetry.fallback_probe_acks
+        )
+        self._fallback_probes.labels(node=name, outcome="failure").set_total(
+            telemetry.fallback_probe_failures
+        )
+        self._syncs.labels(node=name, kind="initiated").set_total(
+            telemetry.syncs_initiated
+        )
+        self._syncs.labels(node=name, kind="replies").set_total(
+            telemetry.sync_replies_sent
+        )
+        self._syncs.labels(node=name, kind="merges").set_total(telemetry.sync_merges)
+        self._sync_entries.labels(node=name).set_total(telemetry.sync_entries_merged)
+        self._sync_changes.labels(node=name).set_total(telemetry.sync_changes_applied)

@@ -77,7 +77,13 @@ class LatencyModel:
 class NetworkStats:
     """Counters for fabric-level behaviour."""
 
-    __slots__ = ("packets_sent", "packets_delivered", "packets_lost", "packets_cut")
+    __slots__ = (
+        "packets_sent",
+        "packets_delivered",
+        "packets_lost",
+        "packets_cut",
+        "reliable_failures",
+    )
 
     def __init__(self) -> None:
         self.packets_sent = 0
@@ -86,6 +92,9 @@ class NetworkStats:
         self.packets_lost = 0
         #: Dropped because source and destination were partitioned.
         self.packets_cut = 0
+        #: Reliable sends whose failure was reported back to the sender
+        #: (the simulated analogue of a TCP connect timeout).
+        self.reliable_failures = 0
 
 
 class SimNetwork:
@@ -105,6 +114,11 @@ class SimNetwork:
         self._latency = latency if latency is not None else LatencyModel.loopback()
         self._loss_rate = loss_rate
         self._endpoints: Dict[str, DeliverFn] = {}
+        self._failure_handlers: Dict[str, Callable[[str], None]] = {}
+        #: Delay before a severed reliable send is reported back to its
+        #: sender, modelling the TCP connect timeout a real transport
+        #: waits out before giving up (``reliable_connect_timeout``).
+        self.reliable_failure_delay = 2.0
         self._partitions: Set[frozenset] = set()
         self._partition_groups: Dict[str, int] = {}
         self._link_loss: Dict[Tuple[str, str], float] = {}
@@ -122,6 +136,21 @@ class SimNetwork:
 
     def unregister(self, address: str) -> None:
         self._endpoints.pop(address, None)
+        self._failure_handlers.pop(address, None)
+
+    def register_failure_handler(
+        self, address: str, handler: Callable[[str], None]
+    ) -> None:
+        """Ask to be told (with the destination address) when a reliable
+        send from ``address`` is severed by a partition.
+
+        A real TCP channel surfaces partition failures to the sender as
+        connect timeouts (see ``repro.transport.udp``); the simulated
+        fabric reproduces that signal so Lifeguard's
+        ``RELIABLE_SEND_FAILED`` local-health evidence also flows in
+        simulation, after :attr:`reliable_failure_delay` seconds.
+        """
+        self._failure_handlers[address] = handler
 
     def attach_anomalies(self, controller) -> None:
         """Wire in an :class:`~repro.sim.anomaly.AnomalyController`."""
@@ -209,6 +238,13 @@ class SimNetwork:
         self.stats.packets_sent += 1
         if self._partitioned(src, dst):
             self.stats.packets_cut += 1
+            if reliable:
+                handler = self._failure_handlers.get(src)
+                if handler is not None:
+                    self.stats.reliable_failures += 1
+                    self._scheduler.call_later(
+                        self.reliable_failure_delay, lambda: handler(dst)
+                    )
             return
         if not reliable and self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
             self.stats.packets_lost += 1

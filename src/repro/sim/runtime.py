@@ -124,6 +124,7 @@ class SimCluster:
                 ),
             )
             transport.bind(node.handle_packet)
+            transport.on_reliable_failure = node.note_reliable_send_failure
             self.nodes[name] = node
             self._transports[name] = transport
 
@@ -204,6 +205,7 @@ class SimCluster:
             listener=self.event_log,
         )
         transport.bind(node.handle_packet)
+        transport.on_reliable_failure = node.note_reliable_send_failure
         self.names.append(name)
         self.nodes[name] = node
         self._transports[name] = transport
@@ -215,6 +217,7 @@ class SimCluster:
 
             collector = NodeCollector(self.ops_registry, node)
             collector.install_rtt_hook()
+            collector.install_sync_hook()
             self.ops_collectors[name] = collector
         return node
 
@@ -260,6 +263,7 @@ class SimCluster:
         for name, node in self.nodes.items():
             collector = NodeCollector(registry, node)
             collector.install_rtt_hook()
+            collector.install_sync_hook()
             self.ops_collectors[name] = collector
         self.ops_registry = registry
         return registry

@@ -158,11 +158,15 @@ def _encode_into(message: Message, out: List[bytes]) -> None:
         for entry in message.states:
             name, address, incarnation, state_value = entry[:4]
             meta = entry[4] if len(entry) > 4 else b""
+            age_ms = entry[5] if len(entry) > 5 else 0
             _put_str(out, name)
             _put_str(out, address)
             out.append(_U64.pack(incarnation))
             out.append(bytes((state_value,)))
             _put_bytes(out, meta, MAX_META_SIZE)
+            # State age in milliseconds, saturating at the u32 ceiling
+            # (~49 days) so arbitrarily old entries still encode.
+            out.append(_U32.pack(min(max(int(age_ms), 0), 0xFFFFFFFF)))
     elif isinstance(message, Compound):
         out.append(bytes((T_COMPOUND,)))
         if len(message.parts) > 0xFFFF:
@@ -260,7 +264,8 @@ def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
             incarnation, offset = _get_u64(buf, offset)
             state_value, offset = _get_u8(buf, offset)
             meta, offset = _get_bytes(buf, offset)
-            states.append((name, address, incarnation, state_value, meta))
+            age_ms, offset = _get_u32(buf, offset)
+            states.append((name, address, incarnation, state_value, meta, age_ms))
         return (
             PushPull(source, tuple(states), bool(flags & 1), bool(flags & 2)),
             offset,

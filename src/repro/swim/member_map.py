@@ -15,9 +15,51 @@ reclaimed lazily.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.swim.state import MemberState, claim_supersedes
+
+#: Saturation bound for the age field carried in push-pull state entries
+#: (u32 milliseconds on the wire, ~49 days).
+MAX_STATE_AGE_MS = 0xFFFFFFFF
+
+#: ``MergeDecision.action`` values. The claim concerned the local member
+#: (never applied here; the node decides whether to refute).
+MERGE_LOCAL = "local"
+#: A previously unknown member was inserted into the table.
+MERGE_ADDED = "added"
+#: The claim superseded local knowledge and was applied.
+MERGE_APPLIED = "applied"
+#: A SUSPECT claim that must go through the node's suspicion machinery
+#: (confirmation counting, timers) rather than being applied directly.
+MERGE_SUSPECT = "suspect"
+#: The claim was stale or inapplicable and changed nothing.
+MERGE_IGNORED = "ignored"
+
+
+@dataclass(frozen=True)
+class MergeDecision:
+    """Outcome of merging one remote claim into the member table.
+
+    The table mutation (if any) has already happened when a decision is
+    returned; the caller translates the decision into protocol side
+    effects (events, suspicion timers, rebroadcasts, refutations) so that
+    gossip and anti-entropy sync share one precedence spine and cannot
+    diverge.
+    """
+
+    name: str
+    #: The *claimed* state (not necessarily the state now in the table —
+    #: a ``MERGE_SUSPECT`` decision leaves application to the caller).
+    state: MemberState
+    #: The claimed incarnation.
+    incarnation: int
+    action: str
+    #: Table state before the merge; ``None`` when the member was unknown.
+    previous_state: Optional[MemberState] = None
+    #: Whether an applied ALIVE claim changed the member's metadata.
+    meta_changed: bool = False
 
 
 class Member:
@@ -64,14 +106,23 @@ class Member:
     def is_dead(self) -> bool:
         return self.state in (MemberState.DEAD, MemberState.LEFT)
 
-    def snapshot(self) -> Tuple[str, str, int, int, bytes]:
-        """State entry for a push-pull sync."""
+    def snapshot(self, now: float = 0.0) -> Tuple[str, str, int, int, bytes, int]:
+        """State entry for a push-pull sync.
+
+        The final element is the age of the current state in integer
+        milliseconds (how long ago the last transition happened, relative
+        to ``now``). Ages travel instead of absolute timestamps so peers
+        with unrelated clocks can still backdate terminal states into
+        their own retention windows.
+        """
+        age_ms = int(max(0.0, now - self.state_changed_at) * 1000.0)
         return (
             self.name,
             self.address,
             self.incarnation,
             int(self.state),
             self.meta,
+            min(age_ms, MAX_STATE_AGE_MS),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -144,9 +195,11 @@ class MemberMap:
             if m.is_alive and (include_local or m.name != self._local_name)
         ]
 
-    def snapshot(self) -> Tuple[Tuple[str, str, int, int, bytes], ...]:
+    def snapshot(
+        self, now: float = 0.0
+    ) -> Tuple[Tuple[str, str, int, int, bytes, int], ...]:
         """Full state for a push-pull sync."""
-        return tuple(m.snapshot() for m in self._members.values())
+        return tuple(m.snapshot(now) for m in self._members.values())
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -203,6 +256,106 @@ class MemberMap:
         member.state = state
         member.incarnation = incarnation
         return changed
+
+    def merge_claim(
+        self,
+        name: str,
+        state: MemberState,
+        incarnation: int,
+        now: float,
+        address: Optional[str] = None,
+        meta: Optional[bytes] = None,
+        age: float = 0.0,
+    ) -> MergeDecision:
+        """Merge one remote claim under the shared precedence rules.
+
+        This is the single precedence primitive behind both gossip
+        (``alive``/``suspect``/``dead`` handlers) and anti-entropy
+        push-pull, so the two dissemination paths cannot diverge:
+
+        * claims about the local member are never applied (``MERGE_LOCAL``;
+          the node decides whether to refute);
+        * an ALIVE claim about an unknown member inserts it when an
+          address is available (``MERGE_ADDED``);
+        * claims that supersede (per :func:`claim_supersedes`) are applied
+          (``MERGE_APPLIED``), updating address/meta for ALIVE claims and
+          backdating terminal transitions by ``age`` so retention windows
+          reflect when the member actually died, not when we heard;
+        * everything else is ``MERGE_IGNORED``.
+        """
+        if name == self._local_name:
+            return MergeDecision(
+                name, state, incarnation, MERGE_LOCAL, MemberState.ALIVE
+            )
+        member = self._members.get(name)
+        if member is None:
+            if state is MemberState.ALIVE and address is not None:
+                self.add(name, address, incarnation, state, now, meta or b"")
+                return MergeDecision(name, state, incarnation, MERGE_ADDED)
+            return MergeDecision(name, state, incarnation, MERGE_IGNORED)
+        previous = member.state
+        if not claim_supersedes(state, incarnation, member.state, member.incarnation):
+            return MergeDecision(name, state, incarnation, MERGE_IGNORED, previous)
+        self.apply_claim(name, state, incarnation, now)
+        meta_changed = False
+        if state is MemberState.ALIVE:
+            if address is not None:
+                member.address = address
+            if meta is not None:
+                meta_changed = member.meta != meta
+                member.meta = meta
+        elif member.is_dead and age > 0.0:
+            member.state_changed_at = min(member.state_changed_at, now - age)
+        return MergeDecision(
+            name, state, incarnation, MERGE_APPLIED, previous, meta_changed
+        )
+
+    def merge_remote_state(
+        self,
+        entries: Iterable[Tuple[str, str, int, MemberState, float, bytes]],
+        now: float,
+    ) -> List[MergeDecision]:
+        """Merge a full remote state snapshot (anti-entropy push-pull).
+
+        ``entries`` is an iterable of ``(name, address, incarnation,
+        state, age_seconds, meta)`` as yielded by
+        :meth:`repro.swim.messages.PushPull.iter_entries`. ALIVE, DEAD and
+        LEFT claims are applied directly through :meth:`merge_claim`;
+        SUSPECT claims are returned as ``MERGE_SUSPECT`` decisions (after
+        inserting unknown members as ALIVE at the claimed incarnation) so
+        the caller can route them through the exact suspicion machinery
+        gossip uses — timers, confirmations and all.
+        """
+        decisions: List[MergeDecision] = []
+        for name, address, incarnation, state, age, meta in entries:
+            if state is MemberState.SUSPECT and name != self._local_name:
+                member = self._members.get(name)
+                if member is None:
+                    self.add(
+                        name, address, incarnation, MemberState.ALIVE, now, meta
+                    )
+                    decisions.append(
+                        MergeDecision(name, state, incarnation, MERGE_SUSPECT)
+                    )
+                else:
+                    decisions.append(
+                        MergeDecision(
+                            name, state, incarnation, MERGE_SUSPECT, member.state
+                        )
+                    )
+                continue
+            decisions.append(
+                self.merge_claim(
+                    name,
+                    state,
+                    incarnation,
+                    now,
+                    address=address,
+                    meta=meta,
+                    age=age,
+                )
+            )
+        return decisions
 
     def bump_local_incarnation(self, at_least: int) -> int:
         """Refutation: raise the local incarnation above ``at_least``."""

@@ -15,7 +15,7 @@ realistic compact binary format rather than on Python object overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple, Union
+from typing import Iterator, List, Tuple, Union
 
 from repro.swim.state import MemberState
 
@@ -121,9 +121,10 @@ class UserEvent:
 
 
 #: One member's snapshot inside a push-pull exchange:
-#: (name, address, incarnation, state value, meta). The meta element is
-#: optional for backward compatibility with hand-built tuples.
-StateEntry = Tuple[str, str, int, int, bytes]
+#: (name, address, incarnation, state value, meta, state age in integer
+#: milliseconds). The meta and age elements are optional for backward
+#: compatibility with hand-built tuples.
+StateEntry = Tuple[str, str, int, int, bytes, int]
 
 
 @dataclass(frozen=True)
@@ -141,12 +142,34 @@ class PushPull:
     join: bool = False
     is_reply: bool = False
 
-    def iter_states(self):
+    def iter_states(self) -> Iterator[Tuple[str, str, int, MemberState, bytes]]:
         """Yield ``(name, address, incarnation, MemberState, meta)``."""
         for entry in self.states:
             name, address, incarnation, state_value = entry[:4]
             meta = entry[4] if len(entry) > 4 else b""
             yield name, address, incarnation, MemberState(state_value), meta
+
+    def iter_entries(
+        self,
+    ) -> Iterator[Tuple[str, str, int, MemberState, float, bytes]]:
+        """Yield ``(name, address, incarnation, MemberState, age_seconds,
+        meta)`` — the full merge input, age converted back to seconds.
+
+        This is the shape :meth:`repro.swim.member_map.MemberMap.
+        merge_remote_state` consumes.
+        """
+        for entry in self.states:
+            name, address, incarnation, state_value = entry[:4]
+            meta = entry[4] if len(entry) > 4 else b""
+            age_ms = entry[5] if len(entry) > 5 else 0
+            yield (
+                name,
+                address,
+                incarnation,
+                MemberState(state_value),
+                age_ms / 1000.0,
+                meta,
+            )
 
 
 @dataclass(frozen=True)

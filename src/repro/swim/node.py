@@ -34,7 +34,15 @@ from repro.runtime import Clock, Scheduler, TimerHandle, Transport
 from repro.swim import codec
 from repro.swim.broadcast import BroadcastQueue
 from repro.swim.events import EventKind, EventListener, MemberEvent
-from repro.swim.member_map import Member, MemberMap
+from repro.swim.member_map import (
+    MERGE_ADDED,
+    MERGE_APPLIED,
+    MERGE_LOCAL,
+    MERGE_SUSPECT,
+    Member,
+    MemberMap,
+    MergeDecision,
+)
 from repro.swim.messages import (
     Ack,
     Alive,
@@ -50,6 +58,7 @@ from repro.swim.messages import (
     primary_kind,
 )
 from repro.swim.state import MemberState
+from repro.sync import FallbackPolicy, SyncEngine
 
 _SEQ_MODULUS = 2**32
 
@@ -64,7 +73,9 @@ class _Probe:
         "acked",
         "expected_nacks",
         "nacks_received",
+        "fallback_sent",
         "timeout_timer",
+        "indirect_timer",
         "deadline_timer",
     )
 
@@ -75,7 +86,9 @@ class _Probe:
         self.acked = False
         self.expected_nacks = 0
         self.nacks_received = 0
+        self.fallback_sent = False
         self.timeout_timer: Optional[TimerHandle] = None
+        self.indirect_timer: Optional[TimerHandle] = None
         self.deadline_timer: Optional[TimerHandle] = None
 
 
@@ -191,6 +204,23 @@ class SwimNode:
             make_suspect_payload=self._encode_local_suspicion,
         )
 
+        # Anti-entropy: the engine owns the push-pull/reconnect rounds and
+        # snapshot merges; the node keeps the timers and pause semantics.
+        self._sync = SyncEngine(
+            name,
+            self._members,
+            clock,
+            self._rng,
+            self._send_sync,
+            self._apply_merge_decision,
+            self.telemetry,
+        )
+        self._fallback = FallbackPolicy(
+            config.tcp_fallback_probe,
+            config.fallback_probe_wait,
+            self.telemetry,
+        )
+
         self._seq = 0
         self._probes: Dict[int, _Probe] = {}
         self._relays: Dict[int, _IndirectRelay] = {}
@@ -215,6 +245,21 @@ class SwimNode:
     def members(self) -> MemberMap:
         """This member's view of the group."""
         return self._members
+
+    @property
+    def sync(self) -> SyncEngine:
+        """The anti-entropy engine (push-pull, reconnect, merges)."""
+        return self._sync
+
+    @property
+    def on_sync_merge(self) -> Optional[Callable[[int], None]]:
+        """Hook observing the state changes each push-pull merge applied
+        (feeds the ops plane's merge-size histogram)."""
+        return self._sync.on_merge
+
+    @on_sync_merge.setter
+    def on_sync_merge(self, hook: Optional[Callable[[int], None]]) -> None:
+        self._sync.on_merge = hook
 
     @property
     def local_health(self) -> LocalHealthMultiplier:
@@ -397,10 +442,11 @@ class SwimNode:
         self._probe_timer = self._scheduler.call_at(
             now + first_probe_delay, self._probe_tick
         )
-        self._gossip_timer = self._scheduler.call_at(
-            now + self._rng.uniform(0, self.config.gossip_interval),
-            self._gossip_tick,
-        )
+        if self.config.gossip_enabled:
+            self._gossip_timer = self._scheduler.call_at(
+                now + self._rng.uniform(0, self.config.gossip_interval),
+                self._gossip_tick,
+            )
         if self.config.push_pull_interval > 0:
             self._push_pull_timer = self._scheduler.call_at(
                 now + self._rng.uniform(0, self.config.push_pull_interval),
@@ -486,7 +532,11 @@ class SwimNode:
         self._probe_timer = self._gossip_timer = self._push_pull_timer = None
         self._reconnect_timer = None
         for probe in self._probes.values():
-            for timer in (probe.timeout_timer, probe.deadline_timer):
+            for timer in (
+                probe.timeout_timer,
+                probe.indirect_timer,
+                probe.deadline_timer,
+            ):
                 if timer is not None:
                     timer.cancel()
         self._probes.clear()
@@ -506,10 +556,7 @@ class SwimNode:
         for address in seed_addresses:
             if address == self._transport.local_address:
                 continue
-            sync = PushPull(
-                self.name, self._members.snapshot(), join=True, is_reply=False
-            )
-            self._send_to_address(address, sync, reliable=True, piggyback=False)
+            self._sync.offer_sync(address, join=True)
         self._broadcasts.enqueue(
             Alive(local.incarnation, self.name, local.address, local.meta)
         )
@@ -559,7 +606,7 @@ class SwimNode:
         elif kind is Ping:
             self._handle_ping(message, from_address, reliable)
         elif kind is Ack:
-            self._handle_ack(message)
+            self._handle_ack(message, reliable)
         elif kind is Compound:
             for part in message.parts:
                 self._dispatch(part, from_address, reliable)
@@ -611,9 +658,38 @@ class SwimNode:
         )
 
     def _probe_timeout(self, probe: _Probe) -> None:
-        """Direct probe timed out: launch the indirect probe (and the
-        reliable-channel fallback, as memberlist does)."""
+        """Direct probe timed out: fire the reliable-channel fallback
+        first (memberlist's TCP ping), then — after a short grace window —
+        the indirect ping-req round.
+
+        The staging keeps pure UDP loss away from the suspicion
+        subprotocol: a healthy-but-datagram-unlucky peer answers the
+        fallback within the grace window, completing the probe before any
+        helper is enlisted. With the fallback disabled the indirect round
+        engages immediately, exactly as plain SWIM prescribes.
+        """
         probe.timeout_timer = None
+        if probe.acked or probe.seq_no not in self._probes:
+            return
+        target = self._members.get(probe.target)
+        if target is None or target.is_dead:
+            return
+        if self._fallback.enabled:
+            probe.fallback_sent = True
+            self._fallback.note_sent()
+            self._send_ping(target, probe.seq_no, reliable=True)
+            delay = self._fallback.stage_delay(self.current_probe_timeout())
+            if delay > 0:
+                probe.indirect_timer = self._scheduler.call_at(
+                    self._clock() + delay,
+                    lambda: self._launch_indirect_probe(probe),
+                )
+                return
+        self._launch_indirect_probe(probe)
+
+    def _launch_indirect_probe(self, probe: _Probe) -> None:
+        """Enlist ping-req helpers for a probe still unanswered."""
+        probe.indirect_timer = None
         if probe.acked or probe.seq_no not in self._probes:
             return
         target = self._members.get(probe.target)
@@ -630,16 +706,19 @@ class SwimNode:
             self._send_to_address(helper.address, request)
         if want_nack:
             probe.expected_nacks = len(helpers)
-        if self.config.tcp_fallback_probe:
-            self._send_ping(target, probe.seq_no, reliable=True)
 
     def _probe_deadline(self, probe: _Probe) -> None:
         """End of the protocol period for this probe: declare the outcome."""
         probe.deadline_timer = None
+        if probe.indirect_timer is not None:
+            probe.indirect_timer.cancel()
+            probe.indirect_timer = None
         if self._probes.pop(probe.seq_no, None) is None:
             return
         if probe.acked:
             return
+        if probe.fallback_sent:
+            self._fallback.note_failure()
         # Failed probe. Local-health accounting first (Section IV-A): when
         # nacks were expected, each *missing* nack is evidence of local
         # slowness; when every helper nacked, the evidence points at the
@@ -698,7 +777,7 @@ class SwimNode:
         if relay is not None and relay.nack_timer is not None:
             relay.nack_timer.cancel()
 
-    def _handle_ack(self, ack: Ack) -> None:
+    def _handle_ack(self, ack: Ack, reliable: bool = False) -> None:
         probe = self._probes.get(ack.seq_no)
         if probe is not None:
             if not probe.acked:
@@ -710,11 +789,16 @@ class SwimNode:
                     self.on_probe_rtt(
                         probe.target, self._clock() - probe.started_at
                     )
+                if reliable and probe.fallback_sent:
+                    self._fallback.note_ack()
                 probe.acked = True
                 self._lhm.note(LhmEvent.PROBE_SUCCESS)
                 if probe.timeout_timer is not None:
                     probe.timeout_timer.cancel()
                     probe.timeout_timer = None
+                if probe.indirect_timer is not None:
+                    probe.indirect_timer.cancel()
+                    probe.indirect_timer = None
                 if probe.deadline_timer is not None:
                     probe.deadline_timer.cancel()
                     probe.deadline_timer = None
@@ -787,14 +871,14 @@ class SwimNode:
                 self._broadcasts.enqueue(message)
                 self._reschedule_suspicion(message.member)
             if message.incarnation > member.incarnation:
-                self._members.apply_claim(
+                self._members.merge_claim(
                     message.member, MemberState.SUSPECT, message.incarnation, now
                 )
             return
-        applied = self._members.apply_claim(
+        decision = self._members.merge_claim(
             message.member, MemberState.SUSPECT, message.incarnation, now
         )
-        if not applied and not member.is_suspect:
+        if decision.action != MERGE_APPLIED and not member.is_suspect:
             return
         # Fall through when the member is already SUSPECT but has no
         # suspicion entry (the claim itself cannot supersede an equal-
@@ -877,33 +961,15 @@ class SwimNode:
             # Fast path: an alive claim only ever lands with a strictly
             # newer incarnation, and duplicates dominate gossip traffic.
             return
-        now = self._clock()
-        if member is None:
-            self._members.add(
-                message.member,
-                message.address,
-                message.incarnation,
-                MemberState.ALIVE,
-                now,
-                meta=message.meta,
-            )
-            self._emit(EventKind.JOINED, message.member, message.incarnation, now)
-            self._broadcasts.enqueue(message)
-            return
-        was = member.state
-        meta_changed = member.meta != message.meta
-        if not self._members.apply_claim(
-            message.member, MemberState.ALIVE, message.incarnation, now
-        ):
-            return
-        member.address = message.address
-        member.meta = message.meta
-        self._cancel_suspicion(message.member)
-        if was in (MemberState.SUSPECT, MemberState.DEAD, MemberState.LEFT):
-            self._emit(EventKind.RESTORED, message.member, message.incarnation, now)
-        elif meta_changed:
-            self._emit(EventKind.UPDATED, message.member, message.incarnation, now)
-        self._broadcasts.enqueue(message)
+        decision = self._members.merge_claim(
+            message.member,
+            MemberState.ALIVE,
+            message.incarnation,
+            self._clock(),
+            address=message.address,
+            meta=message.meta,
+        )
+        self._apply_merge_decision(decision, message.member)
 
     _MAX_SEEN_USER_EVENTS = 4096
 
@@ -932,24 +998,86 @@ class SwimNode:
         if member.is_dead and message.incarnation <= member.incarnation:
             # Fast path: already dead at this or a newer incarnation.
             return
-        now = self._clock()
         is_leave = message.sender == message.member
         new_state = MemberState.LEFT if is_leave else MemberState.DEAD
-        if not self._members.apply_claim(
-            message.member, new_state, message.incarnation, now
-        ):
-            return
-        self._cancel_suspicion(message.member)
+        decision = self._members.merge_claim(
+            message.member, new_state, message.incarnation, self._clock()
+        )
+        self._apply_merge_decision(decision, message.sender)
+
+    def _apply_merge_decision(self, decision: MergeDecision, origin: str) -> bool:
+        """Shared reaction layer behind gossip and anti-entropy sync.
+
+        Translates one :class:`MergeDecision` (the table mutation already
+        happened inside :class:`MemberMap`) into protocol side effects:
+        membership events, suspicion bookkeeping, re-broadcast of the
+        winning claim, and refutation of claims about the local member.
+        ``origin`` attributes SUSPECT/DEAD claims to the member whose
+        message carried them. Returns ``True`` when local state changed.
+        """
+        now = self._clock()
+        name = decision.name
+        if decision.action == MERGE_LOCAL:
+            if decision.state in (MemberState.SUSPECT, MemberState.DEAD):
+                self._refute(decision.incarnation)
+                return True
+            return False
+        if decision.action == MERGE_SUSPECT:
+            # Route through the full suspicion machinery (confirmation
+            # counting, decaying timers) exactly as a gossiped suspect
+            # claim would be.
+            if decision.previous_state is None:
+                self._emit(EventKind.JOINED, name, decision.incarnation, now)
+            self._handle_suspect(Suspect(decision.incarnation, name, origin))
+            member = self._members.get(name)
+            became_suspect = (
+                member is not None
+                and member.is_suspect
+                and decision.previous_state is not MemberState.SUSPECT
+            )
+            return decision.previous_state is None or became_suspect
+        if decision.action == MERGE_ADDED:
+            member = self._members.get(name)
+            assert member is not None
+            self._emit(EventKind.JOINED, name, decision.incarnation, now)
+            self._broadcasts.enqueue(
+                Alive(decision.incarnation, name, member.address, member.meta)
+            )
+            return True
+        if decision.action != MERGE_APPLIED:
+            return False
+        self._cancel_suspicion(name)
+        if decision.state is MemberState.ALIVE:
+            member = self._members.get(name)
+            assert member is not None
+            if decision.previous_state in (
+                MemberState.SUSPECT,
+                MemberState.DEAD,
+                MemberState.LEFT,
+            ):
+                self._emit(EventKind.RESTORED, name, decision.incarnation, now)
+            elif decision.meta_changed:
+                self._emit(EventKind.UPDATED, name, decision.incarnation, now)
+            self._broadcasts.enqueue(
+                Alive(decision.incarnation, name, member.address, member.meta)
+            )
+            return True
+        is_leave = decision.state is MemberState.LEFT
         kind = EventKind.LEFT if is_leave else EventKind.FAILED
-        self._emit(kind, message.member, message.incarnation, now)
-        self._broadcasts.enqueue(message)
+        self._emit(kind, name, decision.incarnation, now)
+        self._broadcasts.enqueue(
+            Dead(decision.incarnation, name, name if is_leave else origin)
+        )
+        return True
 
     # ------------------------------------------------------------------ #
     # Dedicated gossip tick (memberlist extension)
     # ------------------------------------------------------------------ #
 
     def _gossip_tick(self) -> None:
-        if not self._running or self._defer_if_paused("gossip"):
+        if not self._running or not self.config.gossip_enabled:
+            return
+        if self._defer_if_paused("gossip"):
             return
         now = self._clock()
         self._gossip_timer = self._scheduler.call_at(
@@ -1025,71 +1153,23 @@ class SwimNode:
         self._push_pull_timer = self._scheduler.call_at(
             now + self.config.push_pull_interval, self._push_pull_tick
         )
-        peers = self._members.random_members(1, include_suspect=False)
-        if not peers:
-            return
-        sync = PushPull(self.name, self._members.snapshot(), is_reply=False)
-        self._send_to_address(peers[0].address, sync, reliable=True, piggyback=False)
+        self._sync.push_pull_round()
 
     def _reconnect_tick(self) -> None:
-        """Periodically offer a full state sync to one dead member.
-
-        If the member is actually alive again (e.g. the far side of a
-        healed partition), it will see our DEAD claim about it in the
-        snapshot, refute it, and the refutation cascade re-merges the
-        groups. This mirrors serf's reconnect behaviour on top of
-        memberlist, without which two halves that fully wrote each other
-        off would never re-discover one another.
-        """
         if not self._running or self._defer_if_paused("reconnect"):
             return
         now = self._clock()
         self._reconnect_timer = self._scheduler.call_at(
             now + self.config.reconnect_interval, self._reconnect_tick
         )
-        candidates = [
-            m
-            for m in self._members.members()
-            if m.state is MemberState.DEAD and m.name != self.name
-        ]
-        if not candidates:
-            return
-        target = candidates[self._rng.randrange(len(candidates))]
-        sync = PushPull(self.name, self._members.snapshot(), is_reply=False)
-        self._send_to_address(target.address, sync, reliable=True, piggyback=False)
+        self._sync.reconnect_round()
 
     def _handle_push_pull(self, message: PushPull, from_address: str) -> None:
-        if not message.is_reply:
-            reply = PushPull(self.name, self._members.snapshot(), is_reply=True)
-            self._send_to_address(from_address, reply, reliable=True, piggyback=False)
-        self._merge_remote_state(message)
+        self._sync.handle_push_pull(message, from_address)
 
-    def _merge_remote_state(self, message: PushPull) -> None:
-        """Reconcile a full remote state snapshot, reusing the gossip claim
-        handlers so precedence, events and re-broadcast stay consistent."""
-        for name, address, incarnation, state, meta in message.iter_states():
-            if name == self.name:
-                if state in (MemberState.SUSPECT, MemberState.DEAD):
-                    self._refute(incarnation)
-                continue
-            if state is MemberState.ALIVE:
-                self._handle_alive(Alive(incarnation, name, address, meta))
-            elif state is MemberState.SUSPECT:
-                if name not in self._members:
-                    # Learn the member first so the claim can land.
-                    self._members.add(
-                        name, address, incarnation, MemberState.ALIVE, self._clock()
-                    )
-                    self._emit(
-                        EventKind.JOINED, name, incarnation, self._clock()
-                    )
-                self._handle_suspect(Suspect(incarnation, name, message.source))
-            elif state is MemberState.LEFT:
-                if name in self._members:
-                    self._handle_dead(Dead(incarnation, name, name))
-            else:  # DEAD
-                if name in self._members:
-                    self._handle_dead(Dead(incarnation, name, message.source))
+    def _send_sync(self, address: str, message: PushPull) -> None:
+        """Reliable, piggyback-free send used by the sync engine."""
+        self._send_to_address(address, message, reliable=True, piggyback=False)
 
     # ------------------------------------------------------------------ #
     # Outbound helpers
@@ -1105,7 +1185,7 @@ class SwimNode:
     ) -> None:
         payloads: List[bytes] = list(mandatory_piggyback)
         encoded_primary = codec.encode(primary)
-        if piggyback:
+        if piggyback and self.config.gossip_enabled:
             budget = (
                 self.config.max_packet_size
                 - codec.COMPOUND_HEADER_OVERHEAD

@@ -1,0 +1,76 @@
+"""Staging policy for the reliable-channel (TCP) fallback probe.
+
+memberlist fires one TCP ping when a direct UDP probe times out, on the
+theory that datagram loss and peer failure look identical over UDP but
+not over a connection-oriented channel. Probe-scheduling work (Cohen,
+"Probe Scheduling for Efficient Detection of Silent Failures") motivates
+treating this as a distinct, budgeted channel rather than more UDP
+retries, so the fallback here is *staged*: the reliable ping goes out
+first, and only after a short grace window does the node engage the
+indirect ping-req round. An ack on either path completes the probe; an
+early reliable ack therefore suppresses the ping-req fan-out entirely,
+which is what keeps pure UDP loss from ever reaching the suspicion
+subprotocol against a healthy peer.
+
+The policy is pure arithmetic plus telemetry; the node owns the timers.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.telemetry import Telemetry
+
+
+class FallbackPolicy:
+    """Decides whether and when the stages of a failed direct probe run.
+
+    Parameters
+    ----------
+    enabled:
+        ``SwimConfig.tcp_fallback_probe``. When off, :meth:`stage_delay`
+        is zero and the indirect round engages at the probe timeout,
+        exactly as plain SWIM prescribes.
+    wait_fraction:
+        ``SwimConfig.fallback_probe_wait``: the fraction of the
+        (LHM-scaled) probe timeout to wait for a reliable ack before
+        launching ping-reqs. Must stay small — helpers still need most
+        of the protocol period to return acks and nacks.
+    telemetry:
+        Destination of the ``fallback_probe_*`` counter family.
+    """
+
+    __slots__ = ("_enabled", "_wait_fraction", "_telemetry")
+
+    def __init__(
+        self, enabled: bool, wait_fraction: float, telemetry: Telemetry
+    ) -> None:
+        self._enabled = enabled
+        self._wait_fraction = wait_fraction
+        self._telemetry = telemetry
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def stage_delay(self, scaled_timeout: float) -> float:
+        """Seconds between the fallback ping and the indirect round."""
+        if not self._enabled:
+            return 0.0
+        return self._wait_fraction * scaled_timeout
+
+    def note_sent(self) -> None:
+        """A fallback ping left the node."""
+        self._telemetry.fallback_probes_sent += 1
+
+    def note_ack(self) -> None:
+        """A reliable-channel ack completed a pending probe."""
+        self._telemetry.fallback_probe_acks += 1
+
+    def note_failure(self) -> None:
+        """The protocol period ended with the fallback unanswered."""
+        self._telemetry.fallback_probe_failures += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FallbackPolicy(enabled={self._enabled}, "
+            f"wait_fraction={self._wait_fraction})"
+        )

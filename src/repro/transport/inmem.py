@@ -19,8 +19,16 @@ class InMemoryFabric:
     :meth:`deliver_one` is called, letting tests interleave deliveries.
     """
 
-    def __init__(self, auto_deliver: bool = True) -> None:
+    def __init__(
+        self, auto_deliver: bool = True, notify_reliable_failures: bool = False
+    ) -> None:
         self.auto_deliver = auto_deliver
+        #: When set, a *reliable* send into a blackhole synchronously
+        #: invokes the sender's :attr:`InMemoryTransport.on_reliable_failure`
+        #: hook — the unit-test analogue of a TCP connect timeout. Off by
+        #: default so tests that blackhole hosts without caring about the
+        #: reliable channel see no extra callbacks.
+        self.notify_reliable_failures = notify_reliable_failures
         self._endpoints: Dict[str, "InMemoryTransport"] = {}
         self._queue: Deque[Tuple[str, str, bytes, bool]] = deque()
         #: Every packet ever sent: (src, dst, payload, reliable).
@@ -40,6 +48,10 @@ class InMemoryFabric:
     def send(self, src: str, dst: str, payload: bytes, reliable: bool) -> None:
         self.log.append((src, dst, payload, reliable))
         if dst in self.blackholes:
+            if reliable and self.notify_reliable_failures:
+                sender = self._endpoints.get(src)
+                if sender is not None and sender.on_reliable_failure is not None:
+                    sender.on_reliable_failure(dst)
             return
         if self.auto_deliver:
             self._deliver(src, dst, payload, reliable)
@@ -73,12 +85,15 @@ class InMemoryFabric:
 class InMemoryTransport:
     """A named endpoint on an :class:`InMemoryFabric`."""
 
-    __slots__ = ("_address", "_fabric", "handler")
+    __slots__ = ("_address", "_fabric", "handler", "on_reliable_failure")
 
     def __init__(self, address: str, fabric: InMemoryFabric) -> None:
         self._address = address
         self._fabric = fabric
         self.handler: Optional[Callable[[bytes, str, bool], None]] = None
+        #: Invoked with the destination address when a reliable send fails
+        #: (only when the fabric has ``notify_reliable_failures`` set).
+        self.on_reliable_failure: Optional[Callable[[str], None]] = None
         fabric.attach(self)
 
     @property

@@ -12,15 +12,34 @@ class SimTransport:
 
     Satisfies :class:`repro.runtime.Transport`. Inbound packets are routed
     to the handler installed with :meth:`bind`.
+
+    Like :class:`repro.transport.udp.UdpTransport`, the adapter exposes an
+    :attr:`on_reliable_failure` hook that fires (with the destination
+    address) when a reliable send is severed by a simulated partition —
+    the fabric's analogue of exhausting TCP connect retries — so
+    Lifeguard's ``RELIABLE_SEND_FAILED`` evidence flows identically under
+    simulation and on real sockets.
     """
 
-    __slots__ = ("_address", "_network", "_handler")
+    __slots__ = ("_address", "_network", "_handler", "_on_reliable_failure")
 
     def __init__(self, address: str, network: SimNetwork) -> None:
         self._address = address
         self._network = network
         self._handler: Optional[Callable[[bytes, str, bool], None]] = None
+        #: Called with the destination address when a reliable send fails
+        #: permanently (same contract as the UDP transport's hook).
+        self._on_reliable_failure: Optional[Callable[[str], None]] = None
         network.register(address, self._on_packet)
+        network.register_failure_handler(address, self._on_failure)
+
+    @property
+    def on_reliable_failure(self) -> Optional[Callable[[str], None]]:
+        return self._on_reliable_failure
+
+    @on_reliable_failure.setter
+    def on_reliable_failure(self, handler: Optional[Callable[[str], None]]) -> None:
+        self._on_reliable_failure = handler
 
     @property
     def local_address(self) -> str:
@@ -41,3 +60,7 @@ class SimTransport:
     def _on_packet(self, payload: bytes, from_address: str, reliable: bool) -> None:
         if self._handler is not None:
             self._handler(payload, from_address, reliable)
+
+    def _on_failure(self, destination: str) -> None:
+        if self._on_reliable_failure is not None:
+            self._on_reliable_failure(destination)

@@ -278,7 +278,11 @@ class UdpTransport:
     Create with :meth:`UdpTransport.create` inside a running event loop.
     The reliable channel is fire-and-forget from the node's perspective;
     permanent failures (connect retries exhausted) are reported through
-    :attr:`on_reliable_failure` and counted in :attr:`stats`.
+    :attr:`on_reliable_failure` and counted in :attr:`stats`. Every
+    transport in :mod:`repro.transport` exposes the same hook with the
+    same semantics (:class:`~repro.transport.sim.SimTransport` fires it
+    for partition-severed reliable sends), so the node's local-health
+    accounting and the sync engine's error handling are transport-agnostic.
     """
 
     def __init__(

@@ -9,7 +9,9 @@ from repro.check.invariants import (
     LhmOracle,
     MembershipOracle,
     OracleSuite,
+    ResurrectionOracle,
     SuspicionOracle,
+    SyncConvergenceOracle,
     Violation,
 )
 from repro.config import SwimConfig
@@ -57,6 +59,8 @@ class FakeQueue:
 
 class FakeConfig:
     retransmit_mult = 4
+    push_pull_interval = 30.0
+    dead_member_reclaim = 600.0
 
 
 class FakeNode:
@@ -315,6 +319,109 @@ class TestConvergenceOracle:
         a = FakeNode("a", [FakeMember("a")], running=False)
         out = ConvergenceOracle().check_final(FakeCluster(a), 10.0, {"a"}, set())
         assert any("expected to be running" in v.detail for v in out)
+
+    def test_gossip_only_cluster_tolerates_false_dead_view(self):
+        # Without anti-entropy a false DEAD verdict can outlive the
+        # gossip that could have corrected it; only SUSPECT (a protocol
+        # state that *must* resolve) is a violation then.
+        a = FakeNode(
+            "a", [FakeMember("a"), FakeMember("b", state=MemberState.DEAD)]
+        )
+        b = FakeNode("b", [FakeMember("a"), FakeMember("b")])
+        for node in (a, b):
+            node.config.push_pull_interval = 0.0
+        cluster = FakeCluster(a, b)
+        assert ConvergenceOracle().check_final(
+            cluster, 10.0, {"a", "b"}, set()
+        ) == []
+        a.members = FakeMap(
+            [FakeMember("a"), FakeMember("b", state=MemberState.SUSPECT)]
+        )
+        out = ConvergenceOracle().check_final(cluster, 10.0, {"a", "b"}, set())
+        assert any("never resolved" in v.detail for v in out)
+
+
+class TestSyncConvergenceOracle:
+    def test_agreeing_incarnations_pass(self):
+        a = FakeNode("a", [FakeMember("a"), FakeMember("b", incarnation=4)])
+        b = FakeNode("b", [FakeMember("a"), FakeMember("b", incarnation=4)])
+        out = SyncConvergenceOracle().check_final(
+            FakeCluster(a, b), 10.0, {"a", "b"}, set()
+        )
+        assert out == []
+
+    def test_incarnation_disagreement_flagged(self):
+        a = FakeNode("a", [FakeMember("a"), FakeMember("b", incarnation=4)])
+        b = FakeNode("b", [FakeMember("a"), FakeMember("b", incarnation=6)])
+        out = SyncConvergenceOracle().check_final(
+            FakeCluster(a, b), 10.0, {"a", "b"}, set()
+        )
+        assert any(v.subject == "b" and "disagree" in v.detail for v in out)
+
+    def test_skipped_when_sync_disabled(self):
+        a = FakeNode("a", [FakeMember("a"), FakeMember("b", incarnation=4)])
+        b = FakeNode("b", [FakeMember("a"), FakeMember("b", incarnation=6)])
+        a.config.push_pull_interval = 0.0
+        out = SyncConvergenceOracle().check_final(
+            FakeCluster(a, b), 10.0, {"a", "b"}, set()
+        )
+        assert out == []
+
+
+class TestResurrectionOracle:
+    def _cluster(self):
+        node = FakeNode(
+            "a", [FakeMember("a"), FakeMember("b", MemberState.DEAD, 5)]
+        )
+        return node, FakeCluster(node)
+
+    def test_resurrection_within_retention_flagged(self):
+        node, cluster = self._cluster()
+        oracle = ResurrectionOracle()
+        oracle.reset(cluster)
+        assert oracle.check(cluster, 10.0) == []
+        # The entry flips back to ALIVE at the *same* incarnation well
+        # inside the retention window — the exact stale-claim
+        # resurrection the veto exists to prevent.
+        node.members.get("b").state = MemberState.ALIVE
+        out = oracle.check(cluster, 20.0)
+        assert any(v.subject == "b" and "DEAD sighting" in v.detail for v in out)
+
+    def test_survives_entry_removal(self):
+        # MembershipOracle forgets a subject once the entry disappears;
+        # this oracle must not, or reclaim-then-re-add would dodge it.
+        node, cluster = self._cluster()
+        oracle = ResurrectionOracle()
+        oracle.reset(cluster)
+        oracle.check(cluster, 10.0)
+        node.members = FakeMap([FakeMember("a")])
+        oracle.check(cluster, 20.0)
+        node.members = FakeMap(
+            [FakeMember("a"), FakeMember("b", MemberState.ALIVE, 5)]
+        )
+        out = oracle.check(cluster, 30.0)
+        assert any(v.subject == "b" for v in out)
+
+    def test_refutation_at_higher_incarnation_is_legal(self):
+        node, cluster = self._cluster()
+        oracle = ResurrectionOracle()
+        oracle.reset(cluster)
+        oracle.check(cluster, 10.0)
+        member = node.members.get("b")
+        member.state = MemberState.ALIVE
+        member.incarnation = 6
+        assert oracle.check(cluster, 20.0) == []
+
+    def test_resurrection_past_retention_tolerated(self):
+        node, cluster = self._cluster()
+        node.config.dead_member_reclaim = 30.0
+        oracle = ResurrectionOracle()
+        oracle.reset(cluster)
+        oracle.check(cluster, 10.0)
+        node.members.get("b").state = MemberState.ALIVE
+        # 10.0 + 30.0 retention has passed: the observer has legitimately
+        # forgotten the terminal sighting.
+        assert oracle.check(cluster, 45.0) == []
 
 
 class TestOracleSuiteOnRealCluster:

@@ -4,11 +4,14 @@ import json
 
 import pytest
 
+from repro.check.invariants import Oracle, Violation
 from repro.check.runner import (
     ARTIFACT_SCHEMA,
     build_artifact,
     load_artifact_spec,
+    partition_seeds,
     replay_file,
+    run_partitioned_sweep,
     run_scenario,
     run_sweep,
     shrink_failure,
@@ -196,6 +199,66 @@ class TestSweepAndMetrics:
     def test_sweep_result_serializes(self):
         sweep = run_sweep(2, params=QUICK, shrink=False)
         json.dumps(sweep.as_dict())
+
+
+class _SeedKeyedOracle(Oracle):
+    """Test double: violates only for chosen cluster seeds."""
+
+    name = "seed-keyed"
+
+    def __init__(self, bad_seeds):
+        self._bad = set(bad_seeds)
+
+    def check_final(self, cluster, now, expected_live, expected_gone):
+        if cluster.seed in self._bad:
+            return [
+                Violation(
+                    self.name, now, "cluster", f"seed {cluster.seed} flagged"
+                )
+            ]
+        return []
+
+
+class TestPartitionedSweep:
+    def test_partition_seeds_interleave_and_cover(self):
+        slices = partition_seeds(10, 3, start_seed=100)
+        assert slices == [
+            [100, 103, 106, 109],
+            [101, 104, 107],
+            [102, 105, 108],
+        ]
+        flat = sorted(seed for part in slices for seed in part)
+        assert flat == list(range(100, 110))
+
+    def test_partitions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            partition_seeds(10, 0)
+
+    def test_failure_in_non_final_partition_fails_the_sweep(self):
+        # Seed 1 lands in partition 1 of 3; partitions 0 and 2 stay clean,
+        # and crucially the *last* partition is clean — the overall verdict
+        # must still be failure (the exit-code bug this guards against
+        # reported only the final partition's status).
+        result = run_partitioned_sweep(
+            6,
+            3,
+            params=QUICK,
+            shrink=False,
+            oracles=lambda: [_SeedKeyedOracle({1})],
+        )
+        assert [p.ok for p in result.partitions] == [True, False, True]
+        assert not result.ok
+        assert result.seeds_run == 6
+        assert result.seeds_failed == 1
+        assert [f.seed for f in result.failures] == [1]
+        assert result.as_dict()["ok"] is False
+        json.dumps(result.as_dict())
+
+    def test_clean_partitioned_sweep_is_ok(self):
+        result = run_partitioned_sweep(4, 2, params=QUICK, shrink=False)
+        assert result.ok
+        assert result.seeds_run == 4
+        assert len(result.partitions) == 2
 
 
 class TestArtifacts:

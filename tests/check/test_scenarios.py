@@ -84,6 +84,18 @@ class TestScenarioSpec:
         with pytest.raises(ValueError, match="unsupported scenario schema"):
             ScenarioSpec.from_dict(data)
 
+    def test_sync_round_trips(self):
+        spec = self.spec(sync=False)
+        assert not ScenarioSpec.from_json(spec.to_json()).sync
+
+    def test_sync_defaults_on_for_old_documents(self):
+        # Scenario files written before the sync knob existed carry no
+        # "sync" key; they must replay with anti-entropy enabled, as they
+        # originally ran.
+        data = self.spec().as_dict()
+        del data["sync"]
+        assert ScenarioSpec.from_dict(data).sync
+
 
 class TestGenerator:
     def test_deterministic_per_seed(self):
@@ -101,6 +113,18 @@ class TestGenerator:
             spec.validate()  # must not raise
             assert params.min_members <= spec.n_members <= params.max_members
             assert spec.configuration in params.configurations
+
+    def test_generator_covers_both_sync_regimes(self):
+        flags = {generate_scenario(seed).sync for seed in range(40)}
+        assert flags == {True, False}
+
+    def test_sync_off_fraction_extremes(self):
+        always_off = GeneratorParams(sync_off_fraction=1.0)
+        always_on = GeneratorParams(sync_off_fraction=0.0)
+        assert not any(
+            generate_scenario(seed, always_off).sync for seed in range(10)
+        )
+        assert all(generate_scenario(seed, always_on).sync for seed in range(10))
 
     def test_join_anchor_never_churned(self):
         for seed in range(100):

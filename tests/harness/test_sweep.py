@@ -114,7 +114,7 @@ class TestRunMany:
 
 
 class TestAggregation:
-    def _result(self, c, fp, fp_healthy, msgs=100, nbytes=1000):
+    def _result(self, c, fp, fp_healthy, msgs=100, nbytes=1000, test_time=0.0):
         stats = FalsePositiveStats(fp_events=fp, fp_healthy_events=fp_healthy)
         return IntervalResult(
             params=IntervalParams(
@@ -124,6 +124,7 @@ class TestAggregation:
             false_positives=stats,
             msgs_sent=msgs,
             bytes_sent=nbytes,
+            test_time=test_time,
         )
 
     def test_interval_aggregate(self):
@@ -134,6 +135,22 @@ class TestAggregation:
         assert agg.msgs_sent == 200
         assert agg.bytes_sent == 2000
         assert agg.runs == 2
+
+    def test_interval_aggregate_message_rate(self):
+        results = [
+            self._result(4, 0, 0, msgs=320, test_time=10.0),
+            self._result(8, 0, 0, msgs=480, test_time=15.0),
+        ]
+        agg = IntervalAggregate.from_results("SWIM", results)
+        # 16 members * (10 + 15) s = 400 member-seconds for 800 messages.
+        assert agg.member_seconds == 400.0
+        assert agg.msgs_per_member_per_sec == 2.0
+
+    def test_interval_aggregate_rate_without_durations(self):
+        agg = IntervalAggregate.from_results(
+            "SWIM", [self._result(4, 0, 0, msgs=100)]
+        )
+        assert agg.msgs_per_member_per_sec == 0.0
 
     def test_fp_by_concurrency_groups(self):
         results = [

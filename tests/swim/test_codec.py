@@ -41,6 +41,7 @@ def _messages_strategy():
             _incs,
             st.integers(min_value=0, max_value=3),
             st.binary(max_size=32),
+            st.integers(min_value=0, max_value=2**32 - 1),
         ),
         max_size=8,
     ).map(tuple)
@@ -69,7 +70,10 @@ class TestRoundTrips:
             PushPull("src", (), join=True),
             PushPull(
                 "src",
-                (("a", "a:1", 7, 0, b""), ("b", "b:2", 9, 2, b"tag")),
+                (
+                    ("a", "a:1", 7, 0, b"", 0),
+                    ("b", "b:2", 9, 2, b"tag", 12_500),
+                ),
                 is_reply=True,
             ),
         ],

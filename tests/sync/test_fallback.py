@@ -1,0 +1,60 @@
+"""Deterministic-simulation tests for the reliable-channel fallback probe.
+
+The fallback's whole job is distinguishing datagram loss from peer
+failure: under heavy *pure UDP* loss (the reliable channel unaffected,
+as in the simulator's symmetric loss model) a cluster with the fallback
+enabled should never suspect a healthy member, while the same seeds
+without the fallback do.
+"""
+
+from repro.config import SwimConfig
+from repro.sim.runtime import SimCluster
+from repro.swim.events import EventKind
+
+#: Heavy symmetric datagram loss: direct probes rarely complete
+#: (both legs must survive), and each indirect helper needs four
+#: consecutive lucky legs.
+LOSS_RATE = 0.85
+
+#: Long enough for dozens of probe rounds per member.
+HORIZON = 60.0
+
+
+def run_lossy_cluster(fallback: bool, seed: int) -> SimCluster:
+    config = SwimConfig.lifeguard(tcp_fallback_probe=fallback)
+    cluster = SimCluster(4, config=config, seed=seed, loss_rate=LOSS_RATE)
+    cluster.start()
+    cluster.run_until(HORIZON)
+    return cluster
+
+
+class TestFallbackSuppressesFalseSuspicion:
+    def test_no_suspicion_of_healthy_members_under_udp_loss(self):
+        cluster = run_lossy_cluster(fallback=True, seed=11)
+        suspected = cluster.event_log.of_kind(EventKind.SUSPECTED)
+        assert suspected == []
+        assert cluster.event_log.of_kind(EventKind.FAILED) == []
+        assert cluster.all_converged_alive()
+        telemetry = cluster.telemetry()
+        # The suppression was earned by the fallback, not luck: direct
+        # probes did time out, and their reliable pings were answered.
+        assert telemetry.fallback_probes_sent > 0
+        assert telemetry.fallback_probe_acks > 0
+
+    def test_same_loss_without_fallback_produces_suspicion(self):
+        """Control: the seed above is not simply too gentle to matter."""
+        cluster = run_lossy_cluster(fallback=False, seed=11)
+        telemetry = cluster.telemetry()
+        assert telemetry.fallback_probes_sent == 0
+        assert len(cluster.event_log.of_kind(EventKind.SUSPECTED)) > 0
+
+    def test_fallback_ack_suppresses_indirect_round(self):
+        """An early reliable ack completes the probe before any ping-req
+        helper is enlisted: under loss, the fallback cluster sends far
+        fewer ping-reqs than the control."""
+        with_fallback = run_lossy_cluster(fallback=True, seed=23)
+        without = run_lossy_cluster(fallback=False, seed=23)
+        ping_reqs_with = with_fallback.telemetry().msgs_by_kind["pingreq"]
+        ping_reqs_without = without.telemetry().msgs_by_kind["pingreq"]
+        assert ping_reqs_without > 0
+        assert ping_reqs_with < ping_reqs_without

@@ -1,0 +1,220 @@
+"""Deterministic-simulation tests for the anti-entropy subsystem.
+
+Covers the three behaviours the push-pull design exists for:
+
+* a healed multi-way partition re-converges through push-pull and
+  reconnect rounds alone, with gossip (piggybacked and dedicated)
+  completely disabled — the acceptance criterion for the sync subsystem;
+* dead members are retained for the reclaim window (so push-pull can
+  veto stale ALIVE resurrections) and removed once it expires;
+* the ``age`` field in push-pull entries survives the wire and backdates
+  terminal states into the receiver's retention window.
+"""
+
+import pytest
+
+from repro.config import SwimConfig
+from repro.sim.runtime import SimCluster
+from repro.swim import codec
+from repro.swim.member_map import MAX_STATE_AGE_MS
+from repro.swim.messages import PushPull
+from repro.swim.state import MemberState
+
+#: Push-pull/reconnect cadence used by the partition tests (seconds).
+SYNC_INTERVAL = 15.0
+
+#: Sync-only configuration: gossip fully disabled, so push-pull and
+#: reconnect are the *only* dissemination channels in the run.
+SYNC_ONLY = SwimConfig.lifeguard(
+    gossip_enabled=False,
+    push_pull_interval=SYNC_INTERVAL,
+    reconnect_interval=SYNC_INTERVAL,
+    dead_member_reclaim=3600.0,
+)
+
+#: Message kinds that only the gossip plane emits.
+GOSSIP_KINDS = ("gossip", "alive", "suspect", "dead")
+
+
+class TestPushPullConvergence:
+    """Acceptance: a 3-way partition healed after 60 s converges all
+    views within two push-pull intervals, with gossip disabled."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_three_way_partition_heals_by_sync_alone(self, seed):
+        cluster = SimCluster(9, config=SYNC_ONLY, seed=seed)
+        cluster.start()
+        names = cluster.names
+        groups = [names[0:3], names[3:6], names[6:9]]
+
+        cluster.scheduler.call_at(
+            10.0, lambda: cluster.network.partition(*groups)
+        )
+        cluster.scheduler.call_at(70.0, cluster.network.heal_partition)
+
+        # Let the partition do its damage: by the end of the window each
+        # group should have written off at least one remote member (this
+        # guards against a vacuous pass where nothing was ever lost).
+        cluster.run_until(70.0)
+        observer = cluster.nodes[names[0]]
+        dead_views = [
+            m.name for m in observer.members.members() if m.is_dead
+        ]
+        assert dead_views, "partition never produced a DEAD view"
+
+        converged = cluster.run_until_converged(70.0 + 2 * SYNC_INTERVAL)
+        assert converged, {
+            observer: {
+                subject: str(cluster.view(observer, subject))
+                for subject in names
+                if subject != observer
+            }
+            for observer in names
+        }
+
+        # The whole run — damage and repair — must have happened without
+        # a single gossip-plane message.
+        telemetry = cluster.telemetry()
+        for kind in GOSSIP_KINDS:
+            assert telemetry.msgs_by_kind[kind] == 0, kind
+        # ... and the repair really used the sync plane.
+        assert telemetry.syncs_initiated > 0
+        assert telemetry.sync_changes_applied > 0
+
+    def test_slow_seed_converges_within_four_intervals(self):
+        """The tail of the distribution: refutations spread by riding
+        subsequent random exchanges, so an unlucky peer-selection seed
+        can need more rounds — but convergence is still bounded."""
+        cluster = SimCluster(9, config=SYNC_ONLY, seed=7)
+        cluster.start()
+        names = cluster.names
+        groups = [names[0:3], names[3:6], names[6:9]]
+        cluster.scheduler.call_at(
+            10.0, lambda: cluster.network.partition(*groups)
+        )
+        cluster.scheduler.call_at(70.0, cluster.network.heal_partition)
+        cluster.run_until(70.0)
+        assert cluster.run_until_converged(70.0 + 4 * SYNC_INTERVAL)
+
+    def test_partitioned_groups_write_each_other_off(self):
+        """Sanity for the scenario above: with gossip off, cross-group
+        members do reach DEAD during the partition window."""
+        cluster = SimCluster(6, config=SYNC_ONLY, seed=3)
+        cluster.start()
+        half = [cluster.names[:3], cluster.names[3:]]
+        cluster.scheduler.call_at(5.0, lambda: cluster.network.partition(*half))
+        cluster.run_until(65.0)
+        assert cluster.view("m000", "m003") is MemberState.DEAD
+        assert cluster.view("m003", "m000") is MemberState.DEAD
+
+
+class TestDeadMemberRetention:
+    def test_dead_member_retained_then_reclaimed(self):
+        """A crashed member stays in live members' tables (as DEAD) for
+        the reclaim window and disappears once it expires."""
+        config = SwimConfig.lifeguard(dead_member_reclaim=60.0)
+        cluster = SimCluster(4, config=config, seed=1)
+        cluster.start()
+        cluster.scheduler.call_at(5.0, cluster.nodes["m003"].stop)
+        # Well past detection, within retention: everyone holds DEAD.
+        cluster.run_until(40.0)
+        for observer in ("m000", "m001", "m002"):
+            assert cluster.view(observer, "m003") is MemberState.DEAD
+        # Past retention (measured from the state change, not detection
+        # start): the entry is reclaimed everywhere.
+        cluster.run_until(150.0)
+        for observer in ("m000", "m001", "m002"):
+            assert cluster.view(observer, "m003") is None
+
+    def test_stale_alive_is_vetoed_within_retention(self):
+        """A push-pull snapshot carrying a stale ALIVE claim (old
+        incarnation) about a retained DEAD member must not resurrect it."""
+        cluster = SimCluster(4, config=SYNC_ONLY, seed=2)
+        cluster.start()
+        cluster.scheduler.call_at(5.0, cluster.nodes["m003"].stop)
+        cluster.run_until(40.0)
+        node = cluster.nodes["m000"]
+        dead = node.members.get("m003")
+        assert dead is not None and dead.is_dead
+
+        stale = PushPull(
+            "m001",
+            (("m003", "m003", dead.incarnation, MemberState.ALIVE.value, b"", 0),),
+            is_reply=True,
+        )
+        node.sync.merge(stale)
+        member = node.members.get("m003")
+        assert member is not None and member.is_dead
+
+        # A *refutation* (higher incarnation) is a different story: the
+        # member actually came back, and retention must not block it.
+        refute = PushPull(
+            "m001",
+            (
+                (
+                    "m003",
+                    "m003",
+                    dead.incarnation + 1,
+                    MemberState.ALIVE.value,
+                    b"",
+                    0,
+                ),
+            ),
+            is_reply=True,
+        )
+        node.sync.merge(refute)
+        member = node.members.get("m003")
+        assert member is not None and member.is_alive
+
+
+class TestStateAgeOnTheWire:
+    """The age field lets a receiver place a terminal state correctly in
+    its own retention window even when it hears about the death late."""
+
+    def test_age_round_trips_through_codec(self):
+        message = PushPull(
+            "src",
+            (("m1", "m1:1", 4, MemberState.DEAD.value, b"", 123_456),),
+            is_reply=True,
+        )
+        decoded = codec.decode(codec.encode(message))
+        assert decoded == message
+        (entry,) = decoded.iter_entries()
+        assert entry[3] is MemberState.DEAD
+        assert entry[4] == pytest.approx(123.456)
+
+    def test_snapshot_age_saturates(self):
+        """Ancient state changes clamp to the u32 millisecond ceiling
+        instead of overflowing the wire field."""
+        cluster = SimCluster(2, config=SYNC_ONLY, seed=0)
+        cluster.start()
+        node = cluster.nodes["m000"]
+        member = node.members.get("m001")
+        member.state_changed_at = -(MAX_STATE_AGE_MS / 1000.0) * 2
+        snapshot = node.members.snapshot(now=cluster.now)
+        entry = next(e for e in snapshot if e[0] == "m001")
+        assert entry[5] == MAX_STATE_AGE_MS
+        # And it still encodes.
+        codec.decode(codec.encode(PushPull("m000", snapshot)))
+
+    def test_merge_backdates_terminal_state_into_retention(self):
+        """Receiving DEAD-with-age starts the receiver's retention clock
+        at the actual death time, so a late-heard death is not retained
+        for a full extra window."""
+        cluster = SimCluster(3, config=SYNC_ONLY, seed=0)
+        cluster.start()
+        cluster.run_until(1.0)
+        node = cluster.nodes["m000"]
+        aged_dead = PushPull(
+            "m001",
+            (("m002", "m002", 1, MemberState.DEAD.value, b"", 500_000),),
+            is_reply=True,
+        )
+        node.sync.merge(aged_dead)
+        member = node.members.get("m002")
+        assert member is not None and member.is_dead
+        assert member.state_changed_at == pytest.approx(cluster.now - 500.0)
+        # The backdated entry is reclaimed on the next sweep once the
+        # retention window (measured from death, not receipt) has passed.
+        node.members.reclaim_dead(cluster.now, retention=400.0)
+        assert node.members.get("m002") is None

@@ -1,0 +1,178 @@
+"""Tests for the benchmark-regression gate (benchmarks/regression.py)."""
+
+import json
+
+from benchmarks.regression import (
+    SCHEMA,
+    collect_metrics,
+    compare_documents,
+    main,
+)
+
+
+def write_results(tmp_path, *, p50=12.5, rate=2.8):
+    (tmp_path / "table5_latency.json").write_text(
+        json.dumps(
+            {
+                "SWIM": {"first": {"50.0": p50, "99.0": 16.0}},
+                "Lifeguard": {"first": {"50.0": p50 + 0.1, "99.0": 16.5}},
+                "LHA-Probe": {"first": {"50.0": 99.0}},
+            }
+        )
+    )
+    (tmp_path / "table6_message_load.json").write_text(
+        json.dumps(
+            {
+                "SWIM": {
+                    "msgs": 1000,
+                    "member_seconds": 1000 / rate,
+                    "msgs_per_member_per_sec": rate,
+                },
+                "Lifeguard": {
+                    "msgs": 1100,
+                    "member_seconds": 1000 / rate,
+                    "msgs_per_member_per_sec": rate * 1.1,
+                },
+            }
+        )
+    )
+    (tmp_path / "ops_overhead.json").write_text(
+        json.dumps({"hook_overhead": 0.01, "scrape_overhead": 3.2})
+    )
+
+
+class TestCollect:
+    def test_collects_gated_and_informational_metrics(self, tmp_path):
+        write_results(tmp_path)
+        document = collect_metrics(tmp_path)
+        assert document["schema"] == SCHEMA
+        metrics = document["metrics"]
+        assert metrics["detection_latency_p50"]["SWIM"] == 12.5
+        assert metrics["detection_latency_p50"]["Lifeguard"] == 12.6
+        # Non-gated configurations are not collected.
+        assert "LHA-Probe" not in metrics["detection_latency_p50"]
+        assert metrics["msgs_per_member_per_sec"]["SWIM"] == 2.8
+        assert document["ops_overhead"]["hook_overhead"] == 0.01
+
+    def test_collect_cli_fails_without_data(self, tmp_path, capsys):
+        code = main(
+            [
+                "collect",
+                "--sha",
+                "deadbeef",
+                "--results-dir",
+                str(tmp_path),
+                "--out",
+                str(tmp_path / "out.json"),
+            ]
+        )
+        assert code == 1
+        assert "did the pinned benchmarks run" in capsys.readouterr().err
+
+    def test_collect_cli_writes_document(self, tmp_path, capsys):
+        write_results(tmp_path)
+        out = tmp_path / "BENCH_abc.json"
+        code = main(
+            [
+                "collect",
+                "--sha",
+                "abc",
+                "--results-dir",
+                str(tmp_path),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["sha"] == "abc"
+        assert document["metrics"]["detection_latency_p50"]
+
+
+def doc(p50_swim=12.5, rate_swim=2.8, sha="base"):
+    return {
+        "schema": SCHEMA,
+        "sha": sha,
+        "metrics": {
+            "detection_latency_p50": {"SWIM": p50_swim},
+            "msgs_per_member_per_sec": {"SWIM": rate_swim},
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_documents_pass(self):
+        _, regressions = compare_documents(doc(), doc(sha="cur"))
+        assert regressions == []
+
+    def test_within_threshold_passes(self):
+        _, regressions = compare_documents(doc(), doc(p50_swim=12.5 * 1.14))
+        assert regressions == []
+
+    def test_latency_regression_fails(self):
+        lines, regressions = compare_documents(doc(), doc(p50_swim=12.5 * 1.2))
+        assert regressions == ["detection_latency_p50[SWIM]"]
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_message_rate_regression_fails(self):
+        _, regressions = compare_documents(doc(), doc(rate_swim=2.8 * 1.3))
+        assert regressions == ["msgs_per_member_per_sec[SWIM]"]
+
+    def test_improvement_never_gates(self):
+        _, regressions = compare_documents(
+            doc(), doc(p50_swim=6.0, rate_swim=1.0)
+        )
+        assert regressions == []
+
+    def test_metric_missing_from_baseline_is_not_gated(self):
+        current = doc(sha="cur")
+        current["metrics"]["detection_latency_p50"]["Lifeguard"] = 99.0
+        lines, regressions = compare_documents(doc(), current)
+        assert regressions == []
+        assert any("missing in baseline" in line for line in lines)
+
+    def test_custom_threshold(self):
+        _, regressions = compare_documents(
+            doc(), doc(p50_swim=12.5 * 1.1), threshold=0.05
+        )
+        assert regressions == ["detection_latency_p50[SWIM]"]
+
+
+class TestCompareCli:
+    def run_compare(self, tmp_path, baseline, current):
+        base_path = tmp_path / "baseline.json"
+        cur_path = tmp_path / "current.json"
+        base_path.write_text(json.dumps(baseline))
+        cur_path.write_text(json.dumps(current))
+        return main(
+            ["compare", "--baseline", str(base_path), "--current", str(cur_path)]
+        )
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        assert self.run_compare(tmp_path, doc(), doc(sha="cur")) == 0
+        assert "no gated metric regressed" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        code = self.run_compare(tmp_path, doc(), doc(p50_swim=20.0, sha="cur"))
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_exit_two_on_schema_mismatch(self, tmp_path, capsys):
+        bad = doc(sha="cur")
+        bad["schema"] = "something-else"
+        assert self.run_compare(tmp_path, doc(), bad) == 2
+
+    def test_committed_baseline_matches_schema(self):
+        """The baseline this repo ships must be consumable by compare."""
+        from pathlib import Path
+
+        baseline_path = (
+            Path(__file__).parent.parent / "benchmarks" / "baseline.json"
+        )
+        document = json.loads(baseline_path.read_text())
+        assert document["schema"] == SCHEMA
+        for metric in ("detection_latency_p50", "msgs_per_member_per_sec"):
+            assert document["metrics"][metric], metric
+        # Comparing the baseline against itself is, definitionally, clean.
+        _, regressions = compare_documents(document, document)
+        assert regressions == []
