@@ -1,0 +1,128 @@
+"""Discrete-event core throughput at multi-thousand-member scale.
+
+The simulator is the instrument every experiment in this repository is
+run on, so its throughput bounds how much of the paper's parameter space
+is affordable. This benchmark pins that throughput down at three cluster
+sizes — the paper's own scale (well below 256), the first
+"multi-thousand" rung (1024) and a stress rung (4096) — and reports two
+numbers per size:
+
+* **events/sec** — scheduler events executed per wall-clock second, the
+  metric the hot-path optimizations (heap compaction, indexed member
+  map, bucketed broadcast queue, fused codec, batched deliveries) are
+  aimed at;
+* **virtual seconds per wall second** — how much simulated time one real
+  second buys, the number an experiment designer actually budgets with.
+
+Runs are fully deterministic (fixed seed, no anomalies), so wall-clock
+is min-of-N over identical runs, which strips scheduler noise the way
+``timeit`` does. The event count per size is also asserted stable across
+reps — a cheap tripwire for accidental nondeterminism in the core.
+
+Scale control: ``REPRO_SCALE_SIZES=256,1024`` restricts the size grid
+(CI uses this to keep the gate fast), ``REPRO_REPS`` sets the rep count,
+``REPRO_SCALE_TIME`` scales the virtual duration budget.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+from benchmarks.conftest import publish
+from repro.config import SwimConfig
+from repro.sim.runtime import SimCluster
+
+#: (cluster size, virtual seconds) — larger clusters execute more events
+#: per virtual second, so the virtual budget shrinks with size to keep
+#: the total wall-clock roughly flat across rungs.
+SIZE_GRID: Tuple[Tuple[int, float], ...] = (
+    (256, 20.0),
+    (1024, 10.0),
+    (4096, 3.0),
+)
+
+#: Floor asserted at n=1024 — far below the optimized core (so machine
+#: noise cannot flake the gate) but far above the pre-optimization core,
+#: catching order-of-magnitude regressions outright. The fine-grained
+#: (15%) gate lives in ``benchmarks/regression.py`` against the recorded
+#: baseline.
+MIN_EVENTS_PER_SEC_1024 = 4000.0
+
+SEED = 1
+
+
+def _grid() -> List[Tuple[int, float]]:
+    time_scale = float(os.environ.get("REPRO_SCALE_TIME", "1.0"))
+    sizes_env = os.environ.get("REPRO_SCALE_SIZES")
+    grid = [(n, vs * time_scale) for n, vs in SIZE_GRID]
+    if sizes_env:
+        wanted = {int(s) for s in sizes_env.split(",") if s.strip()}
+        grid = [(n, vs) for n, vs in grid if n in wanted]
+    return grid
+
+
+def _reps() -> int:
+    return max(1, int(os.environ.get("REPRO_REPS", "3")))
+
+
+def _run_once(n_members: int, virtual_seconds: float) -> Tuple[int, float]:
+    """One deterministic run; returns (events executed, wall seconds)."""
+    cluster = SimCluster(
+        n_members=n_members, config=SwimConfig.lifeguard(), seed=SEED
+    )
+    cluster.start()
+    started = time.perf_counter()
+    cluster.run_for(virtual_seconds)
+    wall = time.perf_counter() - started
+    return cluster.scheduler.executed, wall
+
+
+class TestScaleThroughput:
+    def test_events_per_second_at_scale(self):
+        reps = _reps()
+        rows: List[Dict[str, float]] = []
+        for n_members, virtual_seconds in _grid():
+            runs = [_run_once(n_members, virtual_seconds) for _ in range(reps)]
+            events = {e for e, _ in runs}
+            assert len(events) == 1, (
+                f"nondeterministic event count at n={n_members}: {events}"
+            )
+            best_wall = min(wall for _, wall in runs)
+            executed = runs[0][0]
+            rows.append(
+                {
+                    "n_members": n_members,
+                    "virtual_seconds": virtual_seconds,
+                    "events": executed,
+                    "wall_s": best_wall,
+                    "events_per_sec": executed / best_wall,
+                    "virtual_per_wall": virtual_seconds / best_wall,
+                }
+            )
+
+        lines = [
+            f"Simulator throughput (min of {reps} identical runs, seed {SEED})",
+            f"{'n':>6s} {'virtual':>8s} {'events':>9s} {'wall':>9s} "
+            f"{'events/sec':>11s} {'vs/ws':>7s}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{int(row['n_members']):6d} {row['virtual_seconds']:7.1f}s "
+                f"{int(row['events']):9d} {row['wall_s']:8.3f}s "
+                f"{row['events_per_sec']:11,.0f} {row['virtual_per_wall']:7.2f}"
+            )
+        publish(
+            "scale_throughput",
+            "\n".join(lines),
+            {"seed": SEED, "reps": reps, "rows": rows},
+        )
+
+        by_size = {int(row["n_members"]): row for row in rows}
+        if 1024 in by_size:
+            rate = by_size[1024]["events_per_sec"]
+            assert rate >= MIN_EVENTS_PER_SEC_1024, (
+                f"simulator throughput collapsed at n=1024: "
+                f"{rate:,.0f} events/s < {MIN_EVENTS_PER_SEC_1024:,.0f}"
+            )

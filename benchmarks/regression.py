@@ -5,21 +5,28 @@ Two subcommands, stdlib only (CI runs this between pytest steps):
 ``collect --sha <sha>``
     Reads the raw JSON the pinned benchmark subset just published under
     ``benchmarks/results/`` (``table5_latency``, ``table6_message_load``,
-    ``ops_overhead``), distils the gated metrics and writes
-    ``BENCH_<sha>.json``.
+    ``scale_throughput``, ``ops_overhead``), distils the gated metrics
+    and writes ``BENCH_<sha>.json``.
 
 ``compare --baseline benchmarks/baseline.json --current BENCH_<sha>.json``
     Fails (exit 1) when a *gated* metric regressed by more than the
-    threshold (default 15%) over the committed baseline:
+    threshold (default 15%) over the committed baseline. The gate is
+    direction-aware per metric:
 
     * ``detection_latency_p50`` — median first-detection latency
       (seconds) for SWIM and Lifeguard; higher is worse.
     * ``msgs_per_member_per_sec`` — message load normalized by
       member-seconds, per configuration; higher is worse.
+    * ``events_per_sec`` — simulator throughput per cluster size from
+      ``bench_scale``; **lower** is worse (a drop past the threshold
+      fails the build).
 
     ``ops_overhead`` numbers are wall-clock and therefore noisy on
     shared CI runners; they are carried in the artifact and printed for
-    context but never gate.
+    context but never gate. ``events_per_sec`` is wall-clock too, but
+    min-of-rep on a dedicated benchmark job keeps it stable enough to
+    gate; refresh the baseline when the runner class changes (see
+    docs/PERFORMANCE.md).
 
 The sweeps behind the gated metrics are deterministic (seeded simulation
 at a pinned scale), so runs only move when the protocol does. To refresh
@@ -45,6 +52,9 @@ DEFAULT_THRESHOLD = 0.15
 #: Configurations whose latency/load rows gate the build.
 GATED_CONFIGURATIONS = ("SWIM", "Lifeguard")
 
+#: Gated metrics where a *drop* (not a rise) is the regression.
+HIGHER_IS_BETTER = frozenset({"events_per_sec"})
+
 
 # --------------------------------------------------------------------- #
 # collect
@@ -63,6 +73,7 @@ def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
     metrics: Dict[str, Dict[str, float]] = {
         "detection_latency_p50": {},
         "msgs_per_member_per_sec": {},
+        "events_per_sec": {},
     }
 
     table5 = _load_result("table5_latency", results_dir)
@@ -84,6 +95,14 @@ def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
             rate = row.get("msgs_per_member_per_sec")
             if rate:
                 metrics["msgs_per_member_per_sec"][configuration] = rate
+
+    scale = _load_result("scale_throughput", results_dir)
+    if scale is not None:
+        for row in scale.get("rows", []):
+            size = row.get("n_members")
+            rate = row.get("events_per_sec")
+            if size is not None and rate:
+                metrics["events_per_sec"][f"n{int(size)}"] = rate
 
     document = {"schema": SCHEMA, "metrics": metrics}
     ops = _load_result("ops_overhead", results_dir)
@@ -124,8 +143,10 @@ def compare_documents(
 ) -> Tuple[List[str], List[str]]:
     """Returns ``(report_lines, regressions)``.
 
-    A gated metric regresses when ``current > baseline * (1 + threshold)``
-    (both gated metrics are higher-is-worse). Metrics present on only
+    A gated metric regresses when it moved past the threshold in its
+    *bad* direction: ``current > baseline * (1 + threshold)`` for
+    higher-is-worse metrics, ``current < baseline * (1 - threshold)``
+    for the metrics in :data:`HIGHER_IS_BETTER`. Metrics present on only
     one side are reported but never gate — that happens when the
     baseline predates a new metric, and the fix is a baseline refresh,
     not a red build.
@@ -147,7 +168,11 @@ def compare_documents(
                 continue
             ratio = cur_value / base_value if base_value else float("inf")
             verdict = "ok"
-            if cur_value > base_value * (1.0 + threshold):
+            if metric in HIGHER_IS_BETTER:
+                if cur_value < base_value * (1.0 - threshold):
+                    verdict = f"REGRESSION (dropped >{threshold:.0%})"
+                    regressions.append(label)
+            elif cur_value > base_value * (1.0 + threshold):
                 verdict = f"REGRESSION (>{threshold:.0%})"
                 regressions.append(label)
             lines.append(

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import json
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from random import Random
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.check.invariants import Oracle, OracleSuite, Violation, default_oracles
 from repro.check.scenarios import (
@@ -500,6 +501,31 @@ def install_check_metrics(registry) -> dict:
     }
 
 
+#: One fully-processed sweep seed: (seed, run verdict, shrink outcome).
+_SeedOutcome = Tuple[int, CheckResult, Optional["ShrinkOutcome"]]
+
+
+def _sweep_seed_worker(
+    job: Tuple[int, GeneratorParams, int, bool, int]
+) -> _SeedOutcome:
+    """Process one sweep seed end to end (run + shrink on failure).
+
+    Module-level and fed only picklable values so it can cross a
+    ``ProcessPoolExecutor`` boundary. Everything is a pure function of
+    the seed, so a worker pool produces byte-identical outcomes to the
+    sequential loop.
+    """
+    seed, params, stride, shrink, max_shrink_runs = job
+    spec = generate_scenario(seed, params)
+    result = run_scenario(spec, stride=stride)
+    shrunk: Optional[ShrinkOutcome] = None
+    if not result.ok and shrink:
+        shrunk = shrink_failure(
+            spec, result, stride=stride, max_runs=max_shrink_runs
+        )
+    return seed, result, shrunk
+
+
 def run_sweep(
     seeds: int,
     params: Optional[GeneratorParams] = None,
@@ -512,6 +538,7 @@ def run_sweep(
     on_seed: Optional[Callable[[int, CheckResult], None]] = None,
     oracles: Optional[Callable[[], List[Oracle]]] = None,
     seed_list: Optional[Sequence[int]] = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run ``seeds`` generated scenarios; shrink and record failures.
 
@@ -522,6 +549,14 @@ def run_sweep(
     :func:`run_partitioned_sweep` to hand each partition an interleaved
     slice. ``oracles`` overrides the suite factory, as in
     :func:`run_scenario`.
+
+    ``jobs > 1`` fans the per-seed work (scenario run plus shrink
+    campaign) out over a process pool, the same pattern as
+    :func:`repro.harness.sweep.run_many`. Outcomes are consumed in seed
+    order and every seed is a pure function of its number, so verdicts,
+    artifacts and progress output are identical to a sequential sweep —
+    including the early stop, which discards any extra seeds workers
+    speculatively completed past the failure budget.
     """
     params = params or GeneratorParams()
     metrics = install_check_metrics(registry) if registry is not None else None
@@ -532,34 +567,66 @@ def run_sweep(
         if seed_list is not None
         else list(range(start_seed, start_seed + seeds))
     )
-    for seed in plan:
-        spec = generate_scenario(seed, params)
-        result = run_scenario(spec, stride=stride, oracles=oracles)
-        sweep.seeds_run += 1
-        sweep.events += result.events
-        if metrics is not None:
-            metrics["seeds"].inc()
-        if not result.ok:
-            sweep.seeds_failed += 1
-            sweep.violations += len(result.violations)
-            shrunk: Optional[ShrinkOutcome] = None
-            if shrink:
-                shrunk = shrink_failure(
-                    spec, result, stride=stride, max_runs=max_shrink_runs,
-                    oracles=oracles,
-                )
-                sweep.shrink_runs += shrunk.runs
-            artifact = build_artifact(seed, result, shrunk)
-            sweep.failures.append(SeedFailure(seed, result, shrunk, artifact))
+
+    executor: Optional[ProcessPoolExecutor] = None
+    if jobs > 1 and len(plan) > 1:
+        if oracles is not None:
+            raise ValueError(
+                "a custom oracle factory cannot cross the worker-process "
+                "boundary; use jobs=1"
+            )
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(plan)))
+        outcomes: Iterator[_SeedOutcome] = executor.map(
+            _sweep_seed_worker,
+            [(seed, params, stride, shrink, max_shrink_runs) for seed in plan],
+            chunksize=1,
+        )
+    else:
+
+        def _sequential() -> Iterator[_SeedOutcome]:
+            for seed in plan:
+                spec = generate_scenario(seed, params)
+                result = run_scenario(spec, stride=stride, oracles=oracles)
+                shrunk: Optional[ShrinkOutcome] = None
+                if not result.ok and shrink:
+                    shrunk = shrink_failure(
+                        spec,
+                        result,
+                        stride=stride,
+                        max_runs=max_shrink_runs,
+                        oracles=oracles,
+                    )
+                yield seed, result, shrunk
+
+        outcomes = _sequential()
+
+    try:
+        for seed, result, shrunk in outcomes:
+            sweep.seeds_run += 1
+            sweep.events += result.events
             if metrics is not None:
-                metrics["failed"].inc()
-                metrics["violations"].inc(len(result.violations))
+                metrics["seeds"].inc()
+            if not result.ok:
+                sweep.seeds_failed += 1
+                sweep.violations += len(result.violations)
                 if shrunk is not None:
-                    metrics["shrink_runs"].inc(shrunk.runs)
-        if on_seed is not None:
-            on_seed(seed, result)
-        if sweep.seeds_failed >= max_failures:
-            break
+                    sweep.shrink_runs += shrunk.runs
+                artifact = build_artifact(seed, result, shrunk)
+                sweep.failures.append(
+                    SeedFailure(seed, result, shrunk, artifact)
+                )
+                if metrics is not None:
+                    metrics["failed"].inc()
+                    metrics["violations"].inc(len(result.violations))
+                    if shrunk is not None:
+                        metrics["shrink_runs"].inc(shrunk.runs)
+            if on_seed is not None:
+                on_seed(seed, result)
+            if sweep.seeds_failed >= max_failures:
+                break
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
     sweep.wall_time = time.monotonic() - started
     return sweep
 
@@ -632,12 +699,14 @@ def run_partitioned_sweep(
     registry=None,
     on_seed: Optional[Callable[[int, CheckResult], None]] = None,
     oracles: Optional[Callable[[], List[Oracle]]] = None,
+    jobs: int = 1,
 ) -> PartitionedSweepResult:
     """Run a sweep as ``partitions`` independent interleaved slices.
 
     Each partition gets its own ``max_failures`` budget, so a systemic
     bug that exhausts one partition's budget early does not silence the
-    seeds another partition would have run.
+    seeds another partition would have run. ``jobs`` is forwarded to
+    each partition's :func:`run_sweep`.
     """
     result = PartitionedSweepResult()
     for seed_list in partition_seeds(seeds, partitions, start_seed):
@@ -653,6 +722,7 @@ def run_partitioned_sweep(
                 on_seed=on_seed,
                 oracles=oracles,
                 seed_list=seed_list,
+                jobs=jobs,
             )
         )
     return result

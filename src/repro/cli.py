@@ -94,6 +94,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="members under CPU stress (default: 4)")
     stress.add_argument("-t", "--stress-time", type=float, default=300.0,
                         help="stress duration, seconds (default: 300)")
+    stress.add_argument("--profile", metavar="PSTATS_OUT",
+                        help="run under cProfile and write pstats data "
+                             "to this path (summary on stderr)")
 
     compare = sub.add_parser(
         "compare", help="run one Interval experiment under all five configs"
@@ -131,6 +134,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "of sweeping")
     check.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+    check.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (default: 1; "
+                            "results are deterministic regardless)")
+    check.add_argument("--profile", metavar="PSTATS_OUT",
+                       help="run under cProfile and write pstats data "
+                            "to this path (summary on stderr)")
 
     watch = sub.add_parser(
         "watch", help="poll a live node's admin endpoint (repro.ops)"
@@ -306,6 +315,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         max_failures=args.max_failures,
         registry=registry,
         on_seed=progress,
+        jobs=args.jobs,
     )
     artifacts = []
     if sweep.failures:
@@ -407,7 +417,27 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    profile_out = getattr(args, "profile", None)
+    if not profile_out:
+        return command(args)
+    # Profile-driven optimization workflow (docs/PERFORMANCE.md): run the
+    # command under cProfile, persist the raw pstats file for snakeviz /
+    # pstats browsing, and print a hot-spot summary to stderr so the
+    # command's own stdout (including --json) stays parseable.
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return command(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(profile_out)
+        print(f"profile written to {profile_out}", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("tottime").print_stats(15)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -123,6 +123,12 @@ class SimNetwork:
         self._partition_groups: Dict[str, int] = {}
         self._link_loss: Dict[Tuple[str, str], float] = {}
         self._anomalies = None  # set via attach_anomalies()
+        #: In-flight packets grouped by exact delivery timestamp: one
+        #: scheduler event per distinct timestamp instead of one per
+        #: packet. Within a batch, packets deliver in injection order —
+        #: the same order separate (when, seq)-keyed events would have
+        #: run, so seeded behavior is unchanged.
+        self._delivery_batches: Dict[float, list] = {}
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------ #
@@ -255,9 +261,21 @@ class SimNetwork:
                 self.stats.packets_lost += 1
                 return
         latency = self._latency.sample(self._rng, reliable)
-        self._scheduler.call_later(
-            latency, lambda: self._deliver(src, dst, payload, reliable)
-        )
+        when = self._scheduler.clock.now + latency
+        batch = self._delivery_batches.get(when)
+        if batch is None:
+            self._delivery_batches[when] = [(src, dst, payload, reliable)]
+            self._scheduler.call_at(when, lambda: self._deliver_batch(when))
+        else:
+            batch.append((src, dst, payload, reliable))
+
+    def _deliver_batch(self, when: float) -> None:
+        batch = self._delivery_batches.pop(when, None)
+        if batch is None:
+            return
+        deliver = self._deliver
+        for src, dst, payload, reliable in batch:
+            deliver(src, dst, payload, reliable)
 
     def _deliver(self, src: str, dst: str, payload: bytes, reliable: bool) -> None:
         deliver = self._endpoints.get(dst)

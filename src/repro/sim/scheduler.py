@@ -4,6 +4,15 @@ A binary heap of timestamped callbacks with lazy cancellation. Events at
 the same timestamp run in scheduling order (FIFO), which keeps runs
 deterministic and matches the intuition that a callback scheduled first
 was 'armed' first.
+
+Cancellation is lazy (the heap entry is skipped when popped), but the
+scheduler maintains an exact count of cancelled-but-still-heaped entries
+so ``len()`` is O(1) and the heap is compacted in place once cancelled
+entries dominate — per-tick timer churn (probe timeouts, suspicion
+deadlines, sync rounds) would otherwise grow the heap without bound on
+long runs. Compaction rebuilds the heap from the live entries only;
+because events are strictly totally ordered by ``(when, seq)``, the pop
+order — and therefore seeded-run behavior — is unchanged.
 """
 
 from __future__ import annotations
@@ -13,15 +22,29 @@ from typing import Callable, List, Optional
 
 from repro.sim.clock import VirtualClock
 
+#: Compact when the heap holds more than this many cancelled entries...
+_COMPACT_MIN_CANCELLED = 512
+#: ...and they make up more than half the heap.
+_COMPACT_FRACTION = 0.5
+
 
 class _Event:
-    __slots__ = ("when", "seq", "callback", "cancelled")
+    __slots__ = ("when", "seq", "callback", "cancelled", "_sched")
 
-    def __init__(self, when: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        when: float,
+        seq: int,
+        callback: Callable[[], None],
+        sched: "EventScheduler",
+    ) -> None:
         self.when = when
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        # Back-reference for the cancelled-entry count; cleared when the
+        # event leaves the heap so late cancels don't skew the counter.
+        self._sched: Optional["EventScheduler"] = sched
 
     def __lt__(self, other: "_Event") -> bool:
         if self.when != other.when:
@@ -30,8 +53,13 @@ class _Event:
 
     def cancel(self) -> None:
         # Lazy cancellation: the heap entry is skipped when popped.
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = _noop
+        sched = self._sched
+        if sched is not None:
+            sched._note_cancelled()
 
 
 def _noop() -> None:
@@ -49,8 +77,12 @@ class EventScheduler:
         self.clock = clock if clock is not None else VirtualClock()
         self._heap: List[_Event] = []
         self._seq = 0
+        #: Cancelled events still sitting in the heap.
+        self._cancelled = 0
         #: Total events executed (telemetry / performance reporting).
         self.executed = 0
+        #: Heap compactions performed (performance telemetry).
+        self.compactions = 0
         #: Optional tap invoked as ``on_event(now)`` after every executed
         #: event, once its callback (and everything it did synchronously)
         #: has completed. The event-boundary hook used by the invariant
@@ -59,7 +91,37 @@ class EventScheduler:
         self.on_event: Optional[Callable[[float], None]] = None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled > _COMPACT_MIN_CANCELLED
+            and self._cancelled > len(self._heap) * _COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Pop order is unaffected: ``(when, seq)`` is a strict total order,
+        so any valid heap of the same live set pops identically.
+        """
+        for event in self._heap:
+            if event.cancelled:
+                event._sched = None
+        # In place: run_until holds a local alias to the heap list.
+        self._heap[:] = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+
+    def _pop(self) -> _Event:
+        event = heapq.heappop(self._heap)
+        event._sched = None
+        if event.cancelled:
+            self._cancelled -= 1
+        return event
 
     def call_at(self, when: float, callback: Callable[[], None]) -> _Event:
         """Schedule ``callback`` at absolute virtual time ``when``.
@@ -67,9 +129,11 @@ class EventScheduler:
         Scheduling in the past is clamped to 'now' (the event runs on the
         next pump), mirroring asyncio's behaviour.
         """
-        when = max(when, self.clock.now)
+        now = self.clock.now
+        if when < now:
+            when = now
         self._seq += 1
-        event = _Event(when, self._seq, callback)
+        event = _Event(when, self._seq, callback, self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -79,13 +143,13 @@ class EventScheduler:
     def next_event_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` when drained."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._pop()
         return self._heap[0].when if self._heap else None
 
     def step(self) -> bool:
         """Run the single next event. Returns ``False`` when drained."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = self._pop()
             if event.cancelled:
                 continue
             self.clock.advance_to(event.when)
@@ -100,19 +164,21 @@ class EventScheduler:
         """Run all events with timestamps <= ``deadline``; the clock ends
         exactly at ``deadline``. Returns the number of events executed."""
         count = 0
-        while self._heap:
-            while self._heap and self._heap[0].cancelled:
-                heapq.heappop(self._heap)
-            if not self._heap or self._heap[0].when > deadline:
+        heap = self._heap
+        clock = self.clock
+        while heap:
+            while heap and heap[0].cancelled:
+                self._pop()
+            if not heap or heap[0].when > deadline:
                 break
-            event = heapq.heappop(self._heap)
-            self.clock.advance_to(event.when)
+            event = self._pop()
+            clock.advance_to(event.when)
             self.executed += 1
             event.callback()
             if self.on_event is not None:
-                self.on_event(self.clock.now)
+                self.on_event(clock.now)
             count += 1
-        self.clock.advance_to(max(self.clock.now, deadline))
+        clock.advance_to(max(clock.now, deadline))
         return count
 
     def run_for(self, duration: float) -> int:

@@ -9,13 +9,23 @@ dedicated gossip tick.
 Invalidation: the queue is keyed by the member a gossip message is about —
 a fresher claim about a member replaces any queued older claim, so the
 queue never spreads self-contradictory state.
+
+Selection runs once per outgoing packet, so it must not re-sort the whole
+queue each time. Entries live in per-transmit-count *buckets*, each kept
+ordered newest-first; walking the buckets in ascending transmit order
+reproduces exactly the old full sort by ``(transmits, -enqueued_seq)``.
+Replaced/invalidated entries are dropped lazily (an entry is live only if
+it is still the queue's entry for its subject *and* still in the bucket
+matching its transmit count), with a periodic rebuild once stale entries
+accumulate.
 """
 
 from __future__ import annotations
 
 import math
 import warnings
-from typing import Callable, Dict, List, Optional
+from bisect import insort
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.swim import codec
 from repro.swim.messages import GossipMessage, gossip_subject
@@ -28,13 +38,22 @@ def retransmit_limit(retransmit_mult: int, n_members: int) -> int:
 
 
 class _QueuedBroadcast:
-    __slots__ = ("message", "payload", "transmits", "enqueued_seq")
+    __slots__ = ("message", "payload", "transmits", "enqueued_seq", "subject")
 
-    def __init__(self, message: GossipMessage, payload: bytes, seq: int) -> None:
+    def __init__(
+        self, message: GossipMessage, payload: bytes, seq: int, subject: str
+    ) -> None:
         self.message = message
         self.payload = payload
         self.transmits = 0
         self.enqueued_seq = seq
+        self.subject = subject
+
+
+#: Bucket item: ``(-enqueued_seq, entry)``. Sequence numbers are unique,
+#: so tuple comparison never reaches the (incomparable) entry, and
+#: ascending order within a bucket is newest-first.
+_BucketItem = Tuple[int, _QueuedBroadcast]
 
 
 class BroadcastQueue:
@@ -64,6 +83,8 @@ class BroadcastQueue:
         "_mult",
         "_n_members_fn",
         "_queue",
+        "_buckets",
+        "_stale",
         "_seq",
         "total_enqueued",
         "_max_payload",
@@ -81,6 +102,10 @@ class BroadcastQueue:
         self._mult = retransmit_mult
         self._n_members_fn = n_members_fn
         self._queue: Dict[str, _QueuedBroadcast] = {}
+        self._buckets: Dict[int, List[_BucketItem]] = {}
+        #: Bucket items whose entry was replaced or invalidated (lazily
+        #: dropped at selection time; triggers a rebuild when dominant).
+        self._stale = 0
         self._seq = 0
         #: Total broadcasts ever enqueued (telemetry).
         self.total_enqueued = 0
@@ -107,18 +132,27 @@ class BroadcastQueue:
         claim about the same member retired with it, since the new claim
         supersedes it and a stale claim must not keep circulating."""
         payload = codec.encode(message)
-        if self._drop_if_oversized(gossip_subject(message), payload):
+        subject = gossip_subject(message)
+        if self._drop_if_oversized(subject, payload):
             return
         self._seq += 1
         self.total_enqueued += 1
-        self._queue[gossip_subject(message)] = _QueuedBroadcast(
-            message, payload, self._seq
-        )
+        if subject in self._queue:
+            self._stale += 1
+        entry = _QueuedBroadcast(message, payload, self._seq, subject)
+        self._queue[subject] = entry
+        bucket = self._buckets.get(0)
+        if bucket is None:
+            self._buckets[0] = [(-self._seq, entry)]
+        else:
+            insort(bucket, (-self._seq, entry))
+        self._maybe_rebuild()
 
     def _drop_if_oversized(self, subject: str, payload: bytes) -> bool:
         if self._max_payload is None or len(payload) <= self._max_payload:
             return False
-        self._queue.pop(subject, None)
+        if self._queue.pop(subject, None) is not None:
+            self._stale += 1
         self.total_oversized += 1
         warnings.warn(
             f"dropping oversized broadcast about {subject!r}: "
@@ -132,7 +166,24 @@ class BroadcastQueue:
 
     def invalidate(self, member: str) -> None:
         """Drop any queued broadcast about ``member``."""
-        self._queue.pop(member, None)
+        if self._queue.pop(member, None) is not None:
+            self._stale += 1
+            self._maybe_rebuild()
+
+    def _maybe_rebuild(self) -> None:
+        if self._stale > 64 and self._stale > len(self._queue):
+            self._rebuild_buckets()
+
+    def _rebuild_buckets(self) -> None:
+        buckets: Dict[int, List[_BucketItem]] = {}
+        for entry in self._queue.values():
+            buckets.setdefault(entry.transmits, []).append(
+                (-entry.enqueued_seq, entry)
+            )
+        for bucket in buckets.values():
+            bucket.sort()
+        self._buckets = buckets
+        self._stale = 0
 
     def peek(self, member: str) -> Optional[GossipMessage]:
         """The queued claim about ``member``, if any (not a transmission)."""
@@ -155,30 +206,62 @@ class BroadcastQueue:
         ``per_payload_overhead`` framing bytes. Selected broadcasts get
         their transmit count bumped and are retired once they reach the
         retransmit limit.
+
+        Walks the transmit-count buckets in ascending order — the same
+        visit order as sorting everything by ``(transmits, -seq)``.
+        Selected entries move buckets only after the walk, so one call
+        never transmits the same broadcast twice; the walk stops early
+        once the remaining budget cannot fit even an empty payload
+        (skipped entries carry no state, so stopping is unobservable).
         """
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return []
         limit = self.current_limit()
-        # Few entries in practice; sorting per call is simpler than
-        # maintaining a priority structure under constant invalidation.
-        entries = sorted(
-            self._queue.values(), key=lambda e: (e.transmits, -e.enqueued_seq)
-        )
         selected: List[bytes] = []
         remaining = byte_budget
-        retired: List[str] = []
-        for entry in entries:
-            cost = len(entry.payload) + per_payload_overhead
-            if cost > remaining:
-                continue
-            remaining -= cost
-            selected.append(entry.payload)
-            entry.transmits += 1
-            if entry.transmits >= limit:
-                retired.append(gossip_subject(entry.message))
-        for member in retired:
-            self._queue.pop(member, None)
+        promoted: List[_BucketItem] = []
+        exhausted = remaining <= per_payload_overhead
+        for key in sorted(self._buckets):
+            bucket = self._buckets[key]
+            if exhausted:
+                break
+            kept: List[_BucketItem] = []
+            for index, item in enumerate(bucket):
+                entry = item[1]
+                if queue.get(entry.subject) is not entry or entry.transmits != key:
+                    self._stale -= 1
+                    continue
+                if exhausted:
+                    kept.extend(bucket[index:])
+                    break
+                cost = len(entry.payload) + per_payload_overhead
+                if cost > remaining:
+                    kept.append(item)
+                    continue
+                remaining -= cost
+                selected.append(entry.payload)
+                entry.transmits += 1
+                if entry.transmits >= limit:
+                    queue.pop(entry.subject, None)
+                else:
+                    promoted.append(item)
+                if remaining <= per_payload_overhead:
+                    exhausted = True
+            if kept:
+                self._buckets[key] = kept
+            else:
+                del self._buckets[key]
+        for item in promoted:
+            entry = item[1]
+            bucket = self._buckets.get(entry.transmits)
+            if bucket is None:
+                self._buckets[entry.transmits] = [item]
+            else:
+                insort(bucket, item)
         return selected
 
     def clear(self) -> None:
         self._queue.clear()
+        self._buckets.clear()
+        self._stale = 0

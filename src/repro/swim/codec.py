@@ -56,6 +56,40 @@ MAX_USER_PAYLOAD = 1024
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
+#: Fused incarnation + state tag of a push-pull state entry.
+_U64_U8 = struct.Struct(">QB")
+#: Fused incarnation + state tag + meta length (decode side).
+_U64_U8_U16 = struct.Struct(">QBH")
+#: Fused incarnation + state tag + meta length + age for the dominant
+#: empty-meta encode case (identical bytes to packing the four fields
+#: separately with a zero-length meta body).
+_U64_U8_U16_U32 = struct.Struct(">QBHI")
+
+# Pre-bound struct methods: the push-pull encode/decode loops run once
+# per state entry per sync round, where attribute lookups on the Struct
+# objects are measurable.
+_pack_u16 = _U16.pack
+_pack_u32 = _U32.pack
+_pack_u64 = _U64.pack
+_unpack_u16_from = _U16.unpack_from
+_unpack_u32_from = _U32.unpack_from
+_unpack_u64_from = _U64.unpack_from
+_unpack_u64_u8_from = _U64_U8.unpack_from
+_unpack_entry_head_from = _U64_U8_U16.unpack_from
+_pack_entry_tail = _U64_U8_U16_U32.pack
+
+# Member names and addresses recur across every push-pull snapshot and
+# gossip burst; decoding (and validating) the same short UTF-8 string
+# thousands of times per virtual second is pure waste. Keyed by the raw
+# bytes; values are the decoded strings (identical value, so behavior is
+# unchanged).
+_STR_CACHE: dict = {}
+_STR_CACHE_LIMIT = 4096
+
+#: Encode-side mirror of :data:`_STR_CACHE`: string -> its length-prefixed
+#: UTF-8 wire form. Strings longer than 255 encoded bytes are never
+#: cached (they raise instead).
+_STR_ENC_CACHE: dict = {}
 
 
 class CodecError(ValueError):
@@ -154,19 +188,63 @@ def _encode_into(message: Message, out: List[bytes]) -> None:
         out.append(bytes((flags,)))
         if len(message.states) > 0xFFFF:
             raise CodecError("too many states in push-pull")
-        out.append(_U16.pack(len(message.states)))
+        append = out.append
+        append(_pack_u16(len(message.states)))
+        pack_fixed = _U64_U8.pack
+        pack_tail = _pack_entry_tail
+        enc_cache = _STR_ENC_CACHE
         for entry in message.states:
             name, address, incarnation, state_value = entry[:4]
             meta = entry[4] if len(entry) > 4 else b""
             age_ms = entry[5] if len(entry) > 5 else 0
-            _put_str(out, name)
-            _put_str(out, address)
-            out.append(_U64.pack(incarnation))
-            out.append(bytes((state_value,)))
-            _put_bytes(out, meta, MAX_META_SIZE)
+            # Member names/addresses recur across every snapshot; cache
+            # their length-prefixed wire form keyed by the string itself.
+            prefixed = enc_cache.get(name)
+            if prefixed is None:
+                raw = name.encode("utf-8")
+                if len(raw) > 255:
+                    raise CodecError(
+                        f"string too long for wire format: {len(raw)} bytes"
+                    )
+                prefixed = bytes((len(raw),)) + raw
+                if len(enc_cache) >= _STR_CACHE_LIMIT:
+                    enc_cache.clear()
+                enc_cache[name] = prefixed
+            append(prefixed)
+            prefixed = enc_cache.get(address)
+            if prefixed is None:
+                raw = address.encode("utf-8")
+                if len(raw) > 255:
+                    raise CodecError(
+                        f"string too long for wire format: {len(raw)} bytes"
+                    )
+                prefixed = bytes((len(raw),)) + raw
+                if len(enc_cache) >= _STR_CACHE_LIMIT:
+                    enc_cache.clear()
+                enc_cache[address] = prefixed
+            append(prefixed)
             # State age in milliseconds, saturating at the u32 ceiling
             # (~49 days) so arbitrarily old entries still encode.
-            out.append(_U32.pack(min(max(int(age_ms), 0), 0xFFFFFFFF)))
+            if not meta:
+                # Dominant case: no application metadata. One fused pack
+                # for incarnation + state + metalen(0) + age.
+                append(
+                    pack_tail(
+                        incarnation,
+                        state_value,
+                        0,
+                        min(max(int(age_ms), 0), 0xFFFFFFFF),
+                    )
+                )
+                continue
+            append(pack_fixed(incarnation, state_value))
+            if len(meta) > MAX_META_SIZE:
+                raise CodecError(
+                    f"byte field too long: {len(meta)} > {MAX_META_SIZE}"
+                )
+            append(_pack_u16(len(meta)))
+            append(meta)
+            append(_pack_u32(min(max(int(age_ms), 0), 0xFFFFFFFF)))
     elif isinstance(message, Compound):
         out.append(bytes((T_COMPOUND,)))
         if len(message.parts) > 0xFFFF:
@@ -257,15 +335,72 @@ def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
         source, offset = _get_str(buf, offset)
         flags, offset = _get_u8(buf, offset)
         count, offset = _get_u16(buf, offset)
+        # Inlined per-entry loop: one sync round decodes hundreds of
+        # entries, so the per-field helper calls above are replaced with
+        # local bounds checks, fused struct reads and a string cache.
         states = []
+        append = states.append
+        buf_len = len(buf)
+        unpack_head = _unpack_entry_head_from
+        unpack_u32 = _unpack_u32_from
+        str_cache = _STR_CACHE
         for _ in range(count):
-            name, offset = _get_str(buf, offset)
-            address, offset = _get_str(buf, offset)
-            incarnation, offset = _get_u64(buf, offset)
-            state_value, offset = _get_u8(buf, offset)
-            meta, offset = _get_bytes(buf, offset)
-            age_ms, offset = _get_u32(buf, offset)
-            states.append((name, address, incarnation, state_value, meta, age_ms))
+            # Name (u8 length + UTF-8 body), unrolled.
+            if offset >= buf_len:
+                raise CodecError("truncated string length")
+            end = offset + 1 + buf[offset]
+            if end > buf_len:
+                raise CodecError("truncated string body")
+            raw = buf[offset + 1 : end]
+            name = str_cache.get(raw)
+            if name is None:
+                try:
+                    name = raw.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise CodecError(f"invalid UTF-8 in string: {exc}") from exc
+                if len(str_cache) >= _STR_CACHE_LIMIT:
+                    str_cache.clear()
+                str_cache[raw] = name
+            offset = end
+            # Address, same shape.
+            if offset >= buf_len:
+                raise CodecError("truncated string length")
+            end = offset + 1 + buf[offset]
+            if end > buf_len:
+                raise CodecError("truncated string body")
+            raw = buf[offset + 1 : end]
+            address = str_cache.get(raw)
+            if address is None:
+                try:
+                    address = raw.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise CodecError(f"invalid UTF-8 in string: {exc}") from exc
+                if len(str_cache) >= _STR_CACHE_LIMIT:
+                    str_cache.clear()
+                str_cache[raw] = address
+            offset = end
+            # Fused incarnation + state + meta length (11 bytes).
+            if offset + 11 > buf_len:
+                if offset + 8 > buf_len:
+                    raise CodecError("truncated u64")
+                if offset + 9 > buf_len:
+                    raise CodecError("truncated u8")
+                raise CodecError("truncated u16")
+            incarnation, state_value, meta_len = unpack_head(buf, offset)
+            offset += 11
+            if meta_len:
+                meta_end = offset + meta_len
+                if meta_end > buf_len:
+                    raise CodecError("truncated byte field")
+                meta = buf[offset:meta_end]
+                offset = meta_end
+            else:
+                meta = b""
+            if offset + 4 > buf_len:
+                raise CodecError("truncated u32")
+            age_ms = unpack_u32(buf, offset)[0]
+            offset += 4
+            append((name, address, incarnation, state_value, meta, age_ms))
         return (
             PushPull(source, tuple(states), bool(flags & 1), bool(flags & 2)),
             offset,
@@ -275,14 +410,25 @@ def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
         if count == 0:
             raise CodecError("empty compound")
         parts = []
+        buf_len = len(buf)
         for _ in range(count):
             length, offset = _get_u16(buf, offset)
             end = offset + length
-            if end > len(buf):
+            if end > buf_len:
                 raise CodecError("truncated compound part")
-            # Route each part through decode() so identical gossip
-            # payloads hit the decode cache.
-            parts.append(decode(buf[offset:end]))
+            if length <= _CACHEABLE_MAX_LEN:
+                # Route small parts through decode() so identical gossip
+                # payloads hit the decode cache.
+                parts.append(decode(buf[offset:end]))
+            else:
+                # Large parts (full push-pull snapshots): decode in
+                # place, no intermediate copy of the part bytes.
+                part, consumed = _decode_at(buf, offset)
+                if consumed != end:
+                    raise CodecError(
+                        f"{end - consumed} trailing bytes after message"
+                    )
+                parts.append(part)
             offset = end
         return Compound(tuple(parts)), offset
     raise CodecError(f"unknown message tag 0x{tag:02x}")

@@ -10,12 +10,32 @@ randomized order property across rounds.
 Dead members are retained for a configurable period so that anti-entropy
 sync can convey their state (a memberlist extension, Section III-B), then
 reclaimed lazily.
+
+Hot-path structure (multi-thousand-member clusters probe, gossip and sync
+every tick, so the table cannot afford per-call full scans):
+
+* per-state counts are maintained incrementally, so ``num_alive`` /
+  ``num_in_state`` / the ``reclaim_dead`` nothing-to-do fast path are O(1);
+* an *actives index* (non-local ALIVE/SUSPECT members in table-insertion
+  order) backs ``alive_members`` and ``random_members``, rebuilt lazily
+  after membership or state changes. Insertion order is preserved exactly
+  — the candidate list feeds ``rng.sample``, so any reordering would
+  change seeded runs;
+* ``snapshot()`` is cached under a version counter while no dead members
+  are retained. State-entry ages are only ever *consumed* by receivers
+  for DEAD/LEFT entries (to backdate retention windows), so serving a
+  stale age on an ALIVE/SUSPECT entry is behavior-neutral and
+  byte-identical on the wire (ages are fixed-width u32).
+
+Every mutation — including direct ``Member`` field writes by the owning
+node, which must route through :meth:`MemberMap.set_local_meta` /
+:meth:`MemberMap.bump_local_incarnation` — bumps the version counter that
+invalidates these caches.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.swim.state import MemberState, claim_supersedes
@@ -23,6 +43,12 @@ from repro.swim.state import MemberState, claim_supersedes
 #: Saturation bound for the age field carried in push-pull state entries
 #: (u32 milliseconds on the wire, ~49 days).
 MAX_STATE_AGE_MS = 0xFFFFFFFF
+
+#: Member state -> wire value, bypassing the IntEnum __int__ slow path on
+#: the snapshot hot loop.
+_STATE_WIRE = {state: int(state) for state in MemberState}
+#: Wire value -> member state (the reverse map, for the wire-merge path).
+_STATE_FROM_WIRE = {int(state): state for state in MemberState}
 
 #: ``MergeDecision.action`` values. The claim concerned the local member
 #: (never applied here; the node decides whether to refute).
@@ -38,7 +64,6 @@ MERGE_SUSPECT = "suspect"
 MERGE_IGNORED = "ignored"
 
 
-@dataclass(frozen=True)
 class MergeDecision:
     """Outcome of merging one remote claim into the member table.
 
@@ -47,7 +72,20 @@ class MergeDecision:
     effects (events, suspicion timers, rebroadcasts, refutations) so that
     gossip and anti-entropy sync share one precedence spine and cannot
     diverge.
+
+    A plain ``__slots__`` class rather than a dataclass: one decision is
+    built per push-pull state entry, which at sync scale makes
+    constructor overhead measurable.
     """
+
+    __slots__ = (
+        "name",
+        "state",
+        "incarnation",
+        "action",
+        "previous_state",
+        "meta_changed",
+    )
 
     name: str
     #: The *claimed* state (not necessarily the state now in the table —
@@ -57,9 +95,43 @@ class MergeDecision:
     incarnation: int
     action: str
     #: Table state before the merge; ``None`` when the member was unknown.
-    previous_state: Optional[MemberState] = None
+    previous_state: Optional[MemberState]
     #: Whether an applied ALIVE claim changed the member's metadata.
-    meta_changed: bool = False
+    meta_changed: bool
+
+    def __init__(
+        self,
+        name: str,
+        state: MemberState,
+        incarnation: int,
+        action: str,
+        previous_state: Optional[MemberState] = None,
+        meta_changed: bool = False,
+    ) -> None:
+        self.name = name
+        self.state = state
+        self.incarnation = incarnation
+        self.action = action
+        self.previous_state = previous_state
+        self.meta_changed = meta_changed
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MergeDecision):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.state == other.state
+            and self.incarnation == other.incarnation
+            and self.action == other.action
+            and self.previous_state == other.previous_state
+            and self.meta_changed == other.meta_changed
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MergeDecision({self.name!r}, {self.state.name}, "
+            f"inc={self.incarnation}, action={self.action!r})"
+        )
 
 
 class Member:
@@ -150,8 +222,24 @@ class MemberMap:
             local_name, local_address, 1, MemberState.ALIVE, 0.0
         )
         # Maintained incrementally: suspicion-timeout scaling consults the
-        # alive count on every new suspicion, which must not cost O(n).
-        self._alive_count = 1
+        # alive count on every new suspicion, gossip candidate selection
+        # needs the dead count, and neither may cost O(n).
+        self._state_counts: Dict[MemberState, int] = {
+            MemberState.ALIVE: 1,
+            MemberState.SUSPECT: 0,
+            MemberState.DEAD: 0,
+            MemberState.LEFT: 0,
+        }
+        # Bumped on every mutation that could change a snapshot or the
+        # candidate index; guards the caches below.
+        self._version = 0
+        # Non-local ALIVE/SUSPECT members in table-insertion order, or
+        # None when stale. Backs alive_members/random_members.
+        self._actives: Optional[List[Member]] = None
+        self._snapshot_cache: Optional[
+            Tuple[Tuple[str, str, int, int, bytes, int], ...]
+        ] = None
+        self._snapshot_version = -1
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -183,23 +271,87 @@ class MemberMap:
         return list(self._members.keys())
 
     def num_alive(self) -> int:
-        return self._alive_count
+        return self._state_counts[MemberState.ALIVE]
 
     def num_in_state(self, state: MemberState) -> int:
-        return sum(1 for m in self._members.values() if m.state is state)
+        return self._state_counts[state]
+
+    def _num_dead(self) -> int:
+        counts = self._state_counts
+        return counts[MemberState.DEAD] + counts[MemberState.LEFT]
+
+    def _active_index(self) -> List[Member]:
+        """Non-local ALIVE/SUSPECT members, in table-insertion order.
+
+        Lazily rebuilt after membership or state changes. Order matters:
+        callers feed slices of this into ``rng.sample``, so it must match
+        what a fresh scan of ``self._members.values()`` would produce.
+        """
+        actives = self._actives
+        if actives is None:
+            local_name = self._local_name
+            actives = self._actives = [
+                m
+                for m in self._members.values()
+                if m.name != local_name
+                and (m.state is MemberState.ALIVE or m.state is MemberState.SUSPECT)
+            ]
+        return actives
 
     def alive_members(self, include_local: bool = False) -> List[Member]:
-        return [
-            m
-            for m in self._members.values()
-            if m.is_alive and (include_local or m.name != self._local_name)
-        ]
+        result = [m for m in self._active_index() if m.state is MemberState.ALIVE]
+        local = self.local
+        if include_local and local.is_alive:
+            # The local member is inserted first and never removed, so a
+            # full scan would have yielded it at position 0.
+            result.insert(0, local)
+        return result
 
     def snapshot(
         self, now: float = 0.0
     ) -> Tuple[Tuple[str, str, int, int, bytes, int], ...]:
-        """Full state for a push-pull sync."""
-        return tuple(m.snapshot(now) for m in self._members.values())
+        """Full state for a push-pull sync.
+
+        Cached under the table version while no dead members are
+        retained: receivers only consume the age field of DEAD/LEFT
+        entries (to backdate retention windows), so re-serving stale ages
+        on ALIVE/SUSPECT entries changes neither behavior nor wire size
+        (ages are fixed-width u32). With dead members present, ages are
+        live data and the snapshot is rebuilt per call.
+        """
+        if self._num_dead() == 0:
+            if (
+                self._snapshot_cache is not None
+                and self._snapshot_version == self._version
+            ):
+                return self._snapshot_cache
+            snap = self._build_snapshot(now)
+            self._snapshot_cache = snap
+            self._snapshot_version = self._version
+            return snap
+        return self._build_snapshot(now)
+
+    def _build_snapshot(
+        self, now: float
+    ) -> Tuple[Tuple[str, str, int, int, bytes, int], ...]:
+        # Inlined Member.snapshot: entry construction dominates sync-heavy
+        # profiles, and the method-call + IntEnum.__int__ overhead per
+        # member is measurable at n=4096.
+        wire = _STATE_WIRE
+        max_age = MAX_STATE_AGE_MS
+        return tuple(
+            (
+                m.name,
+                m.address,
+                m.incarnation,
+                wire[m.state],
+                m.meta,
+                min(int((now - m.state_changed_at) * 1000.0), max_age)
+                if now > m.state_changed_at
+                else 0,
+            )
+            for m in self._members.values()
+        )
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -223,8 +375,9 @@ class MemberMap:
             raise ValueError(f"member {name!r} already known")
         member = Member(name, address, incarnation, state, now, meta)
         self._members[name] = member
-        if member.is_alive:
-            self._alive_count += 1
+        self._state_counts[state] += 1
+        self._version += 1
+        self._actives = None
         if name != self._local_name:
             offset = self._rng.randint(0, len(self._probe_order))
             self._probe_order.insert(offset, name)
@@ -249,12 +402,13 @@ class MemberMap:
         changed = member.state is not state or member.incarnation != incarnation
         if member.state is not state:
             member.state_changed_at = now
-            if member.state is MemberState.ALIVE:
-                self._alive_count -= 1
-            elif state is MemberState.ALIVE:
-                self._alive_count += 1
+            self._state_counts[member.state] -= 1
+            self._state_counts[state] += 1
+            self._actives = None
         member.state = state
         member.incarnation = incarnation
+        if changed:
+            self._version += 1
         return changed
 
     def merge_claim(
@@ -299,11 +453,13 @@ class MemberMap:
         self.apply_claim(name, state, incarnation, now)
         meta_changed = False
         if state is MemberState.ALIVE:
-            if address is not None:
+            if address is not None and member.address != address:
                 member.address = address
-            if meta is not None:
-                meta_changed = member.meta != meta
+                self._version += 1
+            if meta is not None and member.meta != meta:
+                meta_changed = True
                 member.meta = meta
+                self._version += 1
         elif member.is_dead and age > 0.0:
             member.state_changed_at = min(member.state_changed_at, now - age)
         return MergeDecision(
@@ -327,24 +483,43 @@ class MemberMap:
         gossip uses — timers, confirmations and all.
         """
         decisions: List[MergeDecision] = []
+        append = decisions.append
+        members = self._members
+        local_name = self._local_name
+        alive = MemberState.ALIVE
+        suspect = MemberState.SUSPECT
         for name, address, incarnation, state, age, meta in entries:
-            if state is MemberState.SUSPECT and name != self._local_name:
-                member = self._members.get(name)
-                if member is None:
-                    self.add(
-                        name, address, incarnation, MemberState.ALIVE, now, meta
-                    )
-                    decisions.append(
-                        MergeDecision(name, state, incarnation, MERGE_SUSPECT)
-                    )
-                else:
-                    decisions.append(
+            if name != local_name:
+                member = members.get(name)
+                # Fast path for the overwhelmingly common steady-state
+                # entry: an ALIVE claim about a known member at an
+                # incarnation we already have. For ALIVE claims the full
+                # precedence rules reduce to "supersedes iff strictly
+                # newer incarnation", so this is exactly merge_claim's
+                # MERGE_IGNORED outcome without the call chain.
+                if (
+                    state is alive
+                    and member is not None
+                    and incarnation <= member.incarnation
+                ):
+                    append(
                         MergeDecision(
-                            name, state, incarnation, MERGE_SUSPECT, member.state
+                            name, state, incarnation, MERGE_IGNORED, member.state
                         )
                     )
-                continue
-            decisions.append(
+                    continue
+                if state is suspect:
+                    if member is None:
+                        self.add(name, address, incarnation, alive, now, meta)
+                        append(MergeDecision(name, state, incarnation, MERGE_SUSPECT))
+                    else:
+                        append(
+                            MergeDecision(
+                                name, state, incarnation, MERGE_SUSPECT, member.state
+                            )
+                        )
+                    continue
+            append(
                 self.merge_claim(
                     name,
                     state,
@@ -357,33 +532,120 @@ class MemberMap:
             )
         return decisions
 
+    def merge_remote_wire_state(
+        self,
+        states: Iterable[tuple],
+        now: float,
+    ) -> Tuple[List[MergeDecision], int]:
+        """Merge raw push-pull wire entries; the sync-engine hot path.
+
+        Semantically :meth:`merge_remote_state` applied to
+        ``PushPull.iter_entries()``, with two allocations fused away per
+        entry: the wire tuple is consumed directly (no intermediate
+        rich-entry tuple, no ``age_ms -> seconds`` conversion unless the
+        claim actually reaches :meth:`merge_claim`), and ``MERGE_IGNORED``
+        outcomes — the overwhelming steady-state majority, and a
+        guaranteed no-op for every caller — produce no decision object at
+        all. Returns ``(decisions, total_entries)`` where ``decisions``
+        holds only the non-ignored outcomes.
+        """
+        decisions: List[MergeDecision] = []
+        append = decisions.append
+        members = self._members
+        local_name = self._local_name
+        alive = MemberState.ALIVE
+        suspect = MemberState.SUSPECT
+        from_wire = _STATE_FROM_WIRE
+        total = 0
+        for entry in states:
+            total += 1
+            try:
+                name, address, incarnation, state_value, meta, age_ms = entry
+            except ValueError:
+                # Hand-built short entries (meta/age optional).
+                name, address, incarnation, state_value = entry[:4]
+                meta = entry[4] if len(entry) > 4 else b""
+                age_ms = entry[5] if len(entry) > 5 else 0
+            state = from_wire.get(state_value)
+            if state is None:
+                # Same ValueError iter_entries would have raised.
+                state = MemberState(state_value)
+            if name != local_name:
+                member = members.get(name)
+                if (
+                    state is alive
+                    and member is not None
+                    and incarnation <= member.incarnation
+                ):
+                    continue
+                if state is suspect:
+                    if member is None:
+                        self.add(name, address, incarnation, alive, now, meta)
+                        append(MergeDecision(name, state, incarnation, MERGE_SUSPECT))
+                    else:
+                        append(
+                            MergeDecision(
+                                name, state, incarnation, MERGE_SUSPECT, member.state
+                            )
+                        )
+                    continue
+            decision = self.merge_claim(
+                name,
+                state,
+                incarnation,
+                now,
+                address=address,
+                meta=meta,
+                age=age_ms / 1000.0,
+            )
+            if decision.action != MERGE_IGNORED:
+                append(decision)
+        return decisions, total
+
     def bump_local_incarnation(self, at_least: int) -> int:
         """Refutation: raise the local incarnation above ``at_least``."""
         local = self.local
         local.incarnation = max(local.incarnation, at_least) + 1
+        self._version += 1
         return local.incarnation
+
+    def set_local_meta(self, meta: bytes) -> None:
+        """Update the local member's application metadata.
+
+        The owning node must route metadata writes through here (not
+        mutate ``local.meta`` directly) so the snapshot cache notices.
+        """
+        self.local.meta = meta
+        self._version += 1
 
     def reclaim_dead(self, now: float, retention: float) -> List[str]:
         """Remove dead/left members whose retention window has expired.
 
         Returns the reclaimed names. Retention exists so anti-entropy can
-        still convey their state for a while (Section III-B).
+        still convey their state for a while (Section III-B). Runs every
+        probe tick, so the nobody-is-dead case must be O(1).
         """
+        if self._num_dead() == 0:
+            return []
         expired = [
             m.name
             for m in self._members.values()
             if m.is_dead and now - m.state_changed_at >= retention
         ]
+        if not expired:
+            return expired
         for name in expired:
-            del self._members[name]
-        if expired:
-            gone = set(expired)
-            kept = [n for n in self._probe_order if n not in gone]
-            removed_before = sum(
-                1 for n in self._probe_order[: self._probe_index] if n in gone
-            )
-            self._probe_order = kept
-            self._probe_index = max(0, self._probe_index - removed_before)
+            member = self._members.pop(name)
+            self._state_counts[member.state] -= 1
+        self._version += 1
+        self._actives = None
+        gone = set(expired)
+        kept = [n for n in self._probe_order if n not in gone]
+        removed_before = sum(
+            1 for n in self._probe_order[: self._probe_index] if n in gone
+        )
+        self._probe_order = kept
+        self._probe_index = max(0, self._probe_index - removed_before)
         return expired
 
     # ------------------------------------------------------------------ #
@@ -428,22 +690,41 @@ class MemberMap:
         (memberlist gossips to the dead for a grace period so false
         positives recover faster).
         """
-        excluded = set(exclude)
-        excluded.add(self._local_name)
-        candidates = []
-        for member in self._members.values():
-            if member.name in excluded:
-                continue
-            if member.is_alive:
-                candidates.append(member)
-            elif member.is_suspect and include_suspect:
-                candidates.append(member)
-            elif (
-                member.is_dead
-                and gossip_to_dead_within is not None
-                and now - member.state_changed_at <= gossip_to_dead_within
-            ):
-                candidates.append(member)
+        if gossip_to_dead_within is not None and self._num_dead() > 0:
+            # Slow path: recently-dead members are candidates, and their
+            # eligibility depends on `now`, so scan the full table.
+            excluded = set(exclude)
+            excluded.add(self._local_name)
+            candidates = []
+            for member in self._members.values():
+                if member.name in excluded:
+                    continue
+                if member.is_alive:
+                    candidates.append(member)
+                elif member.is_suspect and include_suspect:
+                    candidates.append(member)
+                elif (
+                    member.is_dead
+                    and now - member.state_changed_at <= gossip_to_dead_within
+                ):
+                    candidates.append(member)
+        else:
+            actives = self._active_index()
+            alive = MemberState.ALIVE
+            if exclude:
+                excluded = set(exclude)
+                if include_suspect:
+                    candidates = [m for m in actives if m.name not in excluded]
+                else:
+                    candidates = [
+                        m
+                        for m in actives
+                        if m.state is alive and m.name not in excluded
+                    ]
+            elif include_suspect:
+                candidates = list(actives)
+            else:
+                candidates = [m for m in actives if m.state is alive]
         if count >= len(candidates):
             return candidates
         return self._rng.sample(candidates, count)

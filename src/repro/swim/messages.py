@@ -19,6 +19,10 @@ from typing import Iterator, List, Tuple, Union
 
 from repro.swim.state import MemberState
 
+#: Wire value -> member state, bypassing the enum constructor on the
+#: push-pull decode path (see :meth:`PushPull.iter_entries`).
+_STATE_BY_VALUE = {int(state): state for state in MemberState}
+
 
 @dataclass(frozen=True)
 class Ping:
@@ -158,15 +162,22 @@ class PushPull:
         This is the shape :meth:`repro.swim.member_map.MemberMap.
         merge_remote_state` consumes.
         """
+        # Dict lookup instead of the enum constructor: MemberState(v)
+        # walks the enum's value map under a lock and shows up in sync
+        # profiles; raises the same ValueError for unknown values.
+        by_value = _STATE_BY_VALUE
         for entry in self.states:
             name, address, incarnation, state_value = entry[:4]
             meta = entry[4] if len(entry) > 4 else b""
             age_ms = entry[5] if len(entry) > 5 else 0
+            state = by_value.get(state_value)
+            if state is None:
+                state = MemberState(state_value)
             yield (
                 name,
                 address,
                 incarnation,
-                MemberState(state_value),
+                state,
                 age_ms / 1000.0,
                 meta,
             )

@@ -169,7 +169,7 @@ class SwimNode:
 
         self.telemetry = Telemetry()
         self._members = MemberMap(name, transport.local_address, self._rng)
-        self._members.local.meta = meta
+        self._members.set_local_meta(meta)
         # The largest broadcast any packet can carry: the dedicated gossip
         # tick's budget minus one part's framing. Anything bigger would be
         # skipped on every packet yet never retired, pinning the queue.
@@ -234,7 +234,10 @@ class SwimNode:
         self._reconnect_timer: Optional[TimerHandle] = None
         self._leaving = False
         self._paused = False
-        self._deferred_ticks: set = set()
+        # Dict-as-ordered-set: deferred ticks must replay in the order
+        # they were deferred, independent of string hashing, or seeded
+        # runs diverge across interpreter invocations (PYTHONHASHSEED).
+        self._deferred_ticks: Dict[str, None] = {}
         self._overlay_neighbors: Optional[List[str]] = None
 
     # ------------------------------------------------------------------ #
@@ -287,8 +290,8 @@ class SwimNode:
         old one everywhere (memberlist's UpdateNode).
         """
         local = self._members.local
-        local.meta = meta
-        local.incarnation += 1
+        self._members.set_local_meta(meta)
+        self._members.bump_local_incarnation(local.incarnation)
         self._broadcasts.enqueue(
             Alive(local.incarnation, self.name, local.address, meta)
         )
@@ -497,7 +500,7 @@ class SwimNode:
         if paused or not self._running:
             return
         now = self._clock()
-        deferred, self._deferred_ticks = self._deferred_ticks, set()
+        deferred, self._deferred_ticks = self._deferred_ticks, {}
         tick_fns = {
             "probe": self._probe_tick,
             "gossip": self._gossip_tick,
@@ -513,7 +516,7 @@ class SwimNode:
 
     def _defer_if_paused(self, tick_name: str) -> bool:
         if self._paused:
-            self._deferred_ticks.add(tick_name)
+            self._deferred_ticks[tick_name] = None
             return True
         return False
 

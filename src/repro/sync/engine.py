@@ -15,7 +15,7 @@ construction.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.metrics.telemetry import Telemetry
 from repro.swim.member_map import MemberMap, MergeDecision
@@ -129,15 +129,20 @@ class SyncEngine:
     def merge(self, message: PushPull) -> int:
         """Merge a full remote snapshot; returns changes applied."""
         now = self._clock()
-        decisions: List[MergeDecision] = self._members.merge_remote_state(
-            message.iter_entries(), now
+        # The wire-merge path consumes raw state entries and returns only
+        # non-ignored decisions (MERGE_IGNORED is a guaranteed no-op in
+        # the applier, and at sync scale nearly every steady-state entry
+        # is ignored).
+        decisions, total = self._members.merge_remote_wire_state(
+            message.states, now
         )
         changes = 0
+        source = message.source
         for decision in decisions:
-            if self._apply(decision, message.source):
+            if self._apply(decision, source):
                 changes += 1
         self._telemetry.sync_merges += 1
-        self._telemetry.sync_entries_merged += len(decisions)
+        self._telemetry.sync_entries_merged += total
         self._telemetry.sync_changes_applied += changes
         if self.on_merge is not None:
             self.on_merge(changes)

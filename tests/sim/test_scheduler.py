@@ -144,6 +144,64 @@ class TestCancellation:
         first.cancel()
         assert scheduler.next_event_time() == 2.0
 
+    def test_len_is_constant_time(self):
+        # len() must come from the maintained counter, not a heap scan.
+        scheduler = EventScheduler()
+        handles = [scheduler.call_at(float(i), lambda: None) for i in range(100)]
+        for handle in handles[:40]:
+            handle.cancel()
+        assert len(scheduler) == 60
+        scheduler._heap.clear()  # a scan would now report 0
+        scheduler._cancelled = 0
+        assert len(scheduler) == 0
+
+    def test_cancel_after_run_does_not_skew_len(self):
+        scheduler = EventScheduler()
+        executed = scheduler.call_at(1.0, lambda: None)
+        scheduler.run_until(2.0)
+        scheduler.call_at(5.0, lambda: None)
+        executed.cancel()  # already left the heap; must not count
+        assert len(scheduler) == 1
+
+    def test_compaction_drops_cancelled_entries(self):
+        scheduler = EventScheduler()
+        live = [scheduler.call_at(1000.0 + i, lambda: None) for i in range(10)]
+        doomed = [scheduler.call_at(float(i), lambda: None) for i in range(2000)]
+        for handle in doomed:
+            handle.cancel()
+        assert scheduler.compactions >= 1
+        assert len(scheduler._heap) < 2010
+        assert len(scheduler) == len(live) == 10
+
+    def test_order_preserved_across_compaction(self):
+        scheduler = EventScheduler()
+        seen = []
+        for i in range(50):
+            scheduler.call_at(float(i), lambda i=i: seen.append(i))
+        doomed = [scheduler.call_at(60.0 + i, lambda: None) for i in range(2000)]
+        for handle in doomed:
+            handle.cancel()
+        scheduler.run_until(100.0)
+        assert seen == list(range(50))
+
+    def test_cancel_during_run_compacts_safely(self):
+        # A callback that triggers compaction mid-run_until must not
+        # derail the loop (run_until holds an alias to the heap list).
+        scheduler = EventScheduler()
+        doomed = [scheduler.call_at(50.0 + i, lambda: None) for i in range(1500)]
+        seen = []
+
+        def cancel_all():
+            for handle in doomed:
+                handle.cancel()
+
+        scheduler.call_at(1.0, cancel_all)
+        scheduler.call_at(2.0, lambda: seen.append("after"))
+        scheduler.run_until(3.0)
+        assert scheduler.compactions >= 1
+        assert seen == ["after"]
+        assert len(scheduler) == 0
+
 
 class TestStepAndDrain:
     def test_step_runs_one(self):

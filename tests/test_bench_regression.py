@@ -10,7 +10,7 @@ from benchmarks.regression import (
 )
 
 
-def write_results(tmp_path, *, p50=12.5, rate=2.8):
+def write_results(tmp_path, *, p50=12.5, rate=2.8, throughput=25000.0):
     (tmp_path / "table5_latency.json").write_text(
         json.dumps(
             {
@@ -36,6 +36,18 @@ def write_results(tmp_path, *, p50=12.5, rate=2.8):
             }
         )
     )
+    (tmp_path / "scale_throughput.json").write_text(
+        json.dumps(
+            {
+                "seed": 1,
+                "reps": 1,
+                "rows": [
+                    {"n_members": 256, "events_per_sec": throughput * 2.5},
+                    {"n_members": 1024, "events_per_sec": throughput},
+                ],
+            }
+        )
+    )
     (tmp_path / "ops_overhead.json").write_text(
         json.dumps({"hook_overhead": 0.01, "scrape_overhead": 3.2})
     )
@@ -52,6 +64,8 @@ class TestCollect:
         # Non-gated configurations are not collected.
         assert "LHA-Probe" not in metrics["detection_latency_p50"]
         assert metrics["msgs_per_member_per_sec"]["SWIM"] == 2.8
+        assert metrics["events_per_sec"]["n1024"] == 25000.0
+        assert metrics["events_per_sec"]["n256"] == 62500.0
         assert document["ops_overhead"]["hook_overhead"] == 0.01
 
     def test_collect_cli_fails_without_data(self, tmp_path, capsys):
@@ -89,13 +103,14 @@ class TestCollect:
         assert document["metrics"]["detection_latency_p50"]
 
 
-def doc(p50_swim=12.5, rate_swim=2.8, sha="base"):
+def doc(p50_swim=12.5, rate_swim=2.8, throughput=25000.0, sha="base"):
     return {
         "schema": SCHEMA,
         "sha": sha,
         "metrics": {
             "detection_latency_p50": {"SWIM": p50_swim},
             "msgs_per_member_per_sec": {"SWIM": rate_swim},
+            "events_per_sec": {"n1024": throughput},
         },
     }
 
@@ -120,7 +135,20 @@ class TestCompare:
 
     def test_improvement_never_gates(self):
         _, regressions = compare_documents(
-            doc(), doc(p50_swim=6.0, rate_swim=1.0)
+            doc(), doc(p50_swim=6.0, rate_swim=1.0, throughput=90000.0)
+        )
+        assert regressions == []
+
+    def test_throughput_drop_fails(self):
+        lines, regressions = compare_documents(
+            doc(), doc(throughput=25000.0 * 0.8)
+        )
+        assert regressions == ["events_per_sec[n1024]"]
+        assert any("dropped" in line for line in lines)
+
+    def test_throughput_drop_within_threshold_passes(self):
+        _, regressions = compare_documents(
+            doc(), doc(throughput=25000.0 * 0.86)
         )
         assert regressions == []
 
@@ -171,7 +199,11 @@ class TestCompareCli:
         )
         document = json.loads(baseline_path.read_text())
         assert document["schema"] == SCHEMA
-        for metric in ("detection_latency_p50", "msgs_per_member_per_sec"):
+        for metric in (
+            "detection_latency_p50",
+            "msgs_per_member_per_sec",
+            "events_per_sec",
+        ):
             assert document["metrics"][metric], metric
         # Comparing the baseline against itself is, definitionally, clean.
         _, regressions = compare_documents(document, document)
