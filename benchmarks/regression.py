@@ -5,8 +5,8 @@ Two subcommands, stdlib only (CI runs this between pytest steps):
 ``collect --sha <sha>``
     Reads the raw JSON the pinned benchmark subset just published under
     ``benchmarks/results/`` (``table5_latency``, ``table6_message_load``,
-    ``scale_throughput``, ``ops_overhead``), distils the gated metrics
-    and writes ``BENCH_<sha>.json``.
+    ``scale_throughput``, ``probe_strategies``, ``ops_overhead``),
+    distils the gated metrics and writes ``BENCH_<sha>.json``.
 
 ``compare --baseline benchmarks/baseline.json --current BENCH_<sha>.json``
     Fails (exit 1) when a *gated* metric regressed by more than the
@@ -17,6 +17,9 @@ Two subcommands, stdlib only (CI runs this between pytest steps):
       (seconds) for SWIM and Lifeguard; higher is worse.
     * ``msgs_per_member_per_sec`` — message load normalized by
       member-seconds, per configuration; higher is worse.
+    * ``scheduler_detection_latency_p50`` — median first-detection
+      latency (seconds) per probe-scheduling strategy from
+      ``bench_probe_strategies``; higher is worse.
     * ``events_per_sec`` — simulator throughput per cluster size from
       ``bench_scale``; **lower** is worse (a drop past the threshold
       fails the build).
@@ -73,6 +76,7 @@ def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
     metrics: Dict[str, Dict[str, float]] = {
         "detection_latency_p50": {},
         "msgs_per_member_per_sec": {},
+        "scheduler_detection_latency_p50": {},
         "events_per_sec": {},
     }
 
@@ -95,6 +99,14 @@ def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
             rate = row.get("msgs_per_member_per_sec")
             if rate:
                 metrics["msgs_per_member_per_sec"][configuration] = rate
+
+    strategies = _load_result("probe_strategies", results_dir)
+    if strategies is not None:
+        for outcome in strategies.get("outcomes", []):
+            strategy = outcome.get("strategy")
+            p50 = outcome.get("detection", {}).get("50.0")
+            if strategy is not None and p50 is not None:
+                metrics["scheduler_detection_latency_p50"][strategy] = p50
 
     scale = _load_result("scale_throughput", results_dir)
     if scale is not None:

@@ -296,7 +296,12 @@ def run_scenario(
     """
     spec.validate()
     started = time.monotonic()
-    config = make_config(spec.configuration, alpha=spec.alpha, beta=spec.beta)
+    config = make_config(
+        spec.configuration,
+        alpha=spec.alpha,
+        beta=spec.beta,
+        probe_scheduler=spec.scheduler,
+    )
     if not spec.sync:
         # Gossip-only regime: no push-pull rounds, no reconnect offers.
         config = config.replace(push_pull_interval=0.0, reconnect_interval=0.0)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from random import Random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.config import PROBE_SCHEDULER_NAMES
 from repro.sim.runtime import default_member_names
 
 SCENARIO_SCHEMA = "repro-check-scenario/v1"
@@ -119,10 +120,16 @@ class ScenarioSpec:
     #: sync off, convergence rests on gossip alone, which is exactly the
     #: coverage the pre-sync fuzzer provided.
     sync: bool = True
+    #: Probe-target scheduling strategy every member runs (see
+    #: :mod:`repro.swim.probe_scheduler`). The invariant oracles are
+    #: strategy-agnostic and must hold for every value.
+    scheduler: str = "round-robin"
 
     def validate(self) -> None:
         if self.n_members < 2:
             raise ValueError("need at least 2 members")
+        if self.scheduler not in PROBE_SCHEDULER_NAMES:
+            raise ValueError(f"unknown probe scheduler {self.scheduler!r}")
         if self.horizon <= 0 or self.settle < 0:
             raise ValueError("horizon must be > 0 and settle >= 0")
         if not 0.0 <= self.loss_rate < 1.0:
@@ -162,6 +169,7 @@ class ScenarioSpec:
             "settle": self.settle,
             "loss_rate": self.loss_rate,
             "sync": self.sync,
+            "scheduler": self.scheduler,
             "faults": [entry.as_dict() for entry in self.faults],
         }
 
@@ -180,6 +188,7 @@ class ScenarioSpec:
             settle=float(data.get("settle", 150.0)),
             loss_rate=float(data.get("loss_rate", 0.0)),
             sync=bool(data.get("sync", True)),
+            scheduler=data.get("scheduler", "round-robin"),
             faults=tuple(
                 FaultEntry.from_dict(entry) for entry in data.get("faults", ())
             ),
@@ -232,6 +241,10 @@ class GeneratorParams:
     #: At most this fraction of the initial group may crash/flap/leave
     #: (keeps a stable core so convergence remains well-defined).
     max_churn_fraction: float = 0.34
+    #: Probe-scheduling strategies the sweep may assign (uniformly). The
+    #: single-entry default keeps historical seeds byte-identical; pass
+    #: several (or one non-default) to fuzz the other strategies.
+    schedulers: Tuple[str, ...] = ("round-robin",)
 
     def validate(self) -> None:
         if not 2 <= self.min_members <= self.max_members:
@@ -246,6 +259,11 @@ class GeneratorParams:
             raise ValueError("need at least one positive weight")
         if not 0.0 <= self.sync_off_fraction <= 1.0:
             raise ValueError("sync_off_fraction must be in [0, 1]")
+        if not self.schedulers:
+            raise ValueError("need at least one probe scheduler")
+        for name in self.schedulers:
+            if name not in PROBE_SCHEDULER_NAMES:
+                raise ValueError(f"unknown probe scheduler {name!r}")
 
 
 def _weighted_choice(rng: Random, weights: Sequence[Tuple[str, float]]) -> str:
@@ -326,6 +344,12 @@ def generate_scenario(
     # Drawn last so adding this knob left every pre-existing seed's fault
     # schedule byte-for-byte unchanged.
     sync = rng.random() >= params.sync_off_fraction
+    # Same discipline as `sync`, one knob later: with the single-entry
+    # default no RNG is consumed, so historical seeds stay untouched.
+    if len(params.schedulers) == 1:
+        scheduler = params.schedulers[0]
+    else:
+        scheduler = params.schedulers[rng.randrange(len(params.schedulers))]
 
     spec = ScenarioSpec(
         seed=seed,
@@ -335,6 +359,7 @@ def generate_scenario(
         settle=params.settle,
         faults=tuple(faults),
         sync=sync,
+        scheduler=scheduler,
     )
     spec.validate()
     return spec

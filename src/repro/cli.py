@@ -27,8 +27,13 @@ import urllib.error
 import urllib.request
 from typing import List, Optional
 
+from repro.config import PROBE_SCHEDULER_NAMES
 from repro.harness.configurations import CONFIGURATION_NAMES
 from repro.harness.interval import IntervalParams, run_interval
+from repro.harness.schedulers import (
+    SchedulerComparisonParams,
+    run_scheduler_comparison,
+)
 from repro.harness.stress import StressParams, run_stress
 from repro.harness.threshold import ThresholdParams, run_threshold
 from repro.metrics.analysis import percentile_summary
@@ -107,6 +112,26 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-i", "--interval", type=float, default=0.001)
     compare.add_argument("-t", "--test-time", type=float, default=120.0)
 
+    schedulers = sub.add_parser(
+        "schedulers",
+        help="compare probe-scheduling strategies (latency + false positives)",
+    )
+    _add_common(schedulers)
+    schedulers.add_argument("-c", "--concurrent", type=int, default=4,
+                            help="concurrent anomalies (default: 4)")
+    schedulers.add_argument("-d", "--duration", type=float, default=16.384,
+                            help="Threshold anomaly duration, seconds "
+                                 "(default: 16.384)")
+    schedulers.add_argument("-r", "--reps", type=int, default=3,
+                            help="paired repetitions per strategy (default: 3)")
+    schedulers.add_argument("-t", "--test-time", type=float, default=120.0,
+                            help="minimum Interval (false-positive) test "
+                                 "time, seconds (default: 120)")
+    schedulers.add_argument("--strategies", nargs="+",
+                            choices=PROBE_SCHEDULER_NAMES,
+                            default=list(PROBE_SCHEDULER_NAMES),
+                            help="strategies to compare (default: all)")
+
     check = sub.add_parser(
         "check",
         help="fuzz the protocol against the invariant oracles (repro.check)",
@@ -137,6 +162,9 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (default: 1; "
                             "results are deterministic regardless)")
+    check.add_argument("--scheduler", choices=PROBE_SCHEDULER_NAMES,
+                       help="fuzz with this probe-scheduling strategy on "
+                            "every generated scenario (default: round-robin)")
     check.add_argument("--profile", metavar="PSTATS_OUT",
                        help="run under cProfile and write pstats data "
                             "to this path (summary on stderr)")
@@ -273,6 +301,47 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedulers(args: argparse.Namespace) -> int:
+    result = run_scheduler_comparison(
+        SchedulerComparisonParams(
+            configuration=args.config,
+            n_members=args.members,
+            concurrent=args.concurrent,
+            duration=args.duration,
+            fp_test_time=args.test_time,
+            alpha=args.alpha,
+            beta=args.beta,
+            reps=args.reps,
+            seed=args.seed,
+            schedulers=tuple(args.strategies),
+        )
+    )
+    if args.json:
+        return _emit_json("scheduler-comparison", result.as_dict())
+    print(
+        f"Strategy comparison: {args.config} n={args.members} "
+        f"C={args.concurrent} D={args.duration}s reps={args.reps} "
+        f"(alpha={args.alpha}, beta={args.beta})"
+    )
+    print(
+        f"{'strategy':12s} {'detect p50':>11s} {'p99':>8s} {'undet':>6s} "
+        f"{'FP':>5s} {'FP-':>5s} {'msgs':>9s}"
+    )
+    for outcome in result.outcomes:
+        summary = outcome.detection_summary
+
+        def fmt(value):
+            return f"{value:.2f}s" if value is not None else "n/a"
+
+        print(
+            f"{outcome.strategy:12s} {fmt(summary.get(50.0)):>11s} "
+            f"{fmt(summary.get(99.0)):>8s} {outcome.undetected:6d} "
+            f"{outcome.fp_events:5d} {outcome.fp_healthy_events:5d} "
+            f"{outcome.msgs_sent:9d}"
+        )
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import os
 
@@ -298,6 +367,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 print(f"  {violation}")
         return 0 if result.ok else 1
 
+    params = None
+    if args.scheduler:
+        from repro.check.scenarios import GeneratorParams
+
+        params = GeneratorParams(schedulers=(args.scheduler,))
+
     registry = MetricsRegistry()
     progress = None
     if not args.json:
@@ -308,6 +383,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     sweep = run_partitioned_sweep(
         args.seeds,
         args.partitions,
+        params=params,
         start_seed=args.start_seed,
         stride=args.stride,
         shrink=not args.no_shrink,
@@ -409,6 +485,7 @@ _COMMANDS = {
     "interval": _cmd_interval,
     "stress": _cmd_stress,
     "compare": _cmd_compare,
+    "schedulers": _cmd_schedulers,
     "check": _cmd_check,
     "watch": _cmd_watch,
 }

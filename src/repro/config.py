@@ -29,6 +29,12 @@ from repro.core.suspicion import (
     SWIM_SUSPICION_BETA,
 )
 
+#: Selectable probe-target scheduling strategies (see
+#: :mod:`repro.swim.probe_scheduler` and docs/PROBE_SCHEDULING.md). Kept
+#: here rather than imported: config must stay import-light, and a test
+#: pins this tuple against the scheduler registry's keys.
+PROBE_SCHEDULER_NAMES = ("round-robin", "likelihood", "lhm-rtt")
+
 
 @dataclass(frozen=True)
 class LifeguardFlags:
@@ -85,6 +91,12 @@ class SwimConfig:
     #: Small by design: the stage-2 delay must leave ping-req helpers
     #: enough of the protocol period to return acks/nacks.
     fallback_probe_wait: float = 0.1
+    #: Probe-target selection strategy: ``"round-robin"`` (classic SWIM,
+    #: the default), ``"likelihood"`` (weights targets by time since last
+    #: confirmation, per arXiv:1302.0792) or ``"lhm-rtt"`` (likelihood
+    #: weighting biased by observed probe RTT and suspicion state). See
+    #: docs/PROBE_SCHEDULING.md.
+    probe_scheduler: str = "round-robin"
 
     # ------------------------------------------------------------------ #
     # Suspicion subprotocol (Sections III-A and IV-B)
@@ -215,6 +227,11 @@ class SwimConfig:
             raise ValueError("nack_timeout_fraction must be in (0, 1)")
         if not 0.0 <= self.fallback_probe_wait < 1.0:
             raise ValueError("fallback_probe_wait must be in [0, 1)")
+        if self.probe_scheduler not in PROBE_SCHEDULER_NAMES:
+            known = ", ".join(PROBE_SCHEDULER_NAMES)
+            raise ValueError(
+                f"probe_scheduler must be one of: {known}"
+            )
         if self.retransmit_mult < 1:
             raise ValueError("retransmit_mult must be >= 1")
         if self.gossip_interval <= 0:

@@ -9,6 +9,9 @@
   anomalies, measuring false positives (Table IV, Figures 2-3) and
   message load (Table VI).
 * :mod:`repro.harness.stress` — the CPU-exhaustion scenario (Figure 1).
+* :mod:`repro.harness.schedulers` — probe-scheduling strategy comparison
+  (detection latency and false positives per strategy; see
+  docs/PROBE_SCHEDULING.md).
 * :mod:`repro.harness.sweep` — parameter-sweep driver with optional
   multiprocess fan-out, plus the reduced/full grids.
 * :mod:`repro.harness.paper_data` — the numbers printed in the paper,
@@ -18,6 +21,11 @@
 
 from repro.harness.configurations import CONFIGURATION_NAMES, make_config
 from repro.harness.interval import IntervalParams, IntervalResult, run_interval
+from repro.harness.schedulers import (
+    SchedulerComparisonParams,
+    SchedulerComparisonResult,
+    run_scheduler_comparison,
+)
 from repro.harness.stress import StressParams, StressResult, run_stress
 from repro.harness.threshold import ThresholdParams, ThresholdResult, run_threshold
 
@@ -25,12 +33,15 @@ __all__ = [
     "CONFIGURATION_NAMES",
     "IntervalParams",
     "IntervalResult",
+    "SchedulerComparisonParams",
+    "SchedulerComparisonResult",
     "StressParams",
     "StressResult",
     "ThresholdParams",
     "ThresholdResult",
     "make_config",
     "run_interval",
+    "run_scheduler_comparison",
     "run_stress",
     "run_threshold",
 ]

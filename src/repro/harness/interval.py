@@ -39,6 +39,8 @@ class IntervalParams:
     #: Cycles repeat until at least this much time has passed (paper: 120 s).
     min_test_time: float = 120.0
     seed: int = 0
+    #: Probe-target scheduling strategy (see docs/PROBE_SCHEDULING.md).
+    probe_scheduler: str = "round-robin"
 
     def __post_init__(self) -> None:
         if not 0 < self.concurrent < self.n_members:
@@ -85,7 +87,12 @@ class IntervalResult:
 
 def run_interval(params: IntervalParams) -> IntervalResult:
     """Execute one Interval experiment in the simulator."""
-    config = make_config(params.configuration, params.alpha, params.beta)
+    config = make_config(
+        params.configuration,
+        params.alpha,
+        params.beta,
+        probe_scheduler=params.probe_scheduler,
+    )
     cluster = SimCluster(
         n_members=params.n_members, config=config, seed=params.seed
     )

@@ -1,0 +1,161 @@
+"""Probe-scheduling strategy comparison experiment.
+
+Runs the paper's two fault regimes — the Threshold experiment's
+synchronized anomaly set (Section V-D1, detection latency) and the
+Interval experiment's cyclic anomalies (Section V-D2, false positives) —
+once per probe-scheduling strategy, holding every other knob and every
+seed constant. The question it answers is the one arXiv:1302.0792 poses:
+does spending the same probe budget on likelier-failed targets detect
+failures sooner, and does it do so without manufacturing false positives?
+
+Detection-latency samples are pooled across repetitions before the
+percentile summary (per-run medians of 4-8 samples are too coarse to
+compare strategies), and false positives are summed over the same seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import PROBE_SCHEDULER_NAMES
+from repro.harness.interval import IntervalParams, run_interval
+from repro.harness.threshold import ThresholdParams, run_threshold
+from repro.metrics.analysis import percentile_summary
+
+
+@dataclass(frozen=True)
+class SchedulerComparisonParams:
+    """Inputs for one strategy-comparison run."""
+
+    configuration: str = "Lifeguard"
+    n_members: int = 128
+    #: C: concurrent anomalies per repetition (both regimes).
+    concurrent: int = 4
+    #: D: anomaly duration for the Threshold (latency) regime, seconds.
+    duration: float = 16.384
+    #: D and I for the Interval (false-positive) regime, seconds.
+    fp_duration: float = 8.192
+    fp_interval: float = 0.064
+    #: Minimum Interval test time, seconds (paper: 120).
+    fp_test_time: float = 120.0
+    alpha: float = 5.0
+    beta: float = 6.0
+    #: Repetitions per strategy; repetition ``r`` uses ``seed + r`` for
+    #: every strategy, so the comparison is paired seed for seed.
+    reps: int = 3
+    seed: int = 0
+    schedulers: Tuple[str, ...] = PROBE_SCHEDULER_NAMES
+
+    def __post_init__(self) -> None:
+        if self.reps < 1:
+            raise ValueError("reps must be >= 1")
+        if not self.schedulers:
+            raise ValueError("need at least one scheduler")
+        for name in self.schedulers:
+            if name not in PROBE_SCHEDULER_NAMES:
+                raise ValueError(f"unknown probe scheduler {name!r}")
+
+
+@dataclass
+class StrategyOutcome:
+    """Aggregated results for one strategy across all repetitions."""
+
+    strategy: str
+    #: Pooled anomaly-start -> first-detection latencies, seconds.
+    detection_latencies: List[float] = field(default_factory=list)
+    #: Anomalies never detected within the Threshold time limit.
+    undetected: int = 0
+    #: False-positive events over the Interval repetitions (at anomalous
+    #: observers and in total — the paper's FP and FP- split).
+    fp_events: int = 0
+    fp_healthy_events: int = 0
+    #: Message load over the Interval repetitions.
+    msgs_sent: int = 0
+    test_time: float = 0.0
+
+    @property
+    def detection_summary(self) -> Dict[float, Optional[float]]:
+        return percentile_summary(self.detection_latencies)
+
+    @property
+    def detection_p50(self) -> Optional[float]:
+        return self.detection_summary.get(50.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "detection": {
+                str(p): v for p, v in self.detection_summary.items()
+            },
+            "samples": len(self.detection_latencies),
+            "undetected": self.undetected,
+            "fp_events": self.fp_events,
+            "fp_healthy_events": self.fp_healthy_events,
+            "msgs_sent": self.msgs_sent,
+            "test_time": self.test_time,
+        }
+
+
+@dataclass
+class SchedulerComparisonResult:
+    params: SchedulerComparisonParams
+    outcomes: List[StrategyOutcome] = field(default_factory=list)
+
+    def outcome(self, strategy: str) -> StrategyOutcome:
+        for outcome in self.outcomes:
+            if outcome.strategy == strategy:
+                return outcome
+        raise KeyError(strategy)
+
+    def as_dict(self) -> dict:
+        return {
+            "params": dataclasses.asdict(self.params),
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+
+def run_scheduler_comparison(
+    params: SchedulerComparisonParams,
+) -> SchedulerComparisonResult:
+    """Execute both fault regimes under every strategy in ``params``."""
+    result = SchedulerComparisonResult(params=params)
+    for strategy in params.schedulers:
+        outcome = StrategyOutcome(strategy=strategy)
+        for rep in range(params.reps):
+            seed = params.seed + rep
+            threshold = run_threshold(
+                ThresholdParams(
+                    configuration=params.configuration,
+                    n_members=params.n_members,
+                    concurrent=params.concurrent,
+                    duration=params.duration,
+                    alpha=params.alpha,
+                    beta=params.beta,
+                    seed=seed,
+                    probe_scheduler=strategy,
+                )
+            )
+            outcome.detection_latencies.extend(threshold.first_detection)
+            outcome.undetected += len(threshold.latencies.undetected)
+            interval = run_interval(
+                IntervalParams(
+                    configuration=params.configuration,
+                    n_members=params.n_members,
+                    concurrent=params.concurrent,
+                    duration=params.fp_duration,
+                    interval=params.fp_interval,
+                    alpha=params.alpha,
+                    beta=params.beta,
+                    min_test_time=params.fp_test_time,
+                    seed=seed,
+                    probe_scheduler=strategy,
+                )
+            )
+            outcome.fp_events += interval.fp_events
+            outcome.fp_healthy_events += interval.fp_healthy_events
+            outcome.msgs_sent += interval.msgs_sent
+            outcome.test_time += interval.test_time
+        result.outcomes.append(outcome)
+    return result

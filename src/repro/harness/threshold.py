@@ -42,6 +42,8 @@ class ThresholdParams:
     #: Experiment cap, from the start of the anomaly (paper: 120 s).
     time_limit: float = 120.0
     seed: int = 0
+    #: Probe-target scheduling strategy (see docs/PROBE_SCHEDULING.md).
+    probe_scheduler: str = "round-robin"
 
     def __post_init__(self) -> None:
         if not 0 < self.concurrent < self.n_members:
@@ -93,7 +95,12 @@ class ThresholdResult:
 
 def run_threshold(params: ThresholdParams) -> ThresholdResult:
     """Execute one Threshold experiment in the simulator."""
-    config = make_config(params.configuration, params.alpha, params.beta)
+    config = make_config(
+        params.configuration,
+        params.alpha,
+        params.beta,
+        probe_scheduler=params.probe_scheduler,
+    )
     cluster = SimCluster(
         n_members=params.n_members, config=config, seed=params.seed
     )

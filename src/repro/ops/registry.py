@@ -15,7 +15,8 @@ gauges/counters. :class:`NodeCollector` is the collector for one
 LHM score, scaled probe timing, suspicion-table size, broadcast-queue
 depths, the full :class:`~repro.metrics.telemetry.Telemetry` /
 :class:`~repro.metrics.telemetry.TransportStats` counter set, the
-fallback-probe and push-pull sync counter families, a probe-RTT
+fallback-probe, push-pull sync and probe-scheduler-selection counter
+families, a probe-RTT
 histogram fed by the node's ack-latency hook
 (:attr:`SwimNode.on_probe_rtt <repro.swim.node.SwimNode.on_probe_rtt>`),
 and a changes-per-merge histogram fed by the node's sync hook
@@ -423,6 +424,12 @@ class NodeCollector:
             "Local state changes applied by push-pull merges.",
             label,
         )
+        self._scheduler_selections = c(
+            "lifeguard_probe_scheduler_selections_total",
+            "Probe targets selected, labelled by scheduling strategy "
+            "(see docs/PROBE_SCHEDULING.md).",
+            ("node", "strategy"),
+        )
         self.sync_merge_changes = registry.histogram(
             "lifeguard_sync_merge_changes",
             "State changes applied per push-pull merge (0 = the snapshot "
@@ -513,3 +520,7 @@ class NodeCollector:
         self._syncs.labels(node=name, kind="merges").set_total(telemetry.sync_merges)
         self._sync_entries.labels(node=name).set_total(telemetry.sync_entries_merged)
         self._sync_changes.labels(node=name).set_total(telemetry.sync_changes_applied)
+        scheduler = members.probe_scheduler
+        self._scheduler_selections.labels(
+            node=name, strategy=scheduler.name
+        ).set_total(scheduler.selections)

@@ -1,11 +1,14 @@
-"""The membership table and round-robin probe schedule.
+"""The membership table and its probe schedule.
 
 SWIM selects fault-detector targets in round-robin order from the known
 member list, with *new members inserted at random positions*. This bounds
 the worst-case first-detection latency while keeping the expected latency
 of purely random selection (Section III-A). When a full pass over the list
 completes, the list is re-shuffled (as memberlist does), preserving the
-randomized order property across rounds.
+randomized order property across rounds. The schedule itself is a
+pluggable strategy (:mod:`repro.swim.probe_scheduler`); the randomized
+round-robin above is the default, and the table keeps the scheduler
+informed of membership changes through its lifecycle hooks.
 
 Dead members are retained for a configurable period so that anti-entropy
 sync can convey their state (a memberlist extension, Section III-B), then
@@ -38,6 +41,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.swim.probe_scheduler import ProbeScheduler, RoundRobinScheduler
 from repro.swim.state import MemberState, claim_supersedes
 
 #: Saturation bound for the age field carried in push-pull state entries
@@ -212,12 +216,18 @@ class MemberMap:
     are uniform.
     """
 
-    def __init__(self, local_name: str, local_address: str, rng: random.Random) -> None:
+    def __init__(
+        self,
+        local_name: str,
+        local_address: str,
+        rng: random.Random,
+        probe_scheduler: Optional[ProbeScheduler] = None,
+    ) -> None:
         self._local_name = local_name
         self._rng = rng
         self._members: Dict[str, Member] = {}
-        self._probe_order: List[str] = []
-        self._probe_index = 0
+        self._scheduler = probe_scheduler or RoundRobinScheduler()
+        self._scheduler.bind(self, rng)
         self._members[local_name] = Member(
             local_name, local_address, 1, MemberState.ALIVE, 0.0
         )
@@ -379,10 +389,7 @@ class MemberMap:
         self._version += 1
         self._actives = None
         if name != self._local_name:
-            offset = self._rng.randint(0, len(self._probe_order))
-            self._probe_order.insert(offset, name)
-            if offset < self._probe_index:
-                self._probe_index += 1
+            self._scheduler.on_member_added(name)
         return member
 
     def apply_claim(
@@ -639,42 +646,41 @@ class MemberMap:
             self._state_counts[member.state] -= 1
         self._version += 1
         self._actives = None
-        gone = set(expired)
-        kept = [n for n in self._probe_order if n not in gone]
-        removed_before = sum(
-            1 for n in self._probe_order[: self._probe_index] if n in gone
-        )
-        self._probe_order = kept
-        self._probe_index = max(0, self._probe_index - removed_before)
+        self._scheduler.on_members_removed(expired)
         return expired
 
     # ------------------------------------------------------------------ #
     # Probe scheduling
     # ------------------------------------------------------------------ #
 
-    def next_probe_target(self) -> Optional[Member]:
-        """Next member to probe, in randomized round-robin order.
+    @property
+    def probe_scheduler(self) -> ProbeScheduler:
+        return self._scheduler
+
+    def num_probeable(self) -> int:
+        """Non-local ALIVE/SUSPECT members — the probe candidate count."""
+        counts = self._state_counts
+        total = counts[MemberState.ALIVE] + counts[MemberState.SUSPECT]
+        local_state = self.local.state
+        if local_state is MemberState.ALIVE or local_state is MemberState.SUSPECT:
+            total -= 1
+        return total
+
+    def probeable_members(self) -> List[Member]:
+        """Non-local ALIVE/SUSPECT members, in table-insertion order."""
+        return list(self._active_index())
+
+    def next_probe_target(self, now: float = 0.0) -> Optional[Member]:
+        """Next member to probe, per the configured scheduling strategy.
 
         Skips dead and left members (suspect members *are* probed, which
         is how a suspicion can be refuted by the prober). Returns ``None``
         when there is nobody probeable.
         """
-        checked = 0
-        total = len(self._probe_order)
-        while checked < total:
-            if self._probe_index >= len(self._probe_order):
-                self._probe_index = 0
-                self._rng.shuffle(self._probe_order)
-            name = self._probe_order[self._probe_index]
-            self._probe_index += 1
-            checked += 1
-            member = self._members.get(name)
-            if member is None:
-                continue
-            if member.is_dead or name == self._local_name:
-                continue
-            return member
-        return None
+        member = self._scheduler.next_target(now)
+        if member is not None:
+            self._scheduler.selections += 1
+        return member
 
     def random_members(
         self,

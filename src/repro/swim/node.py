@@ -57,6 +57,7 @@ from repro.swim.messages import (
     UserEvent,
     primary_kind,
 )
+from repro.swim.probe_scheduler import make_probe_scheduler
 from repro.swim.state import MemberState
 from repro.sync import FallbackPolicy, SyncEngine
 
@@ -168,7 +169,13 @@ class SwimNode:
         self.on_probe_rtt: Optional[Callable[[str, float], None]] = None
 
         self.telemetry = Telemetry()
-        self._members = MemberMap(name, transport.local_address, self._rng)
+        self._probe_scheduler = make_probe_scheduler(config.probe_scheduler)
+        self._members = MemberMap(
+            name,
+            transport.local_address,
+            self._rng,
+            probe_scheduler=self._probe_scheduler,
+        )
         self._members.set_local_meta(meta)
         # The largest broadcast any packet can carry: the dedicated gossip
         # tick's budget minus one part's framing. Anything bigger would be
@@ -633,7 +640,7 @@ class SwimNode:
         interval = self.current_probe_interval()
         self._probe_timer = self._scheduler.call_at(now + interval, self._probe_tick)
         self._members.reclaim_dead(now, self.config.dead_member_reclaim)
-        target = self._members.next_probe_target()
+        target = self._members.next_probe_target(now)
         if target is not None:
             self._begin_probe(target, interval)
 
@@ -784,14 +791,21 @@ class SwimNode:
         probe = self._probes.get(ack.seq_no)
         if probe is not None:
             if not probe.acked:
+                now = self._clock()
                 # A still-pending timeout timer means the ack beat the
                 # probe timeout: it came over the direct path (indirect
                 # helpers and the reliable fallback only launch when the
                 # timeout fires), so it is a clean peer-RTT observation.
-                if probe.timeout_timer is not None and self.on_probe_rtt is not None:
-                    self.on_probe_rtt(
-                        probe.target, self._clock() - probe.started_at
-                    )
+                # The transport channel must agree: an ack that arrived
+                # over the reliable (TCP) channel measures the fallback
+                # detour, never the UDP round trip, no matter how the
+                # delivery raced the timeout timer.
+                if probe.timeout_timer is not None and not reliable:
+                    rtt = now - probe.started_at
+                    self._probe_scheduler.note_ack(probe.target, rtt, now)
+                    if self.on_probe_rtt is not None:
+                        self.on_probe_rtt(probe.target, rtt)
+                self._probe_scheduler.note_confirmation(probe.target, now)
                 if reliable and probe.fallback_sent:
                     self._fallback.note_ack()
                 probe.acked = True

@@ -186,6 +186,23 @@ class TestNodeCollector:
         kind_values = {pairs: v for _n, pairs, v in by_kind.samples()}
         assert kind_values[(("node", "a"), ("kind", "ping"))] > 0
 
+    def test_scheduler_selections_mirrored(self):
+        cluster = LocalCluster(["a", "b"], config=lifeguard_config())
+        node = cluster.nodes["a"]
+        registry = MetricsRegistry()
+        NodeCollector(registry, node)
+        node.start(first_probe_delay=0.05)
+        cluster.run_for(2.0)
+        registry.collect()
+        metric = registry.get("lifeguard_probe_scheduler_selections_total")
+        values = {pairs: v for _n, pairs, v in metric.samples()}
+        selections = node.members.probe_scheduler.selections
+        assert (
+            values[(("node", "a"), ("strategy", "round-robin"))]
+            == selections
+            > 0
+        )
+
     def test_rtt_hook_feeds_histogram(self):
         cluster = LocalCluster(["a", "b"], config=lifeguard_config())
         node = cluster.nodes["a"]

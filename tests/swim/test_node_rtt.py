@@ -105,6 +105,56 @@ class TestIndirectPathsExcluded:
         node.handle_packet(codec.encode(Ack(seq, "b")), "b")
         assert observations == before  # the late ack added nothing for b
 
+    def test_reliable_ack_racing_the_timeout_not_recorded(self):
+        """A TCP fallback ack delivered while the probe-timeout timer is
+        still pending must not masquerade as a UDP RTT sample: the
+        channel, not just the timer state, decides what is a clean
+        observation."""
+        cluster = LocalCluster(["a", "b"], config=probe_config())
+        node = cluster.nodes["a"]
+        observations = []
+        node.on_probe_rtt = lambda target, rtt: observations.append((target, rtt))
+
+        node.start(first_probe_delay=0.1)
+        cluster.run_for(0.2)  # ping in flight, timeout timer still pending
+        seq = outbound_ping_seq(cluster, "a", "b")
+        node.handle_packet(codec.encode(Ack(seq, "b")), "b", reliable=True)
+        assert observations == []
+        # The race must still complete the probe (the ack is real — only
+        # the RTT sample is rejected): the duplicate UDP ack that follows
+        # finds the probe already acked and records nothing either.
+        node.handle_packet(codec.encode(Ack(seq, "b")), "b")
+        assert observations == []
+
+    def test_reliable_ack_excluded_from_scheduler_rtt_signal(self):
+        """The LHM-RTT scheduler consumes the same filtered feed: a
+        reliable ack confirms the member but contributes no RTT sample."""
+        cluster = LocalCluster(
+            ["a", "b"], config=probe_config(probe_scheduler="lhm-rtt")
+        )
+        node = cluster.nodes["a"]
+        scheduler = node.members.probe_scheduler
+        node.start(first_probe_delay=0.1)
+        cluster.run_for(0.2)
+        seq = outbound_ping_seq(cluster, "a", "b")
+        node.handle_packet(codec.encode(Ack(seq, "b")), "b", reliable=True)
+        assert scheduler._rtt_ewma == {}
+        assert "b" in scheduler._confirmed_at
+
+    def test_direct_ack_feeds_scheduler_rtt_signal(self):
+        cluster = LocalCluster(
+            ["a", "b"], config=probe_config(probe_scheduler="lhm-rtt")
+        )
+        node = cluster.nodes["a"]
+        scheduler = node.members.probe_scheduler
+        node.start(first_probe_delay=0.1)
+        cluster.run_for(0.15)
+        seq = outbound_ping_seq(cluster, "a", "b")
+        cluster.run_for(0.2)
+        node.handle_packet(codec.encode(Ack(seq, "b")), "b")
+        assert scheduler._rtt_ewma["b"] == pytest.approx(0.25)
+        assert "b" in scheduler._confirmed_at
+
     def test_nack_not_recorded(self):
         cluster = LocalCluster(["a", "b"], config=probe_config())
         node = cluster.nodes["a"]

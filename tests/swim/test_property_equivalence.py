@@ -278,3 +278,119 @@ def test_indexed_member_map_matches_full_scan(ops, seed):
             assert entry[:5] == reference_entry[:5]
             if member.is_dead:
                 assert entry[5] == reference_entry[5]
+
+
+# --------------------------------------------------------------------- #
+# Round-robin probe schedule vs intent-level reference
+# --------------------------------------------------------------------- #
+
+_POOL = [f"p{i}" for i in range(12)]
+
+
+class _NaiveRoundRobin:
+    """Intent-level restatement of the round-robin probe schedule.
+
+    The production scheduler maintains its index incrementally across
+    member removals (``index - removed_before``); this model instead
+    restates the *intent* — after a reap, the schedule still points at
+    the same upcoming member — by rebuilding the order list and locating
+    the surviving suffix. Interleaving ``reap``-style reclaims with
+    selections against this model is what pins the index bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self.order: List[str] = []
+        self.index = 0
+        self.last: Optional[str] = None
+
+    def add(self, rng: random.Random, name: str) -> None:
+        offset = rng.randint(0, len(self.order))
+        self.order.insert(offset, name)
+        if offset < self.index:
+            self.index += 1
+
+    def reclaim(self, removed: List[str]) -> None:
+        gone = set(removed)
+        # The members not yet visited this round, minus the reclaimed:
+        # whatever survives must still be exactly what the schedule
+        # yields next (fairness: nobody's turn is skipped or doubled).
+        upcoming = [n for n in self.order[self.index :] if n not in gone]
+        self.order = [n for n in self.order if n not in gone]
+        self.index = len(self.order) - len(upcoming)
+
+    def next(self, rng: random.Random, mm: MemberMap) -> Optional[str]:
+        checked = 0
+        total = len(self.order)
+        deferred: Optional[str] = None
+        while checked < total:
+            if self.index >= len(self.order):
+                self.index = 0
+                rng.shuffle(self.order)
+            name = self.order[self.index]
+            self.index += 1
+            checked += 1
+            member = mm.get(name)
+            if member is None or member.is_dead or name == mm.local_name:
+                continue
+            if name == self.last and mm.num_probeable() >= 2:
+                deferred = name
+                continue
+            self.last = name
+            return name
+        if deferred is not None:
+            for name in self.order:
+                member = mm.get(name)
+                if member is None or member.is_dead:
+                    continue
+                if name == self.last or name == mm.local_name:
+                    continue
+                self.last = name
+                return name
+        return deferred
+
+
+_probe_op = st.one_of(
+    st.tuples(st.just("add"), st.integers(0, len(_POOL) - 1)),
+    st.tuples(st.just("kill"), st.integers(0, len(_POOL) - 1)),
+    st.tuples(st.just("reclaim"), st.floats(0.0, 30.0)),
+    st.tuples(st.just("probe")),
+)
+
+
+@settings(deadline=None, max_examples=150)
+@given(ops=st.lists(_probe_op, max_size=100), seed=st.integers(0, 2**16))
+def test_round_robin_schedule_matches_reference(ops, seed):
+    rng = random.Random(seed)
+    mm = MemberMap(_LOCAL, f"{_LOCAL}:7946", rng)
+    ref = _NaiveRoundRobin()
+    now = 0.0
+    for op in ops:
+        now += 1.0
+        # Clone the RNG so the reference consumes the exact draws the
+        # production scheduler is about to make.
+        reference_rng = random.Random()
+        reference_rng.setstate(rng.getstate())
+        if op[0] == "add":
+            name = _POOL[op[1]]
+            if name in mm:
+                continue
+            mm.add(name, f"{name}:7946", 1, MemberState.ALIVE, now)
+            ref.add(reference_rng, name)
+        elif op[0] == "kill":
+            name = _POOL[op[1]]
+            member = mm.get(name)
+            if member is None or member.is_dead:
+                continue
+            mm.apply_claim(name, MemberState.DEAD, member.incarnation, now)
+        elif op[0] == "reclaim":
+            ref.reclaim(mm.reclaim_dead(now, op[1]))
+        else:
+            actual = mm.next_probe_target(now)
+            expected = ref.next(reference_rng, mm)
+            assert (actual.name if actual is not None else None) == expected
+
+        # Exact schedule-state equivalence after every operation: any
+        # index drift shows up here long before it skews a selection.
+        scheduler = mm.probe_scheduler
+        assert scheduler._order == ref.order
+        assert scheduler._index == ref.index

@@ -36,6 +36,17 @@ def write_results(tmp_path, *, p50=12.5, rate=2.8, throughput=25000.0):
             }
         )
     )
+    (tmp_path / "probe_strategies.json").write_text(
+        json.dumps(
+            {
+                "outcomes": [
+                    {"strategy": "round-robin", "detection": {"50.0": p50}},
+                    {"strategy": "likelihood", "detection": {"50.0": p50 - 1.0}},
+                    {"strategy": "lhm-rtt", "detection": {"50.0": None}},
+                ]
+            }
+        )
+    )
     (tmp_path / "scale_throughput.json").write_text(
         json.dumps(
             {
@@ -64,6 +75,12 @@ class TestCollect:
         # Non-gated configurations are not collected.
         assert "LHA-Probe" not in metrics["detection_latency_p50"]
         assert metrics["msgs_per_member_per_sec"]["SWIM"] == 2.8
+        assert metrics["scheduler_detection_latency_p50"] == {
+            "round-robin": 12.5,
+            "likelihood": 11.5,
+            # lhm-rtt carries no p50 (all anomalies undetected) and is
+            # skipped rather than collected as null.
+        }
         assert metrics["events_per_sec"]["n1024"] == 25000.0
         assert metrics["events_per_sec"]["n256"] == 62500.0
         assert document["ops_overhead"]["hook_overhead"] == 0.01

@@ -62,7 +62,47 @@ class TestStressCommand:
         assert "total FP" in out
 
 
+class TestSchedulersCommand:
+    def test_runs_and_reports(self, capsys):
+        code, out = run_cli(
+            capsys, "schedulers", "--config", "Lifeguard", "-c", "2",
+            "-d", "14.0", "-r", "1", "-t", "15",
+            "--strategies", "round-robin", "likelihood", *SMALL,
+        )
+        assert code == 0
+        assert "Strategy comparison" in out
+        assert "round-robin" in out
+        assert "likelihood" in out
+        assert "lhm-rtt" not in out
+
+    def test_json_output(self, capsys):
+        payload = run_cli_json(
+            capsys, "schedulers", "--json", "--config", "Lifeguard",
+            "-c", "2", "-d", "14.0", "-r", "1", "-t", "15",
+            "--strategies", "lhm-rtt", *SMALL,
+        )
+        assert payload["kind"] == "scheduler-comparison"
+        assert payload["params"]["schedulers"] == ["lhm-rtt"]
+        [outcome] = payload["outcomes"]
+        assert outcome["strategy"] == "lhm-rtt"
+        assert outcome["samples"] + outcome["undetected"] == 2
+        assert outcome["msgs_sent"] > 0
+
+    def test_unknown_strategy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "schedulers", "--strategies", "fifo", *SMALL)
+
+
 class TestCheckCommand:
+    def test_scheduler_flag_reaches_sweep(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "check", "--seeds", "2", "--scheduler", "lhm-rtt",
+            "--artifact-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "2 seeds, 0 failed" in out
+        assert list(tmp_path.glob("*.json")) == []
+
     def test_small_sweep_clean(self, capsys, tmp_path):
         code, out = run_cli(
             capsys, "check", "--seeds", "2", "--artifact-dir", str(tmp_path),
