@@ -2,17 +2,22 @@
 
 The simulator is the instrument every experiment in this repository is
 run on, so its throughput bounds how much of the paper's parameter space
-is affordable. This benchmark pins that throughput down at three cluster
-sizes — the paper's own scale (well below 256), the first
-"multi-thousand" rung (1024) and a stress rung (4096) — and reports two
-numbers per size:
+is affordable. This benchmark pins that throughput down across the flat
+rungs — the paper's own scale (well below 256), the first
+"multi-thousand" rung (1024) and a stress rung (4096) — and the
+hierarchical rungs the zoned subsystem unlocks (16384 = 64 zones x 256,
+and opt-in 65536 = 1024 zones x 64), reporting per size:
 
 * **events/sec** — scheduler events executed per wall-clock second, the
   metric the hot-path optimizations (heap compaction, indexed member
   map, bucketed broadcast queue, fused codec, batched deliveries) are
   aimed at;
 * **virtual seconds per wall second** — how much simulated time one real
-  second buys, the number an experiment designer actually budgets with.
+  second buys, the number an experiment designer actually budgets with;
+* **peak RSS** — the process high-water mark after the rung, from
+  ``resource.getrusage`` (monotonic across rungs, so the grid runs
+  smallest-first and each rung's value is the memory the run needed so
+  far).
 
 Runs are fully deterministic (fixed seed, no anomalies), so wall-clock
 is min-of-N over identical runs, which strips scheduler noise the way
@@ -21,26 +26,41 @@ reps — a cheap tripwire for accidental nondeterminism in the core.
 
 Scale control: ``REPRO_SCALE_SIZES=256,1024`` restricts the size grid
 (CI uses this to keep the gate fast), ``REPRO_REPS`` sets the rep count,
-``REPRO_SCALE_TIME`` scales the virtual duration budget.
+``REPRO_SCALE_TIME`` scales the virtual duration budget. The 65536 rung
+is opt-in (name it in ``REPRO_SCALE_SIZES``): it needs tens of GB of
+RSS (the 2048 bridge directories each hold the full roster) and north
+of ten minutes of wall clock per rep on one core.
 """
 
 from __future__ import annotations
 
 import os
+import resource
 import time
 from typing import Dict, List, Tuple
 
 from benchmarks.conftest import publish
 from repro.config import SwimConfig
 from repro.sim.runtime import SimCluster
+from repro.zones.cluster import ZonedCluster
+from repro.zones.sharded import run_zoned
 
-#: (cluster size, virtual seconds) — larger clusters execute more events
-#: per virtual second, so the virtual budget shrinks with size to keep
-#: the total wall-clock roughly flat across rungs.
-SIZE_GRID: Tuple[Tuple[int, float], ...] = (
-    (256, 20.0),
-    (1024, 10.0),
-    (4096, 3.0),
+#: (cluster size, virtual seconds, zone count) — larger clusters execute
+#: more events per virtual second, so the virtual budget shrinks with
+#: size to keep the total wall-clock roughly flat across rungs. Rungs
+#: with ``zones > 0`` run on the hierarchical zoned driver; flat SWIM
+#: above ~4096 members is O(n^2) memory in the full-mesh member maps,
+#: which is exactly the wall the zone hierarchy removes.
+SIZE_GRID: Tuple[Tuple[int, float, int], ...] = (
+    (256, 20.0, 0),
+    (1024, 10.0, 0),
+    (4096, 3.0, 0),
+    (16384, 2.0, 64),
+)
+
+#: Opt-in rung (include 65536 in REPRO_SCALE_SIZES to run it).
+EXTRA_GRID: Tuple[Tuple[int, float, int], ...] = (
+    (65536, 0.5, 1024),
 )
 
 #: Floor asserted at n=1024 — far below the optimized core (so machine
@@ -50,16 +70,27 @@ SIZE_GRID: Tuple[Tuple[int, float], ...] = (
 #: baseline.
 MIN_EVENTS_PER_SEC_1024 = 4000.0
 
+#: Same idea for the first hierarchical rung (64 zones x 256): a coarse
+#: floor that only order-of-magnitude collapses can cross. The 15% gate
+#: against the recorded baseline lives in ``benchmarks/regression.py``
+#: under ``events_per_sec[n16384]``.
+MIN_EVENTS_PER_SEC_16384 = 1000.0
+
 SEED = 1
 
 
-def _grid() -> List[Tuple[int, float]]:
+def _grid() -> List[Tuple[int, float, int]]:
     time_scale = float(os.environ.get("REPRO_SCALE_TIME", "1.0"))
     sizes_env = os.environ.get("REPRO_SCALE_SIZES")
-    grid = [(n, vs * time_scale) for n, vs in SIZE_GRID]
+    grid = [(n, vs * time_scale, zones) for n, vs, zones in SIZE_GRID]
     if sizes_env:
         wanted = {int(s) for s in sizes_env.split(",") if s.strip()}
-        grid = [(n, vs) for n, vs in grid if n in wanted]
+        grid += [
+            (n, vs * time_scale, zones)
+            for n, vs, zones in EXTRA_GRID
+            if n in wanted
+        ]
+        grid = [(n, vs, zones) for n, vs, zones in grid if n in wanted]
     return grid
 
 
@@ -67,8 +98,33 @@ def _reps() -> int:
     return max(1, int(os.environ.get("REPRO_REPS", "3")))
 
 
-def _run_once(n_members: int, virtual_seconds: float) -> Tuple[int, float]:
-    """One deterministic run; returns (events executed, wall seconds)."""
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (``ru_maxrss`` is KiB on Linux)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _run_once(
+    n_members: int, virtual_seconds: float, zones: int
+) -> Tuple[int, float]:
+    """One deterministic run; returns (events executed, wall seconds).
+
+    Wall time covers the drive loop only (construction and join excluded)
+    for both flavors, so flat and zoned rungs report the same quantity.
+    """
+    if zones:
+        zoned = ZonedCluster(
+            n_members, SwimConfig.lifeguard(), seed=SEED, zone_count=zones
+        )
+        zoned.start()
+        started = time.perf_counter()
+        zoned.run_until(virtual_seconds)
+        wall = time.perf_counter() - started
+        executed = sum(
+            zoned.shard.clusters[zi].scheduler.executed
+            for zi in zoned.shard.zone_indices
+        )
+        zoned.stop()
+        return executed, wall
     cluster = SimCluster(
         n_members=n_members, config=SwimConfig.lifeguard(), seed=SEED
     )
@@ -83,8 +139,11 @@ class TestScaleThroughput:
     def test_events_per_second_at_scale(self):
         reps = _reps()
         rows: List[Dict[str, float]] = []
-        for n_members, virtual_seconds in _grid():
-            runs = [_run_once(n_members, virtual_seconds) for _ in range(reps)]
+        for n_members, virtual_seconds, zones in sorted(_grid()):
+            runs = [
+                _run_once(n_members, virtual_seconds, zones)
+                for _ in range(reps)
+            ]
             events = {e for e, _ in runs}
             assert len(events) == 1, (
                 f"nondeterministic event count at n={n_members}: {events}"
@@ -94,24 +153,28 @@ class TestScaleThroughput:
             rows.append(
                 {
                     "n_members": n_members,
+                    "zones": zones,
                     "virtual_seconds": virtual_seconds,
                     "events": executed,
                     "wall_s": best_wall,
                     "events_per_sec": executed / best_wall,
                     "virtual_per_wall": virtual_seconds / best_wall,
+                    "peak_rss_kb": _peak_rss_kb(),
                 }
             )
 
         lines = [
             f"Simulator throughput (min of {reps} identical runs, seed {SEED})",
-            f"{'n':>6s} {'virtual':>8s} {'events':>9s} {'wall':>9s} "
-            f"{'events/sec':>11s} {'vs/ws':>7s}",
+            f"{'n':>6s} {'zones':>5s} {'virtual':>8s} {'events':>9s} "
+            f"{'wall':>9s} {'events/sec':>11s} {'vs/ws':>7s} {'rss':>8s}",
         ]
         for row in rows:
             lines.append(
-                f"{int(row['n_members']):6d} {row['virtual_seconds']:7.1f}s "
+                f"{int(row['n_members']):6d} {int(row['zones']):5d} "
+                f"{row['virtual_seconds']:7.1f}s "
                 f"{int(row['events']):9d} {row['wall_s']:8.3f}s "
-                f"{row['events_per_sec']:11,.0f} {row['virtual_per_wall']:7.2f}"
+                f"{row['events_per_sec']:11,.0f} {row['virtual_per_wall']:7.2f} "
+                f"{int(row['peak_rss_kb']) // 1024:6d}MB"
             )
         publish(
             "scale_throughput",
@@ -125,4 +188,55 @@ class TestScaleThroughput:
             assert rate >= MIN_EVENTS_PER_SEC_1024, (
                 f"simulator throughput collapsed at n=1024: "
                 f"{rate:,.0f} events/s < {MIN_EVENTS_PER_SEC_1024:,.0f}"
+            )
+        if 16384 in by_size:
+            rate = by_size[16384]["events_per_sec"]
+            assert rate >= MIN_EVENTS_PER_SEC_16384, (
+                f"zoned simulator throughput collapsed at n=16384: "
+                f"{rate:,.0f} events/s < {MIN_EVENTS_PER_SEC_16384:,.0f}"
+            )
+
+    def test_sharded_driver_beats_single_process(self):
+        """At n=16384 the multi-process driver must beat one process.
+
+        Only meaningful with real parallelism available, so the check
+        skips (rather than lies) on small CI runners; the digest
+        equality half of the contract is asserted regardless of core
+        count whenever the rung is in the grid.
+        """
+        if not any(n == 16384 for n, _, _ in _grid()):
+            import pytest
+
+            pytest.skip("16384 rung not in REPRO_SCALE_SIZES")
+        single = run_zoned(
+            16384, seed=SEED, zone_count=64, duration=1.0, shards=1
+        )
+        sharded = run_zoned(
+            16384, seed=SEED, zone_count=64, duration=1.0, shards=4
+        )
+        assert single.digest == sharded.digest, (
+            "sharded driver diverged from the single-process trace"
+        )
+        publish(
+            "scale_sharded",
+            (
+                f"n=16384 zones=64: single {single.wall_s:.2f}s vs "
+                f"{sharded.shards}-shard {sharded.wall_s:.2f}s "
+                f"({os.cpu_count()} cores)"
+            ),
+            {
+                "n_members": 16384,
+                "zones": 64,
+                "single_wall_s": single.wall_s,
+                "sharded_wall_s": sharded.wall_s,
+                "shards": sharded.shards,
+                "cpu_count": os.cpu_count(),
+                "digest_equal": single.digest == sharded.digest,
+            },
+        )
+        if (os.cpu_count() or 1) >= 4:
+            assert sharded.wall_s < single.wall_s, (
+                f"4-shard run ({sharded.wall_s:.2f}s) did not beat "
+                f"single-process ({single.wall_s:.2f}s) on "
+                f"{os.cpu_count()} cores"
             )

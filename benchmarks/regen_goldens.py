@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Regenerate every golden trace digest, intentionally and visibly.
+
+The trace-equivalence suites (``tests/sim/test_trace_equivalence.py``
+and ``tests/zones/test_trace_equivalence.py``) pin seeded runs to
+committed digests. When a change legitimately alters protocol behavior
+the goldens must be refreshed — but quietly re-running pytest with
+``REPRO_REGEN_GOLDENS=1`` makes it too easy to overwrite a golden
+without noticing *what* moved. This helper wraps the regeneration and
+prints a per-digest diff summary (unchanged / changed / added /
+removed), so the refresh itself documents its blast radius:
+
+.. code-block:: console
+
+    $ python benchmarks/regen_goldens.py
+    ...
+    tests/sim/golden_traces.json
+      unchanged  blocked
+      CHANGED    steady        1f2d3c4b... -> 9a8b7c6d...
+    1 digest(s) changed, 11 unchanged. Review and commit the diff.
+
+Exits nonzero when the regeneration run itself fails, and with ``--check``
+also when any digest moved (useful to assert a refactor is trace-neutral
+without touching the working tree — files are restored in that mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Every golden file and the test module that regenerates it.
+GOLDEN_SUITES: Tuple[Tuple[str, str], ...] = (
+    ("tests/sim/golden_traces.json", "tests/sim/test_trace_equivalence.py"),
+    ("tests/zones/golden_traces.json", "tests/zones/test_trace_equivalence.py"),
+)
+
+
+def _load(path: Path) -> Dict[str, str]:
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def _regen(test_module: str) -> int:
+    env = dict(os.environ)
+    env["REPRO_REGEN_GOLDENS"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", test_module, "-q", "--no-header"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+def _diff(before: Dict[str, str], after: Dict[str, str]) -> List[str]:
+    lines: List[str] = []
+    for name in sorted(set(before) | set(after)):
+        old, new = before.get(name), after.get(name)
+        if old == new:
+            lines.append(f"  unchanged  {name}")
+        elif old is None:
+            lines.append(f"  ADDED      {name:<20s} {new[:12]}...")
+        elif new is None:
+            lines.append(f"  REMOVED    {name:<20s} was {old[:12]}...")
+        else:
+            lines.append(
+                f"  CHANGED    {name:<20s} {old[:12]}... -> {new[:12]}..."
+            )
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="regen_goldens.py", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report what would change but restore the original files; "
+        "exit 1 when any digest moved",
+    )
+    args = parser.parse_args(argv)
+
+    changed = 0
+    unchanged = 0
+    for golden_rel, test_module in GOLDEN_SUITES:
+        golden_path = REPO_ROOT / golden_rel
+        before = _load(golden_path)
+        code = _regen(test_module)
+        if code != 0:
+            print(
+                f"error: regeneration run failed for {test_module} "
+                f"(exit {code})",
+                file=sys.stderr,
+            )
+            return code
+        after = _load(golden_path)
+        print(golden_rel)
+        for line in _diff(before, after):
+            print(line)
+        moved = sum(
+            1
+            for name in set(before) | set(after)
+            if before.get(name) != after.get(name)
+        )
+        changed += moved
+        unchanged += len(set(before) & set(after)) - sum(
+            1 for n in set(before) & set(after) if before[n] != after[n]
+        )
+        if args.check:
+            if before:
+                golden_path.write_text(
+                    json.dumps(before, indent=2, sort_keys=True) + "\n"
+                )
+            elif golden_path.exists():
+                golden_path.unlink()
+
+    if args.check:
+        if changed:
+            print(f"--check: {changed} digest(s) would change")
+            return 1
+        print(f"--check: all {unchanged} digest(s) stable")
+        return 0
+    if changed:
+        print(
+            f"{changed} digest(s) changed, {unchanged} unchanged. "
+            f"Review and commit the diff — and say why in the PR."
+        )
+    else:
+        print(f"all {unchanged} digest(s) unchanged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -152,19 +152,23 @@ def cmd_collect(args: argparse.Namespace) -> int:
 
 def compare_documents(
     baseline: dict, current: dict, threshold: float = DEFAULT_THRESHOLD
-) -> Tuple[List[str], List[str]]:
-    """Returns ``(report_lines, regressions)``.
+) -> Tuple[List[str], List[str], List[str]]:
+    """Returns ``(report_lines, regressions, uncovered)``.
 
     A gated metric regresses when it moved past the threshold in its
     *bad* direction: ``current > baseline * (1 + threshold)`` for
     higher-is-worse metrics, ``current < baseline * (1 - threshold)``
     for the metrics in :data:`HIGHER_IS_BETTER`. Metrics present on only
-    one side are reported but never gate — that happens when the
-    baseline predates a new metric, and the fix is a baseline refresh,
-    not a red build.
+    one side never gate by default — that happens when the baseline
+    predates a new metric, and the usual fix is a baseline refresh, not
+    a red build — but every such hole is returned in ``uncovered`` and
+    loudly reported, because a metric that silently falls out of the
+    baseline is a gate that silently stopped gating (``--strict`` turns
+    the holes into failures).
     """
     lines: List[str] = []
     regressions: List[str] = []
+    uncovered: List[str] = []
     base_metrics = baseline.get("metrics", {})
     cur_metrics = current.get("metrics", {})
     for metric in sorted(set(base_metrics) | set(cur_metrics)):
@@ -176,7 +180,14 @@ def compare_documents(
             label = f"{metric}[{configuration}]"
             if base_value is None or cur_value is None:
                 side = "baseline" if base_value is None else "current"
-                lines.append(f"  {label}: missing in {side} (not gated)")
+                lines.append(
+                    f"  WARNING {label}: collected but missing in {side} — "
+                    f"NOT gated; refresh benchmarks/baseline.json to cover it"
+                    if side == "baseline"
+                    else f"  WARNING {label}: in baseline but not collected "
+                    f"this run — NOT gated; did its benchmark run?"
+                )
+                uncovered.append(f"{label} (missing in {side})")
                 continue
             ratio = cur_value / base_value if base_value else float("inf")
             verdict = "ok"
@@ -197,7 +208,7 @@ def compare_documents(
             "  ops_overhead (informational): "
             f"hook={ops.get('hook_overhead')}, scrape={ops.get('scrape_overhead')}"
         )
-    return lines, regressions
+    return lines, regressions, uncovered
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -211,7 +222,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    lines, regressions = compare_documents(
+    lines, regressions, uncovered = compare_documents(
         baseline, current, threshold=args.threshold
     )
     print(
@@ -220,8 +231,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     )
     for line in lines:
         print(line)
+    if uncovered:
+        print(
+            f"warning: {len(uncovered)} metric(s) not covered by the gate: "
+            f"{', '.join(uncovered)}"
+        )
     if regressions:
         print(f"FAILED: {len(regressions)} regression(s): {', '.join(regressions)}")
+        return 1
+    if uncovered and args.strict:
+        print("FAILED (--strict): uncovered metrics are treated as regressions")
         return 1
     print("ok: no gated metric regressed")
     return 0
@@ -248,6 +267,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare.add_argument("--current", required=True)
     compare.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD
+    )
+    compare.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when a metric is missing from either side "
+        "(holes in the gate become failures instead of warnings)",
     )
     compare.set_defaults(func=cmd_compare)
 

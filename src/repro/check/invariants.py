@@ -71,7 +71,7 @@ The shipped oracles and their paper anchors:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.lhm import EVENT_SCORES, LHM_MIN, LhmEvent
 from repro.swim.broadcast import retransmit_limit
@@ -605,6 +605,125 @@ class ResurrectionOracle(Oracle):
         return out
 
 
+class ZoneConvergenceOracle(Oracle):
+    """Cross-zone agreement after settle (hierarchical clusters only).
+
+    A zoned cluster's obligation is weaker than a flat one's — bridges
+    forward only terminal-state claims and compact digests — but it is
+    still checkable. After the fault schedule ends and the settle period
+    passes, every *running* bridge must satisfy, for each zone that still
+    has at least one running bridge (a zone with no live forwarder owes
+    nobody anything — there is no one left to speak for it):
+
+    1. The remote zone is flagged unreachable **iff** it has no running
+       bridge. Unreachability is a soft verdict driven by digest silence;
+       a zone whose bridges all died goes silent forever, while a zone
+       with a live bridge resumes digests and must have been cleared.
+    2. Departed members (crash/leave) of such zones are terminal in the
+       bridge's directory — their zone's bridges forwarded the claim, and
+       partition-dropped copies are healed by anti-entropy
+       re-advertisement.
+    3. Live members of such zones are **not** terminal in the directory:
+       no bridge may fabricate a death the member's own zone never
+       proclaimed — the cross-zone layer must not reintroduce the false
+       positives Lifeguard exists to suppress. Like the flat
+       :class:`ConvergenceOracle`'s liveness-agreement half, this is a
+       theorem only when push-pull sync runs: healing a *stale* death
+       (declared while the victim was unreachable, then refuted) needs
+       the echoed claim to reach the victim, and with sync off a
+       non-bridge victim may never hear it. Checked only when every
+       running bridge has push-pull enabled.
+
+    On flat clusters (no ``bridges`` attribute) the oracle is inert, so
+    it can sit in :func:`default_oracles` unconditionally.
+    """
+
+    name = "zone-convergence"
+
+    def check_final(
+        self,
+        cluster,
+        now: float,
+        expected_live: Set[str],
+        expected_gone: Set[str],
+    ) -> List[Violation]:
+        bridges = getattr(cluster, "bridges", None)
+        if not bridges:
+            return []
+        by_zone: Dict[str, List] = {}
+        for bridge in bridges:
+            by_zone.setdefault(bridge.zone.name, []).append(bridge)
+        running_zones = {
+            zone_name
+            for zone_name, zone_bridges in by_zone.items()
+            if any(b.node.running for b in zone_bridges)
+        }
+        out: List[Violation] = []
+        roster = cluster.layout.roster()
+        running_bridges = [b for b in bridges if b.node.running]
+        sync_enabled = bool(running_bridges) and all(
+            b.node.config.push_pull_interval > 0 for b in running_bridges
+        )
+        for bridge in bridges:
+            if not bridge.node.running:
+                continue
+            observer = bridge.node.name
+            own = bridge.zone.name
+            for zone_name in sorted(by_zone):
+                if zone_name == own:
+                    continue
+                flagged = zone_name in bridge.unreachable
+                if zone_name in running_zones and flagged:
+                    out.append(
+                        Violation(
+                            self.name, now, observer,
+                            "zone with a running bridge still flagged "
+                            "unreachable after settle",
+                            subject=zone_name,
+                        )
+                    )
+                elif zone_name not in running_zones and not flagged:
+                    out.append(
+                        Violation(
+                            self.name, now, observer,
+                            "zone with no running bridge not flagged "
+                            "unreachable after settle",
+                            subject=zone_name,
+                        )
+                    )
+            for subject in sorted(expected_gone):
+                if roster.get(subject) not in running_zones:
+                    continue
+                member = bridge.directory.get(subject)
+                if member is None or member.state not in _TERMINAL:
+                    state = "unknown" if member is None else member.state.name
+                    out.append(
+                        Violation(
+                            self.name, now, observer,
+                            f"departed member is {state} in the bridge "
+                            f"directory after settle",
+                            subject=subject,
+                        )
+                    )
+            for subject in sorted(expected_live):
+                if not sync_enabled:
+                    break
+                if roster.get(subject) not in running_zones:
+                    continue
+                member = bridge.directory.get(subject)
+                if member is not None and member.state in _TERMINAL:
+                    out.append(
+                        Violation(
+                            self.name, now, observer,
+                            f"live member marked {member.state.name} in the "
+                            f"bridge directory after settle (fabricated "
+                            f"cross-zone death)",
+                            subject=subject,
+                        )
+                    )
+        return out
+
+
 def default_oracles() -> List[Oracle]:
     """The standard suite, one instance each (oracles are stateful)."""
     return [
@@ -615,6 +734,7 @@ def default_oracles() -> List[Oracle]:
         ConvergenceOracle(),
         SyncConvergenceOracle(),
         ResurrectionOracle(),
+        ZoneConvergenceOracle(),
     ]
 
 

@@ -18,9 +18,25 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from random import Random
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from repro.check.invariants import Oracle, OracleSuite, Violation, default_oracles
+from repro.check.invariants import (
+    Oracle,
+    OracleSuite,
+    Violation,
+    ZoneConvergenceOracle,
+    default_oracles,
+)
 from repro.check.scenarios import (
     FaultEntry,
     GeneratorParams,
@@ -32,6 +48,9 @@ from repro.harness.configurations import make_config
 from repro.sim.runtime import SimCluster, default_member_names
 from repro.swim.state import MemberState
 
+if TYPE_CHECKING:  # pragma: no cover - kept lazy at runtime
+    from repro.zones.cluster import ZonedCluster
+
 ARTIFACT_SCHEMA = "repro-check/v1"
 
 #: Virtual-time chunk between early-abort checks while running a scenario.
@@ -39,6 +58,11 @@ _CHUNK = 5.0
 
 #: How often an isolated joiner retries its join (virtual seconds).
 _JOIN_RETRY = 5.0
+
+#: Bridges per zone in zoned fuzz runs: two, so a single bridge crash or
+#: flap never leaves a zone without a live claim forwarder (the scenario
+#: generator additionally keeps each zone's first bridge out of churn).
+ZONED_BRIDGES = 2
 
 
 class _FaultDriver:
@@ -253,6 +277,246 @@ class _FaultDriver:
         }
 
 
+class _ZoneFaultDriver:
+    """Zoned counterpart of :class:`_FaultDriver`.
+
+    Zone-local faults (``block``, ``flap``, ``crash``, ``leave``) land on
+    the affected member's own zone scheduler; ambient ``loss`` applies to
+    every zone's network fabric independently (each zone owns one); and
+    ``zone_partition`` windows are registered with the
+    :class:`~repro.zones.cluster.ZonedCluster` up front, where they drop
+    cross-zone traffic at epoch barriers.
+    """
+
+    def __init__(self, cluster: "ZonedCluster", spec: ScenarioSpec) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.expected_gone: Set[str] = set()
+        # Per-zone ambient-loss stacks (zones have independent fabrics).
+        self._loss: Dict[str, List[float]] = {
+            name: [] for name in cluster.clusters
+        }
+
+    def schedule(self) -> None:
+        for entry in self.spec.faults:
+            if entry.kind == "block":
+                for member in entry.members:
+                    self.cluster.cluster_of(member).anomalies.block_window(
+                        member, entry.start, entry.end
+                    )
+            elif entry.kind == "loss":
+                for zone_name, zone_cluster in self.cluster.clusters.items():
+                    zone_cluster.scheduler.call_at(
+                        entry.start,
+                        lambda z=zone_name, r=entry.rate: self._begin_loss(z, r),
+                    )
+                    zone_cluster.scheduler.call_at(
+                        entry.end,
+                        lambda z=zone_name, r=entry.rate: self._end_loss(z, r),
+                    )
+            elif entry.kind == "flap":
+                member = entry.members[0]
+                scheduler = self.cluster.scheduler_for(member)
+                scheduler.call_at(entry.start, lambda m=member: self._stop(m))
+                scheduler.call_at(entry.end, lambda m=member: self._restart(m))
+            elif entry.kind == "crash":
+                member = entry.members[0]
+                self.expected_gone.add(member)
+                self.cluster.scheduler_for(member).call_at(
+                    entry.start, lambda m=member: self._stop(m)
+                )
+            elif entry.kind == "leave":
+                member = entry.members[0]
+                self.expected_gone.add(member)
+                self.cluster.scheduler_for(member).call_at(
+                    entry.start, lambda m=member: self._leave(m)
+                )
+            elif entry.kind == "zone_partition":
+                self.cluster.add_zone_partition(
+                    entry.members, entry.start, entry.end
+                )
+
+    def _apply_loss(self, zone_name: str) -> None:
+        rates = self._loss[zone_name] + [self.spec.loss_rate]
+        self.cluster.clusters[zone_name].network.loss_rate = max(rates)
+
+    def _begin_loss(self, zone_name: str, rate: float) -> None:
+        self._loss[zone_name].append(rate)
+        self._apply_loss(zone_name)
+
+    def _end_loss(self, zone_name: str, rate: float) -> None:
+        if rate in self._loss[zone_name]:
+            self._loss[zone_name].remove(rate)
+        self._apply_loss(zone_name)
+
+    def _stop(self, member: str) -> None:
+        node = self.cluster.node(member)
+        if node.running:
+            node.stop()
+
+    def _restart(self, member: str) -> None:
+        node = self.cluster.node(member)
+        if not node.running:
+            node.start()
+            self._schedule_rejoin(member, first_delay=0.0)
+
+    def _leave(self, member: str) -> None:
+        node = self.cluster.node(member)
+        if node.running:
+            node.leave()
+
+    def _pick_anchor(self, member: str) -> Optional[str]:
+        zone_cluster = self.cluster.cluster_of(member)
+        for name in zone_cluster.names:
+            if name == member or name in self.expected_gone:
+                continue
+            node = zone_cluster.nodes.get(name)
+            if node is not None and node.running:
+                return name
+        return None
+
+    def _reintegrated(self, member: str) -> bool:
+        """Every running *zone* peer sees ``member`` alive again.
+
+        Rejoin is a zone-local affair: remote zones learn about the
+        member only through bridge claims, which the restart's RESTORED
+        event triggers on its own.
+        """
+        peers = 0
+        for name, node in self.cluster.cluster_of(member).nodes.items():
+            if name == member or not node.running:
+                continue
+            view = node.members.get(member)
+            if view is None or not view.is_alive:
+                return False
+            peers += 1
+        return peers > 0
+
+    def _schedule_rejoin(self, member: str, first_delay: float = _JOIN_RETRY) -> None:
+        scheduler = self.cluster.scheduler_for(member)
+
+        def attempt() -> None:
+            node = self.cluster.node(member)
+            if not node.running:
+                return
+            if self._reintegrated(member):
+                return
+            peers = [
+                m.name
+                for m in node.members.members()
+                if m.name != member and m.state is not MemberState.LEFT
+            ]
+            if not peers:
+                anchor = self._pick_anchor(member)
+                peers = [anchor] if anchor is not None else []
+            if peers:
+                node.join(peers)
+            scheduler.call_later(_JOIN_RETRY, attempt)
+
+        scheduler.call_later(first_delay, attempt)
+
+    def expected_live(self) -> Set[str]:
+        return {
+            name
+            for name in self.cluster.names
+            if name not in self.expected_gone
+        }
+
+
+def _run_zoned_scenario(
+    spec: ScenarioSpec,
+    stride: int,
+    oracles: Optional[Callable[[], List[Oracle]]],
+    fail_fast: bool,
+    max_violations: int,
+) -> "CheckResult":
+    """Zoned arm of :func:`run_scenario`.
+
+    One oracle suite per zone watches that zone's event tap with the
+    zone-scoped slices of the expected live/gone sets; the cross-zone
+    obligations (:class:`ZoneConvergenceOracle`) run once, at the end,
+    against the zoned cluster itself with the global sets.
+    """
+    from repro.zones.cluster import ZonedCluster
+
+    started = time.monotonic()
+    config = make_config(
+        spec.configuration,
+        alpha=spec.alpha,
+        beta=spec.beta,
+        probe_scheduler=spec.scheduler,
+    )
+    if not spec.sync:
+        config = config.replace(push_pull_interval=0.0, reconnect_interval=0.0)
+    config = config.replace(bridges_per_zone=ZONED_BRIDGES)
+    cluster = ZonedCluster(
+        spec.n_members,
+        config,
+        seed=spec.seed,
+        zone_count=spec.zones,
+        loss_rate=spec.loss_rate,
+    )
+    factory = oracles if oracles is not None else default_oracles
+    suites: Dict[str, OracleSuite] = {}
+    for zone_name, zone_cluster in cluster.clusters.items():
+        suite = OracleSuite(oracles=factory())
+        suite.attach(zone_cluster, stride=stride)
+        suites[zone_name] = suite
+    driver = _ZoneFaultDriver(cluster, spec)
+    driver.schedule()
+    cluster.start()
+
+    def total_violations() -> int:
+        return sum(len(suite.violations) for suite in suites.values())
+
+    now = 0.0
+    aborted = False
+    while now < spec.total_time:
+        step_to = min(now + _CHUNK, spec.total_time)
+        cluster.run_until(step_to)
+        now = step_to
+        if fail_fast and total_violations() >= 1:
+            aborted = True
+            break
+        if total_violations() >= max_violations:
+            aborted = True
+            break
+
+    expected_live = driver.expected_live()
+    expected_gone = driver.expected_gone
+    cross: List[Violation] = []
+    if not aborted:
+        for zone_name, suite in suites.items():
+            members = set(cluster.clusters[zone_name].names)
+            suite.run_final_checks(
+                cluster.clusters[zone_name],
+                cluster.now,
+                expected_live & members,
+                expected_gone & members,
+            )
+        for oracle in factory():
+            if isinstance(oracle, ZoneConvergenceOracle):
+                cross.extend(
+                    oracle.check_final(
+                        cluster, cluster.now, expected_live, expected_gone
+                    )
+                )
+    cluster.set_event_tap(None)
+    cluster.stop()
+    violations = [
+        violation for suite in suites.values() for violation in suite.violations
+    ]
+    violations.extend(cross)
+    return CheckResult(
+        spec=spec,
+        violations=violations[:max_violations],
+        events=cluster.total_events(),
+        sim_time=cluster.now,
+        wall_time=time.monotonic() - started,
+        checks_run=sum(suite.checks_run for suite in suites.values()),
+    )
+
+
 @dataclass
 class CheckResult:
     """Verdict for one scenario run."""
@@ -295,6 +559,14 @@ def run_scenario(
     used by tests to check a single invariant in isolation.
     """
     spec.validate()
+    if spec.zones:
+        return _run_zoned_scenario(
+            spec,
+            stride=stride,
+            oracles=oracles,
+            fail_fast=fail_fast,
+            max_violations=max_violations,
+        )
     started = time.monotonic()
     config = make_config(
         spec.configuration,

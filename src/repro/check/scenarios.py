@@ -17,9 +17,9 @@ same spec always produces the same run, violation for violation.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from random import Random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.config import PROBE_SCHEDULER_NAMES
 from repro.sim.runtime import default_member_names
@@ -39,9 +39,21 @@ FAULT_KINDS = (
     "crash",       # point: permanent ungraceful stop
     "leave",       # point: graceful departure
     "join",        # point: a brand-new member joins via a seed member
+    "zone_partition",  # windowed: named *zones* cut off at epoch barriers
 )
 
-_WINDOWED = frozenset({"block", "cpu_stress", "partition", "loss", "link_loss", "flap"})
+_WINDOWED = frozenset(
+    {"block", "cpu_stress", "partition", "loss", "link_loss", "flap",
+     "zone_partition"}
+)
+
+#: Fault kinds the zoned runner supports. Zone-local faults plus the
+#: zone-level partition; ``partition``/``link_loss`` address the flat
+#: network fabric and ``join`` the flat namespace, so zoned scenarios
+#: exclude them.
+ZONED_FAULT_KINDS = frozenset(
+    {"block", "loss", "flap", "crash", "leave", "zone_partition"}
+)
 
 
 @dataclass(frozen=True)
@@ -72,7 +84,7 @@ class FaultEntry:
             if len(self.members) != 2 or self.members[0] == self.members[1]:
                 raise ValueError("link_loss needs two distinct members (src, dst)")
         if self.kind in ("block", "cpu_stress", "partition", "flap", "crash",
-                         "leave", "join") and not self.members:
+                         "leave", "join", "zone_partition") and not self.members:
             raise ValueError(f"{self.kind} fault needs at least one member")
 
     @property
@@ -124,6 +136,10 @@ class ScenarioSpec:
     #: :mod:`repro.swim.probe_scheduler`). The invariant oracles are
     #: strategy-agnostic and must hold for every value.
     scheduler: str = "round-robin"
+    #: Zone count for hierarchical scenarios (0 = flat). Zoned specs run
+    #: on a :class:`~repro.zones.cluster.ZonedCluster`: member names come
+    #: from the zone layout and only :data:`ZONED_FAULT_KINDS` apply.
+    zones: int = 0
 
     def validate(self) -> None:
         if self.n_members < 2:
@@ -134,7 +150,21 @@ class ScenarioSpec:
             raise ValueError("horizon must be > 0 and settle >= 0")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("ambient loss_rate must be in [0, 1)")
-        base = set(default_member_names(self.n_members))
+        if self.zones < 0:
+            raise ValueError("zones must be >= 0")
+        zone_names: set = set()
+        if self.zones:
+            if self.n_members < 2 * self.zones:
+                raise ValueError(
+                    "zoned scenarios need n_members >= 2 * zones"
+                )
+            from repro.zones.topology import build_layout
+
+            layout = build_layout(self.n_members, self.zones)
+            base = set(layout.roster())
+            zone_names = {zone.name for zone in layout.zones}
+        else:
+            base = set(default_member_names(self.n_members))
         joined: set = set()
         for entry in self.faults:
             entry.validate()
@@ -142,6 +172,25 @@ class ScenarioSpec:
                 raise ValueError(
                     f"fault {entry.kind}@{entry.start} ends after the horizon"
                 )
+            if self.zones and entry.kind not in ZONED_FAULT_KINDS:
+                raise ValueError(
+                    f"fault kind {entry.kind!r} is not supported in zoned "
+                    "scenarios"
+                )
+            if entry.kind == "zone_partition":
+                if not self.zones:
+                    raise ValueError("zone_partition needs a zoned scenario")
+                unknown = set(entry.members) - zone_names
+                if unknown:
+                    raise ValueError(
+                        f"zone_partition references unknown zones {sorted(unknown)}"
+                    )
+                if not 0 < len(entry.members) < self.zones:
+                    raise ValueError(
+                        "zone_partition must isolate a strict, non-empty "
+                        "subset of the zones"
+                    )
+                continue
             if entry.kind == "join":
                 joined.update(entry.members)
                 continue
@@ -158,7 +207,7 @@ class ScenarioSpec:
         return self.horizon + self.settle
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "schema": SCENARIO_SCHEMA,
             "seed": self.seed,
             "n_members": self.n_members,
@@ -172,6 +221,11 @@ class ScenarioSpec:
             "scheduler": self.scheduler,
             "faults": [entry.as_dict() for entry in self.faults],
         }
+        # Omitted when flat so historical artifacts and fuzz-trace goldens
+        # (which hash this dict) stay byte-identical.
+        if self.zones:
+            out["zones"] = self.zones
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
@@ -189,6 +243,7 @@ class ScenarioSpec:
             loss_rate=float(data.get("loss_rate", 0.0)),
             sync=bool(data.get("sync", True)),
             scheduler=data.get("scheduler", "round-robin"),
+            zones=int(data.get("zones", 0)),
             faults=tuple(
                 FaultEntry.from_dict(entry) for entry in data.get("faults", ())
             ),
@@ -232,6 +287,10 @@ class GeneratorParams:
         ("crash", 1.0),
         ("leave", 1.0),
         ("join", 1.0),
+        # Meaningless in flat scenarios; zero weight keeps flat draws
+        # byte-identical (zero-weight kinds never consume RNG). The zoned
+        # path substitutes a positive default when left at zero.
+        ("zone_partition", 0.0),
     )
     max_window: float = 20.0
     max_loss_rate: float = 0.5
@@ -245,6 +304,11 @@ class GeneratorParams:
     #: single-entry default keeps historical seeds byte-identical; pass
     #: several (or one non-default) to fuzz the other strategies.
     schedulers: Tuple[str, ...] = ("round-robin",)
+    #: Zone counts the sweep may assign (uniformly); ``0`` means flat.
+    #: The single-entry default consumes no RNG, preserving historical
+    #: seeds. Pass e.g. ``(4,)`` for all-zoned sweeps or ``(0, 4)`` to
+    #: mix flat and zoned scenarios.
+    zone_counts: Tuple[int, ...] = (0,)
 
     def validate(self) -> None:
         if not 2 <= self.min_members <= self.max_members:
@@ -264,6 +328,11 @@ class GeneratorParams:
         for name in self.schedulers:
             if name not in PROBE_SCHEDULER_NAMES:
                 raise ValueError(f"unknown probe scheduler {name!r}")
+        if not self.zone_counts:
+            raise ValueError("need at least one zone count")
+        for count in self.zone_counts:
+            if count != 0 and count < 2:
+                raise ValueError("zone counts must be 0 (flat) or >= 2")
 
 
 def _weighted_choice(rng: Random, weights: Sequence[Tuple[str, float]]) -> str:
@@ -288,6 +357,14 @@ def generate_scenario(
     # Decorrelate the schedule stream from the simulation streams (which
     # also derive from `seed`) so nearby seeds explore different schedules.
     rng = Random((seed * 0x9E3779B1 + 0x7F4A7C15) & 0xFFFFFFFF)
+    # Drawn first, but the single-entry default consumes no RNG — flat
+    # sweeps (and every historical seed) are byte-for-byte unchanged.
+    if len(params.zone_counts) == 1:
+        zones = params.zone_counts[0]
+    else:
+        zones = params.zone_counts[rng.randrange(len(params.zone_counts))]
+    if zones:
+        return _generate_zoned_scenario(seed, params, rng, zones)
     n = rng.randint(params.min_members, params.max_members)
     names = default_member_names(n)
     configuration = params.configurations[
@@ -360,6 +437,97 @@ def generate_scenario(
         faults=tuple(faults),
         sync=sync,
         scheduler=scheduler,
+    )
+    spec.validate()
+    return spec
+
+
+def _generate_zoned_scenario(
+    seed: int, params: GeneratorParams, rng: Random, zones: int
+) -> ScenarioSpec:
+    """Zoned arm of :func:`generate_scenario`.
+
+    Mirrors the flat generator's structure but draws members from a zone
+    layout, restricts faults to :data:`ZONED_FAULT_KINDS`, and may cut
+    whole zones off with ``zone_partition`` windows.
+    """
+    from repro.zones.topology import build_layout
+
+    lo = max(params.min_members, 2 * zones)
+    hi = max(params.max_members, lo)
+    n = rng.randint(lo, hi)
+    layout = build_layout(n, zones)
+    names = list(layout.roster())
+    zone_names = [zone.name for zone in layout.zones]
+    configuration = params.configurations[
+        rng.randrange(len(params.configurations))
+    ]
+    horizon = params.horizon
+
+    weights = [
+        (kind, weight)
+        for kind, weight in params.weights
+        if kind in ZONED_FAULT_KINDS and weight > 0
+    ]
+    if not any(kind == "zone_partition" for kind, _ in weights):
+        weights.append(("zone_partition", 1.5))
+
+    # Each zone's first member doubles as its first bridge and its rejoin
+    # anchor: keeping it out of churn guarantees every zone retains a
+    # live claim forwarder, which is what makes cross-zone convergence a
+    # checkable obligation rather than a best-effort hope.
+    anchors = {zone.members[0] for zone in layout.zones}
+    churn_budget = max(1, int(n * params.max_churn_fraction))
+    churned: set = set()
+    faults: List[FaultEntry] = []
+    n_faults = rng.randint(params.min_faults, params.max_faults)
+    for _ in range(n_faults):
+        kind = _weighted_choice(rng, weights)
+        if kind in ("crash", "flap", "leave") and len(churned) >= churn_budget:
+            kind = "block"
+        start = round(rng.uniform(0.5, horizon * 0.75), 3)
+        window = round(rng.uniform(1.5, min(params.max_window, horizon - start)), 3)
+        if kind == "block":
+            count = rng.randint(1, max(1, min(3, n - 2)))
+            members = tuple(rng.sample(names, count))
+            faults.append(FaultEntry("block", start, window, members))
+        elif kind == "loss":
+            rate = round(rng.uniform(0.15, params.max_loss_rate), 3)
+            faults.append(FaultEntry("loss", start, window, (), rate))
+        elif kind == "zone_partition":
+            count = rng.randint(1, max(1, zones // 2))
+            isolated = tuple(rng.sample(zone_names, count))
+            faults.append(FaultEntry("zone_partition", start, window, isolated))
+        elif kind in ("flap", "crash", "leave"):
+            candidates = [
+                m for m in names if m not in anchors and m not in churned
+            ]
+            if not candidates:
+                continue
+            member = candidates[rng.randrange(len(candidates))]
+            churned.add(member)
+            if kind == "flap":
+                outage = round(rng.uniform(2.0, min(15.0, horizon - start)), 3)
+                faults.append(FaultEntry("flap", start, outage, (member,)))
+            else:
+                faults.append(FaultEntry(kind, start, 0.0, (member,)))
+    faults.sort(key=lambda entry: (entry.start, entry.kind, entry.members))
+    sync = rng.random() >= params.sync_off_fraction
+    if len(params.schedulers) == 1:
+        scheduler = params.schedulers[0]
+    else:
+        scheduler = params.schedulers[rng.randrange(len(params.schedulers))]
+
+    spec = ScenarioSpec(
+        seed=seed,
+        n_members=n,
+        configuration=configuration,
+        horizon=horizon,
+        settle=params.settle,
+        faults=tuple(faults),
+        sync=sync,
+        scheduler=scheduler,
+        zones=zones,
     )
     spec.validate()
     return spec

@@ -99,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="members under CPU stress (default: 4)")
     stress.add_argument("-t", "--stress-time", type=float, default=300.0,
                         help="stress duration, seconds (default: 300)")
+    stress.add_argument("--zones", type=int, default=0,
+                        help="run on a hierarchical zoned cluster with this "
+                             "many zones (default: flat)")
+    stress.add_argument("--shards", type=int, default=1,
+                        help="worker processes for the zoned driver "
+                             "(requires --zones; result is shard-independent)")
     stress.add_argument("--profile", metavar="PSTATS_OUT",
                         help="run under cProfile and write pstats data "
                              "to this path (summary on stderr)")
@@ -162,6 +168,13 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (default: 1; "
                             "results are deterministic regardless)")
+    check.add_argument("--zones", type=int, default=0,
+                        help="fuzz hierarchical zoned clusters with this "
+                             "many zones per scenario (default: flat)")
+    check.add_argument("--shards", type=int, default=1,
+                        help="with --zones: also self-check that the sharded "
+                             "driver reproduces the 1-process trace with "
+                             "this many worker processes")
     check.add_argument("--scheduler", choices=PROBE_SCHEDULER_NAMES,
                        help="fuzz with this probe-scheduling strategy on "
                             "every generated scenario (default: round-robin)")
@@ -243,6 +256,9 @@ def _cmd_interval(args: argparse.Namespace) -> int:
 
 
 def _cmd_stress(args: argparse.Namespace) -> int:
+    if args.shards > 1 and not args.zones:
+        print("--shards requires --zones", file=sys.stderr)
+        return 2
     result = run_stress(
         StressParams(
             configuration=args.config,
@@ -252,11 +268,15 @@ def _cmd_stress(args: argparse.Namespace) -> int:
             alpha=args.alpha,
             beta=args.beta,
             seed=args.seed,
+            zones=args.zones,
+            shards=args.shards,
         )
     )
     if args.json:
         return _emit_json("stress-result", result.as_dict())
     print(f"configuration : {args.config}")
+    if args.zones:
+        print(f"zones         : {args.zones} ({args.shards} shard(s))")
     print(f"stressed      : {', '.join(sorted(result.stressed))}")
     print(f"total FP      : {result.total_false_positives}")
     print(f"FP at healthy : {result.false_positives_at_healthy}")
@@ -346,7 +366,6 @@ def _cmd_check(args: argparse.Namespace) -> int:
     import os
 
     from repro.check.runner import (
-        build_artifact,
         replay_file,
         run_partitioned_sweep,
         write_artifact,
@@ -367,11 +386,47 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 print(f"  {violation}")
         return 0 if result.ok else 1
 
+    if args.shards > 1 and not args.zones:
+        print("--shards requires --zones", file=sys.stderr)
+        return 2
+
     params = None
-    if args.scheduler:
+    if args.scheduler or args.zones:
         from repro.check.scenarios import GeneratorParams
 
-        params = GeneratorParams(schedulers=(args.scheduler,))
+        overrides = {}
+        if args.scheduler:
+            overrides["schedulers"] = (args.scheduler,)
+        if args.zones:
+            overrides["zone_counts"] = (args.zones,)
+        params = GeneratorParams(**overrides)
+
+    if args.zones and args.shards > 1:
+        # Pre-sweep self-check: the sharded driver must replay the
+        # 1-process trace bit-for-bit before we trust it with anything.
+        from repro.zones.sharded import run_zoned
+
+        single = run_zoned(
+            16 * args.zones, seed=args.start_seed,
+            zone_count=args.zones, duration=30.0, shards=1,
+        )
+        sharded = run_zoned(
+            16 * args.zones, seed=args.start_seed,
+            zone_count=args.zones, duration=30.0, shards=args.shards,
+        )
+        if single.digest != sharded.digest:
+            print(
+                "shard equivalence FAILED: 1-process digest "
+                f"{single.digest[:16]}... != {sharded.shards}-shard digest "
+                f"{sharded.digest[:16]}...",
+                file=sys.stderr,
+            )
+            return 1
+        if not args.json:
+            print(
+                f"shard equivalence ok ({sharded.shards} shards, "
+                f"digest {single.digest[:16]}...)"
+            )
 
     registry = MetricsRegistry()
     progress = None

@@ -202,6 +202,24 @@ class SwimConfig:
     admin_degraded_lhm: int = 2
 
     # ------------------------------------------------------------------ #
+    # Hierarchical zones (see :mod:`repro.zones` and docs/ZONES.md).
+    # Flat clusters keep every default: ``zone == ""`` means "no zone"
+    # and leaves the wire format and all seeded traces untouched.
+    # ------------------------------------------------------------------ #
+    #: Name of the zone this member belongs to (``""`` = flat cluster).
+    zone: str = ""
+    #: Total number of zones in the deployment (``0`` = flat cluster).
+    #: Informational on a member; drives topology construction in
+    #: :class:`repro.zones.ZonedCluster`.
+    zone_count: int = 0
+    #: How many members per zone run the cross-zone bridge layer.
+    bridges_per_zone: int = 1
+    #: Interval between cross-zone digest rounds (seconds). Under the
+    #: sharded simulation driver this is also the epoch length, i.e. the
+    #: fixed cross-zone latency floor.
+    cross_zone_interval: float = 1.0
+
+    # ------------------------------------------------------------------ #
     # Lifeguard component switches
     # ------------------------------------------------------------------ #
     flags: LifeguardFlags = dataclasses.field(default_factory=LifeguardFlags)
@@ -264,6 +282,14 @@ class SwimConfig:
             raise ValueError("admin_host must be non-empty")
         if self.admin_degraded_lhm < 0:
             raise ValueError("admin_degraded_lhm must be non-negative")
+        if len(self.zone.encode("utf-8")) > 255:
+            raise ValueError("zone must encode to <= 255 bytes")
+        if self.zone_count < 0:
+            raise ValueError("zone_count must be non-negative")
+        if self.bridges_per_zone < 1:
+            raise ValueError("bridges_per_zone must be >= 1")
+        if self.cross_zone_interval <= 0:
+            raise ValueError("cross_zone_interval must be positive")
 
     def replace(self, **changes: object) -> "SwimConfig":
         """Return a copy of this config with ``changes`` applied."""

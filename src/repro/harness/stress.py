@@ -48,10 +48,20 @@ class StressParams:
     #: still attributed to the experiment (log-analysis tail).
     tail: float = 10.0
     seed: int = 0
+    #: When > 0, run the scenario on a hierarchical zoned cluster with
+    #: this many zones (see :mod:`repro.zones`) instead of a flat group.
+    zones: int = 0
+    #: Worker processes for the zoned driver (only meaningful with
+    #: ``zones > 0``); the result is shard-count independent.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not 0 < self.n_stressed < self.n_members:
             raise ValueError("need 0 < n_stressed < n_members")
+        if self.zones < 0 or self.shards < 1:
+            raise ValueError("need zones >= 0 and shards >= 1")
+        if self.zones and self.n_members < 2 * self.zones:
+            raise ValueError("zoned stress needs n_members >= 2 * zones")
 
 
 @dataclass
@@ -83,8 +93,68 @@ class StressResult:
         }
 
 
+def _run_stress_zoned(params: StressParams) -> StressResult:
+    """The CPU-exhaustion scenario on a hierarchical zoned cluster.
+
+    Mirrors the flat run exactly — same picker and per-member burst
+    seeds — but drives a :class:`~repro.zones.cluster.ZonedCluster`
+    through the sharded driver, which replays the identical trace for
+    any shard count. False positives are classified over the serialized
+    member events every zone ships back.
+    """
+    from repro.swim.events import EventKind, MemberEvent
+    from repro.zones.sharded import StressWindow, run_zoned
+    from repro.zones.topology import build_layout
+
+    config = make_config(params.configuration, params.alpha, params.beta)
+    config = config.replace(zone_count=params.zones)
+    layout = build_layout(
+        params.n_members, params.zones, config.bridges_per_zone
+    )
+    names = list(layout.roster())
+    picker = random.Random(params.seed * 2_147_483_629 + 17)
+    stressed = picker.sample(names, params.n_stressed)
+    start = params.quiesce
+    windows = tuple(
+        StressWindow(
+            member=member,
+            start=start,
+            duration=params.stress_duration,
+            burst_seed=params.seed * 7_368_787 + index * 104_729 + 3,
+            mean_blocked=params.mean_blocked,
+            mean_runnable=params.mean_runnable,
+            long_stall_prob=params.long_stall_prob,
+            mean_long_stall=params.mean_long_stall,
+        )
+        for index, member in enumerate(stressed)
+    )
+    end = start + params.stress_duration
+    result = run_zoned(
+        params.n_members,
+        config,
+        seed=params.seed,
+        zone_count=params.zones,
+        duration=end + params.tail,
+        shards=params.shards,
+        stress_windows=windows,
+        return_events=True,
+    )
+    events = [
+        MemberEvent(time, observer, subject, EventKind[kind], incarnation)
+        for time, observer, subject, kind, incarnation in result.member_events
+    ]
+    stats = classify_false_positives(
+        events, set(stressed), since=start, until=end + params.tail
+    )
+    return StressResult(
+        params=params, stressed=list(stressed), false_positives=stats
+    )
+
+
 def run_stress(params: StressParams) -> StressResult:
     """Execute one CPU-exhaustion experiment in the simulator."""
+    if params.zones:
+        return _run_stress_zoned(params)
     config = make_config(params.configuration, params.alpha, params.beta)
     cluster = SimCluster(
         n_members=params.n_members, config=config, seed=params.seed

@@ -153,6 +153,7 @@ class SimCluster:
                     node.members.add(
                         other, other, 1, MemberState.ALIVE, now,
                         meta=self.nodes[other].meta,
+                        zone=self.nodes[other].members.local.zone,
                     )
             for node in self.nodes.values():
                 node.start()

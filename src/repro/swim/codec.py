@@ -34,6 +34,8 @@ from repro.swim.messages import (
     PushPull,
     Suspect,
     UserEvent,
+    ZoneClaim,
+    ZoneDigest,
 )
 
 # Wire type tags.
@@ -47,6 +49,11 @@ T_DEAD = 0x07
 T_PUSH_PULL = 0x08
 T_COMPOUND = 0x09
 T_USER_EVENT = 0x0A
+# Hierarchical zones (repro.zones). A zoneless Alive still encodes as
+# T_ALIVE, so flat-cluster traffic is byte-identical to earlier versions.
+T_ALIVE_Z = 0x0B
+T_ZONE_DIGEST = 0x0C
+T_ZONE_CLAIM = 0x0D
 
 #: Application metadata limit per member (memberlist's MetaMaxSize).
 MAX_META_SIZE = 512
@@ -64,6 +71,9 @@ _U64_U8_U16 = struct.Struct(">QBH")
 #: empty-meta encode case (identical bytes to packing the four fields
 #: separately with a zero-length meta body).
 _U64_U8_U16_U32 = struct.Struct(">QBHI")
+#: Fixed body of a zone digest: four u32 state counts, the zone's max
+#: incarnation and a u64 hash of its membership view.
+_ZONE_DIGEST_BODY = struct.Struct(">IIIIQQ")
 
 # Pre-bound struct methods: the push-pull encode/decode loops run once
 # per state entry per sync round, where attribute lookups on the Struct
@@ -166,11 +176,19 @@ def _encode_into(message: Message, out: List[bytes]) -> None:
         _put_str(out, message.member)
         _put_str(out, message.sender)
     elif isinstance(message, Alive):
-        out.append(bytes((T_ALIVE,)))
-        out.append(_U64.pack(message.incarnation))
-        _put_str(out, message.member)
-        _put_str(out, message.address)
-        _put_bytes(out, message.meta, MAX_META_SIZE)
+        if message.zone:
+            out.append(bytes((T_ALIVE_Z,)))
+            out.append(_U64.pack(message.incarnation))
+            _put_str(out, message.member)
+            _put_str(out, message.address)
+            _put_bytes(out, message.meta, MAX_META_SIZE)
+            _put_str(out, message.zone)
+        else:
+            out.append(bytes((T_ALIVE,)))
+            out.append(_U64.pack(message.incarnation))
+            _put_str(out, message.member)
+            _put_str(out, message.address)
+            _put_bytes(out, message.meta, MAX_META_SIZE)
     elif isinstance(message, Dead):
         out.append(bytes((T_DEAD,)))
         out.append(_U64.pack(message.incarnation))
@@ -245,6 +263,25 @@ def _encode_into(message: Message, out: List[bytes]) -> None:
             append(_pack_u16(len(meta)))
             append(meta)
             append(_pack_u32(min(max(int(age_ms), 0), 0xFFFFFFFF)))
+    elif isinstance(message, ZoneDigest):
+        out.append(bytes((T_ZONE_DIGEST,)))
+        _put_str(out, message.zone)
+        _put_str(out, message.source)
+        out.append(
+            _ZONE_DIGEST_BODY.pack(
+                message.alive,
+                message.suspect,
+                message.dead,
+                message.left,
+                message.max_incarnation,
+                message.view_hash,
+            )
+        )
+    elif isinstance(message, ZoneClaim):
+        out.append(bytes((T_ZONE_CLAIM,)))
+        _put_str(out, message.zone)
+        _put_str(out, message.member)
+        out.append(_U64_U8.pack(message.incarnation, message.state_value))
     elif isinstance(message, Compound):
         out.append(bytes((T_COMPOUND,)))
         if len(message.parts) > 0xFFFF:
@@ -321,6 +358,13 @@ def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
         address, offset = _get_str(buf, offset)
         meta, offset = _get_bytes(buf, offset)
         return Alive(incarnation, member, address, meta), offset
+    if tag == T_ALIVE_Z:
+        incarnation, offset = _get_u64(buf, offset)
+        member, offset = _get_str(buf, offset)
+        address, offset = _get_str(buf, offset)
+        meta, offset = _get_bytes(buf, offset)
+        zone, offset = _get_str(buf, offset)
+        return Alive(incarnation, member, address, meta, zone), offset
     if tag == T_DEAD:
         incarnation, offset = _get_u64(buf, offset)
         member, offset = _get_str(buf, offset)
@@ -405,6 +449,22 @@ def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
             PushPull(source, tuple(states), bool(flags & 1), bool(flags & 2)),
             offset,
         )
+    if tag == T_ZONE_DIGEST:
+        zone, offset = _get_str(buf, offset)
+        source, offset = _get_str(buf, offset)
+        if offset + _ZONE_DIGEST_BODY.size > len(buf):
+            raise CodecError("truncated zone digest")
+        body = _ZONE_DIGEST_BODY.unpack_from(buf, offset)
+        offset += _ZONE_DIGEST_BODY.size
+        return ZoneDigest(zone, source, *body), offset
+    if tag == T_ZONE_CLAIM:
+        zone, offset = _get_str(buf, offset)
+        member, offset = _get_str(buf, offset)
+        if offset + 9 > len(buf):
+            raise CodecError("truncated zone claim")
+        incarnation, state_value = _unpack_u64_u8_from(buf, offset)
+        offset += 9
+        return ZoneClaim(zone, member, incarnation, state_value), offset
     if tag == T_COMPOUND:
         count, offset = _get_u16(buf, offset)
         if count == 0:

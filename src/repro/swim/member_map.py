@@ -148,6 +148,7 @@ class Member:
         "state",
         "state_changed_at",
         "meta",
+        "zone",
     )
 
     def __init__(
@@ -158,6 +159,7 @@ class Member:
         state: MemberState,
         state_changed_at: float,
         meta: bytes = b"",
+        zone: str = "",
     ) -> None:
         self.name = name
         self.address = address
@@ -169,6 +171,9 @@ class Member:
         #: Application metadata carried in the member's alive claims
         #: (roles, tags — Consul/Serf style).
         self.meta = meta
+        #: Zone tag in hierarchical deployments (:mod:`repro.zones`);
+        #: ``""`` in flat clusters.
+        self.zone = zone
 
     @property
     def is_alive(self) -> bool:
@@ -222,6 +227,7 @@ class MemberMap:
         local_address: str,
         rng: random.Random,
         probe_scheduler: Optional[ProbeScheduler] = None,
+        zone: str = "",
     ) -> None:
         self._local_name = local_name
         self._rng = rng
@@ -229,7 +235,7 @@ class MemberMap:
         self._scheduler = probe_scheduler or RoundRobinScheduler()
         self._scheduler.bind(self, rng)
         self._members[local_name] = Member(
-            local_name, local_address, 1, MemberState.ALIVE, 0.0
+            local_name, local_address, 1, MemberState.ALIVE, 0.0, zone=zone
         )
         # Maintained incrementally: suspicion-timeout scaling consults the
         # alive count on every new suspicion, gossip candidate selection
@@ -375,6 +381,7 @@ class MemberMap:
         state: MemberState,
         now: float,
         meta: bytes = b"",
+        zone: str = "",
     ) -> Member:
         """Insert a newly learned member.
 
@@ -383,7 +390,7 @@ class MemberMap:
         """
         if name in self._members:
             raise ValueError(f"member {name!r} already known")
-        member = Member(name, address, incarnation, state, now, meta)
+        member = Member(name, address, incarnation, state, now, meta, zone)
         self._members[name] = member
         self._state_counts[state] += 1
         self._version += 1
@@ -427,6 +434,7 @@ class MemberMap:
         address: Optional[str] = None,
         meta: Optional[bytes] = None,
         age: float = 0.0,
+        zone: str = "",
     ) -> MergeDecision:
         """Merge one remote claim under the shared precedence rules.
 
@@ -451,7 +459,7 @@ class MemberMap:
         member = self._members.get(name)
         if member is None:
             if state is MemberState.ALIVE and address is not None:
-                self.add(name, address, incarnation, state, now, meta or b"")
+                self.add(name, address, incarnation, state, now, meta or b"", zone)
                 return MergeDecision(name, state, incarnation, MERGE_ADDED)
             return MergeDecision(name, state, incarnation, MERGE_IGNORED)
         previous = member.state
@@ -466,6 +474,9 @@ class MemberMap:
             if meta is not None and member.meta != meta:
                 meta_changed = True
                 member.meta = meta
+                self._version += 1
+            if zone and member.zone != zone:
+                member.zone = zone
                 self._version += 1
         elif member.is_dead and age > 0.0:
             member.state_changed_at = min(member.state_changed_at, now - age)

@@ -87,12 +87,17 @@ class Alive:
     gossip alone, plus the member's application metadata (memberlist's
     ``Meta``: Consul/Serf use it for roles and tags). Metadata updates
     ride on refreshed alive claims.
+
+    ``zone`` tags the member with its zone in hierarchical deployments
+    (:mod:`repro.zones`); ``""`` means a flat cluster and encodes to the
+    legacy wire form, byte-for-byte.
     """
 
     incarnation: int
     member: str
     address: str
     meta: bytes = b""
+    zone: str = ""
 
 
 @dataclass(frozen=True)
@@ -184,6 +189,45 @@ class PushPull:
 
 
 @dataclass(frozen=True)
+class ZoneDigest:
+    """Compact cross-zone summary gossiped between bridge members
+    (:mod:`repro.zones`): the sending zone's member counts by state, its
+    highest incarnation and a hash of its full membership view. Remote
+    bridges use digests as a liveness signal for whole zones and to
+    detect divergence cheaply without shipping full state.
+    """
+
+    zone: str
+    source: str
+    alive: int
+    suspect: int
+    dead: int
+    left: int
+    max_incarnation: int
+    view_hash: int
+
+
+@dataclass(frozen=True)
+class ZoneClaim:
+    """A terminal-or-refuting membership claim forwarded across zones by
+    a bridge member: DEAD/LEFT verdicts reached inside the origin zone,
+    and the ALIVE refutations/rejoins that supersede them. Receiving
+    bridges merge the claim into their directory through
+    :meth:`repro.swim.member_map.MemberMap.merge_claim`, so the ordinary
+    incarnation-precedence rules arbitrate cross-zone races.
+    """
+
+    zone: str
+    member: str
+    incarnation: int
+    state_value: int
+
+    @property
+    def state(self) -> MemberState:
+        return _STATE_BY_VALUE[self.state_value]
+
+
+@dataclass(frozen=True)
 class Compound:
     """Several messages in one packet: a primary failure-detector message
     (or dedicated gossip) plus piggybacked gossip payloads."""
@@ -201,7 +245,18 @@ class Compound:
 
 #: Every concrete protocol message type.
 Message = Union[
-    Ping, PingReq, Ack, Nack, Suspect, Alive, Dead, UserEvent, PushPull, Compound
+    Ping,
+    PingReq,
+    Ack,
+    Nack,
+    Suspect,
+    Alive,
+    Dead,
+    UserEvent,
+    PushPull,
+    ZoneDigest,
+    ZoneClaim,
+    Compound,
 ]
 
 #: Messages that are disseminated via gossip (and are piggybackable).

@@ -175,6 +175,7 @@ class SwimNode:
             transport.local_address,
             self._rng,
             probe_scheduler=self._probe_scheduler,
+            zone=config.zone,
         )
         self._members.set_local_meta(meta)
         # The largest broadcast any packet can carry: the dedicated gossip
@@ -300,7 +301,7 @@ class SwimNode:
         self._members.set_local_meta(meta)
         self._members.bump_local_incarnation(local.incarnation)
         self._broadcasts.enqueue(
-            Alive(local.incarnation, self.name, local.address, meta)
+            Alive(local.incarnation, self.name, local.address, meta, local.zone)
         )
 
     def set_gossip_overlay(self, neighbors: Optional[Sequence[str]]) -> None:
@@ -568,8 +569,36 @@ class SwimNode:
                 continue
             self._sync.offer_sync(address, join=True)
         self._broadcasts.enqueue(
-            Alive(local.incarnation, self.name, local.address, local.meta)
+            Alive(local.incarnation, self.name, local.address, local.meta, local.zone)
         )
+
+    def apply_external_claim(
+        self, name: str, state: MemberState, incarnation: int
+    ) -> bool:
+        """Ingest one membership claim from outside the packet path.
+
+        Built for hierarchical layers (zone bridges) that learn about
+        members through side channels: the claim runs through the exact
+        merge-precedence and reaction machinery a gossiped claim would —
+        including refutation when the claim wrongly declares *this* node
+        SUSPECT or DEAD, which is the only way a member victimized while
+        its zone could not tell it ever reclaims its liveness. Returns
+        ``True`` when local state changed (or a refutation fired).
+        """
+        if not self._running:
+            return False
+        if state is MemberState.SUSPECT and name != self.name:
+            # Suspicion must run through the timer machinery. Merging it
+            # straight into the map would strand a SUSPECT entry whose
+            # timer never fires, so the suspicion could neither expire
+            # nor decay.
+            self._handle_suspect(Suspect(incarnation, name, self.name))
+            member = self._members.get(name)
+            return member is not None and member.is_suspect
+        decision = self._members.merge_claim(
+            name, state, incarnation, self._clock()
+        )
+        return self._apply_merge_decision(decision, self.name)
 
     def leave(self) -> None:
         """Announce a graceful departure (a ``dead`` message about oneself
@@ -963,7 +992,7 @@ class SwimNode:
         new_incarnation = self._members.bump_local_incarnation(claimed_incarnation)
         self._lhm.note(LhmEvent.REFUTE_SELF)
         self._broadcasts.enqueue(
-            Alive(new_incarnation, self.name, local.address, local.meta)
+            Alive(new_incarnation, self.name, local.address, local.meta, local.zone)
         )
 
     # ------------------------------------------------------------------ #
@@ -985,6 +1014,7 @@ class SwimNode:
             self._clock(),
             address=message.address,
             meta=message.meta,
+            zone=message.zone,
         )
         self._apply_merge_decision(decision, message.member)
 
@@ -1058,7 +1088,10 @@ class SwimNode:
             assert member is not None
             self._emit(EventKind.JOINED, name, decision.incarnation, now)
             self._broadcasts.enqueue(
-                Alive(decision.incarnation, name, member.address, member.meta)
+                Alive(
+                    decision.incarnation, name, member.address, member.meta,
+                    member.zone,
+                )
             )
             return True
         if decision.action != MERGE_APPLIED:
@@ -1076,7 +1109,10 @@ class SwimNode:
             elif decision.meta_changed:
                 self._emit(EventKind.UPDATED, name, decision.incarnation, now)
             self._broadcasts.enqueue(
-                Alive(decision.incarnation, name, member.address, member.meta)
+                Alive(
+                    decision.incarnation, name, member.address, member.meta,
+                    member.zone,
+                )
             )
             return True
         is_leave = decision.state is MemberState.LEFT

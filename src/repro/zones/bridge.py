@@ -1,0 +1,405 @@
+"""The cross-zone layer: zone bridges.
+
+A handful of members per zone (``bridges_per_zone``, a prefix of the
+zone roster) additionally run a :class:`ZoneBridge`. The bridge owns a
+*directory* — a full :class:`~repro.swim.member_map.MemberMap` preseeded
+with the global roster — and keeps it current through two channels:
+
+* **Local observation.** The bridge listens to its own node's member
+  events. Terminal transitions (FAILED → ``Dead``, LEFT) and
+  refutations/joins (RESTORED/JOINED → ``Alive``) about *own-zone*
+  members are merged into the directory and forwarded to every remote
+  bridge as :class:`~repro.swim.messages.ZoneClaim` gossip.
+* **Cross-zone gossip.** Each ``cross_zone_interval`` the bridge emits a
+  compact :class:`~repro.swim.messages.ZoneDigest` of its zone (member
+  counts by state, max incarnation, a view hash) to every remote bridge,
+  and re-advertises every own-zone member whose state is no longer the
+  bootstrap default (non-ALIVE, or incarnation above 1). The
+  re-advertisement is anti-entropy: claims lost to a zone partition are
+  replayed every interval until the remote directories converge, and
+  duplicates die in ``merge_claim`` precedence.
+* **Echo-back.** Non-default directory entries about *remote* members
+  are likewise re-advertised — but only to the subject's own zone. A
+  bridge that receives a claim about an own-zone member hands it to the
+  zone-local protocol (:meth:`SwimNode.apply_external_claim`), so a
+  member wrongly declared dead while its zone could not tell it (say,
+  the sole witness left) eventually hears the claim and refutes with an
+  incarnation bump — SWIM's only legitimate resurrection path, now
+  working across the zone boundary.
+
+Zone *unreachability* is a soft, local verdict: a remote zone whose
+digests have been silent for :data:`UNREACHABLE_INTERVALS` intervals is
+flagged, and the verdict is shared with other bridges as an advisory
+``ZoneClaim`` with an empty member name. The flag never touches the
+directory (a zone partition must not fabricate member deaths — exactly
+the false-positive class Lifeguard exists to suppress) and clears the
+moment digests resume.
+
+Determinism: the bridge never draws from its node's RNG — its directory
+uses a private stream derived from the zone seed — and its digest tick
+runs at fixed phases ``k * cross_zone_interval``, so attaching bridges
+perturbs no zone-local schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.config import SwimConfig
+from repro.sim.scheduler import EventScheduler
+from repro.swim.codec import encode
+from repro.swim.events import EventKind, MemberEvent
+from repro.swim.member_map import (
+    MERGE_ADDED,
+    MERGE_APPLIED,
+    MemberMap,
+)
+from repro.swim.messages import Message, ZoneClaim, ZoneDigest
+from repro.swim.node import SwimNode
+from repro.swim.state import MemberState
+from repro.zones.topology import Zone, ZoneLayout
+
+__all__ = ["ZoneBridge", "BridgeStats", "UNREACHABLE_INTERVALS"]
+
+#: Missed digest intervals before a remote zone is flagged unreachable.
+UNREACHABLE_INTERVALS = 4
+
+#: ``(dest zone name, dest bridge name, payload)`` — installed by the
+#: shard driver; appends to the epoch outbox.
+SendFn = Callable[[str, str, bytes], None]
+
+_FORWARDED_STATES: Dict[EventKind, MemberState] = {
+    EventKind.FAILED: MemberState.DEAD,
+    EventKind.LEFT: MemberState.LEFT,
+    EventKind.RESTORED: MemberState.ALIVE,
+    EventKind.JOINED: MemberState.ALIVE,
+}
+
+
+@dataclass
+class BridgeStats:
+    """Cross-zone traffic and verdict counters for one bridge."""
+
+    digests_sent: int = 0
+    digests_received: int = 0
+    claims_sent: int = 0
+    claims_received: int = 0
+    claims_applied: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    unreachable_marked: int = 0
+    unreachable_cleared: int = 0
+    verdicts_received: int = 0
+    #: Digest view hashes last seen per remote zone (observability).
+    last_view_hash: Dict[str, int] = field(default_factory=dict)
+
+
+class ZoneBridge:
+    """Cross-zone gossip agent attached to one zone member."""
+
+    def __init__(
+        self,
+        node: SwimNode,
+        zone: Zone,
+        layout: ZoneLayout,
+        config: SwimConfig,
+        scheduler: EventScheduler,
+        send: SendFn,
+        rng_seed: int = 0,
+    ) -> None:
+        self.node = node
+        self.zone = zone
+        self.layout = layout
+        self.interval = config.cross_zone_interval
+        self._scheduler = scheduler
+        self._send = send
+        self._roster = layout.roster()
+        self._peers: List[Tuple[str, str]] = layout.bridge_peers(zone.name)
+        self.stats = BridgeStats()
+
+        # The global directory. Private RNG: MemberMap draws on insert
+        # (probe-list placement), and the bridge must not consume its
+        # node's stream.
+        self.directory = MemberMap(
+            node.name, node.name, random.Random(rng_seed), zone=zone.name
+        )
+        for name, zone_name in self._roster.items():
+            if name == node.name:
+                continue
+            self.directory.add(name, name, 1, MemberState.ALIVE, 0.0, zone=zone_name)
+
+        #: Remote zones currently flagged unreachable (soft verdicts).
+        self.unreachable: Set[str] = set()
+        #: Advisory verdicts received from other bridges, counted per
+        #: subject zone; cleared when that zone's digests resume.
+        self.remote_verdicts: Dict[str, int] = {}
+        self._last_digest: Dict[str, float] = {
+            z.name: 0.0 for z in layout.zones if z.name != zone.name
+        }
+        self._next_tick = 0.0
+        node.add_listener(self._on_member_event)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Arm the digest tick at the first interval boundary."""
+        self._next_tick = self._scheduler.clock.now + self.interval
+        self._scheduler.call_at(self._next_tick, self._tick)
+
+    # ------------------------------------------------------------------ #
+    # Local observation -> forwarded claims
+    # ------------------------------------------------------------------ #
+
+    def _on_member_event(self, event: MemberEvent) -> None:
+        state = _FORWARDED_STATES.get(event.kind)
+        if state is None or not self.node.running:
+            return
+        subject_zone = self._roster.get(event.subject)
+        if subject_zone != self.zone.name:
+            # Only first-hand knowledge travels: each zone's bridges are
+            # the sole authority for their own members, which keeps the
+            # bridge mesh loop-free.
+            return
+        decision = self.directory.merge_claim(
+            event.subject,
+            state,
+            event.incarnation,
+            event.time,
+            address=event.subject,
+            zone=subject_zone,
+        )
+        if decision.action in (MERGE_APPLIED, MERGE_ADDED):
+            self._broadcast(
+                ZoneClaim(self.zone.name, event.subject, event.incarnation, int(state))
+            )
+
+    def _broadcast(self, message: Message) -> None:
+        payload = encode(message)
+        for dest_zone, dest_bridge in self._peers:
+            self._send(dest_zone, dest_bridge, payload)
+            self.stats.bytes_sent += len(payload)
+            if isinstance(message, ZoneDigest):
+                self.stats.digests_sent += 1
+            else:
+                self.stats.claims_sent += 1
+
+    def _send_to_zone(self, zone_name: str, message: Message) -> None:
+        """Send one claim to a single zone's bridges (echo-back path)."""
+        payload = encode(message)
+        for dest_zone, dest_bridge in self._peers:
+            if dest_zone != zone_name:
+                continue
+            self._send(dest_zone, dest_bridge, payload)
+            self.stats.bytes_sent += len(payload)
+            self.stats.claims_sent += 1
+
+    # ------------------------------------------------------------------ #
+    # Digest tick
+    # ------------------------------------------------------------------ #
+
+    def _tick(self) -> None:
+        self._next_tick += self.interval
+        self._scheduler.call_at(self._next_tick, self._tick)
+        if not self.node.running or self.node.paused:
+            # A crashed/blocked bridge falls silent; remote zones flag
+            # this zone unreachable once every bridge here is down.
+            return
+        now = self._scheduler.clock.now
+        self._sync_local_entry()
+        self._broadcast(self._build_digest())
+        own, echo = self._anti_entropy_claims()
+        for claim in own:
+            self._broadcast(claim)
+        for claim in echo:
+            self._send_to_zone(claim.zone, claim)
+        self._check_unreachable(now)
+
+    def _build_digest(self) -> ZoneDigest:
+        members = self.node.members
+        max_incarnation = 0
+        hasher = hashlib.blake2b(digest_size=8)
+        for member in sorted(members.members(), key=lambda m: m.name):
+            if member.incarnation > max_incarnation:
+                max_incarnation = member.incarnation
+            entry = f"{member.name}\x00{member.incarnation}\x00{int(member.state)};"
+            hasher.update(entry.encode())
+        return ZoneDigest(
+            self.zone.name,
+            self.node.name,
+            members.num_in_state(MemberState.ALIVE),
+            members.num_in_state(MemberState.SUSPECT),
+            members.num_in_state(MemberState.DEAD),
+            members.num_in_state(MemberState.LEFT),
+            max_incarnation,
+            int.from_bytes(hasher.digest(), "big"),
+        )
+
+    def _anti_entropy_claims(self) -> Tuple[List[ZoneClaim], List[ZoneClaim]]:
+        """Directory entries that departed from the bootstrap default,
+        re-advertised every tick.
+
+        Returns ``(own, echo)``: ``own`` covers this zone's members and
+        goes to every remote bridge (claims dropped by a zone partition
+        are replayed until remote directories converge); ``echo`` covers
+        remote members and goes only back to the subject's own zone,
+        giving a wrongly-written-off member the chance to hear the claim
+        and refute it. Both are idempotent under ``merge_claim``.
+        """
+        own: List[ZoneClaim] = []
+        echo: List[ZoneClaim] = []
+        for zone in self.layout.zones:
+            for name in zone.members:
+                member = self.directory.get(name)
+                if member is None:
+                    continue
+                if member.state is MemberState.ALIVE and member.incarnation <= 1:
+                    continue
+                if member.is_suspect:
+                    # Never re-advertise transient suspicion cross-zone.
+                    continue
+                claim = ZoneClaim(
+                    zone.name, name, member.incarnation, int(member.state)
+                )
+                if zone.name == self.zone.name:
+                    own.append(claim)
+                else:
+                    echo.append(claim)
+        return own, echo
+
+    def _sync_local_entry(self) -> None:
+        """Mirror the node's own incarnation into the directory.
+
+        The directory's entry for this very node is the map-local member,
+        which ``merge_claim`` never rewrites — so refutations (incarnation
+        bumps) the node performs would be invisible to the anti-entropy
+        re-advertisement without this explicit sync.
+        """
+        node_incarnation = self.node.members.local.incarnation
+        if self.directory.local.incarnation < node_incarnation:
+            self.directory.bump_local_incarnation(node_incarnation - 1)
+
+    def _check_unreachable(self, now: float) -> None:
+        horizon = UNREACHABLE_INTERVALS * self.interval
+        for zone_name, last in self._last_digest.items():
+            if now - last >= horizon:
+                if zone_name not in self.unreachable:
+                    self.unreachable.add(zone_name)
+                    self.stats.unreachable_marked += 1
+                    # Share the verdict as an advisory (empty member name).
+                    self._broadcast(ZoneClaim(zone_name, "", 0, int(MemberState.DEAD)))
+
+    # ------------------------------------------------------------------ #
+    # Inbound cross-zone traffic
+    # ------------------------------------------------------------------ #
+
+    def receive(self, payload: bytes, message: Optional[Message] = None) -> None:
+        """Handle one cross-zone payload (decoded lazily unless the
+        caller already has the message)."""
+        if not self.node.running:
+            return
+        if message is None:
+            from repro.swim.codec import decode
+
+            message = decode(payload)
+        self.stats.bytes_received += len(payload)
+        if isinstance(message, ZoneDigest):
+            self._on_digest(message)
+        elif isinstance(message, ZoneClaim):
+            if message.member:
+                self._on_claim(message)
+            else:
+                self._on_verdict(message)
+
+    def _on_digest(self, digest: ZoneDigest) -> None:
+        self.stats.digests_received += 1
+        self.stats.last_view_hash[digest.zone] = digest.view_hash
+        self._last_digest[digest.zone] = self._scheduler.clock.now
+        if digest.zone in self.unreachable:
+            self.unreachable.discard(digest.zone)
+            self.stats.unreachable_cleared += 1
+        self.remote_verdicts.pop(digest.zone, None)
+
+    def _on_claim(self, claim: ZoneClaim) -> None:
+        self.stats.claims_received += 1
+        if self._roster.get(claim.member) != claim.zone:
+            return
+        now = self._scheduler.clock.now
+        if claim.zone == self.zone.name:
+            # Echo-back delivery: another zone is replaying a claim about
+            # one of *our* members. Hand it to the zone-local protocol —
+            # if it wrongly declares this very node terminal, the node
+            # refutes on the spot with an incarnation bump; any other
+            # live subject hears it through zone gossip/sync and refutes
+            # itself. Then fold the zone-local truth (possibly just
+            # refreshed) back into the directory and, when that truth
+            # beats the echoed claim, broadcast the correction.
+            self.node.apply_external_claim(
+                claim.member, claim.state, claim.incarnation
+            )
+            if claim.member == self.node.name:
+                # The claim is about this very node: apply_external_claim
+                # refuted it on the spot (incarnation bump) if it was
+                # wrongly terminal. Sync the directory's local entry and
+                # push the correction out immediately rather than waiting
+                # for the next anti-entropy tick.
+                self._sync_local_entry()
+                local = self.node.members.local
+                if (
+                    claim.state is not MemberState.ALIVE
+                    and local.incarnation > claim.incarnation
+                ):
+                    self.stats.claims_applied += 1
+                    self._broadcast(
+                        ZoneClaim(
+                            claim.zone,
+                            claim.member,
+                            local.incarnation,
+                            int(MemberState.ALIVE),
+                        )
+                    )
+                return
+            member = self.node.members.get(claim.member)
+            if member is not None and member.is_suspect:
+                # Suspicion is a transient zone-local judgement: never
+                # advertise it across zones. The final verdict (FAILED
+                # or a refutation) flows through event forwarding once
+                # the suspicion timer resolves.
+                return
+            if member is not None:
+                state, incarnation = member.state, member.incarnation
+            else:
+                state, incarnation = claim.state, claim.incarnation
+            decision = self.directory.merge_claim(
+                claim.member, state, incarnation, now,
+                address=claim.member, zone=claim.zone,
+            )
+            if decision.action in (MERGE_APPLIED, MERGE_ADDED):
+                self.stats.claims_applied += 1
+                self._broadcast(
+                    ZoneClaim(claim.zone, claim.member, incarnation, int(state))
+                )
+            return
+        decision = self.directory.merge_claim(
+            claim.member,
+            claim.state,
+            claim.incarnation,
+            now,
+            address=claim.member,
+            zone=claim.zone,
+        )
+        if decision.action in (MERGE_APPLIED, MERGE_ADDED):
+            self.stats.claims_applied += 1
+
+    def _on_verdict(self, claim: ZoneClaim) -> None:
+        # Advisory only: another bridge lost contact with ``claim.zone``.
+        # Recorded for observability; local unreachability is always a
+        # first-hand judgement from this bridge's own digest silence.
+        self.stats.verdicts_received += 1
+        if claim.zone != self.zone.name:
+            seen = self.remote_verdicts.get(claim.zone, 0)
+            self.remote_verdicts[claim.zone] = seen + 1

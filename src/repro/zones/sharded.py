@@ -1,0 +1,357 @@
+"""Sharded multi-process driver for zoned clusters.
+
+Partitions the zones of a layout contiguously across a pool of worker
+processes, each hosting one :class:`~repro.zones.cluster.ZoneShard`.
+Workers advance in epoch lockstep: at every barrier each worker ships
+its cross-zone outbox to the master over a pipe, the master merges all
+outboxes into the canonical ``(src zone, send order)`` order and routes
+each message to the shard hosting its destination zone, and workers
+inject their inbound batch before running the next epoch.
+
+Because a shard's behavior depends only on (zone seeds, the routed
+message sequence at each barrier) — and the master's merge order is
+independent of the sharding — a seeded run produces the identical
+per-zone traces whether it runs on one process or many. ``run_zoned``
+returns the merged trace digest either way; the trace-equivalence test
+in ``tests/zones`` pins the 1-process and N-shard digests to each
+other and to a golden.
+
+The drivers here are fault-free (benchmarks and equivalence runs); the
+fuzzer drives faults through the in-process :class:`ZonedCluster`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import SwimConfig
+from repro.zones.cluster import (
+    CrossZoneMessage,
+    ZonedCluster,
+    ZoneShard,
+    digest_zone_cluster,
+    merge_zone_digests,
+)
+from repro.zones.topology import ZoneLayout, build_layout
+
+__all__ = ["StressWindow", "ZonedRunResult", "run_zoned", "shard_slices"]
+
+
+@dataclass(frozen=True)
+class StressWindow:
+    """Picklable CPU-stress prescription for one member.
+
+    The burst schedule is a pure function of ``burst_seed``, so the same
+    window produces the identical anomaly timeline in whichever worker
+    process hosts the member's zone — sharded stress runs stay on the
+    1-process trace.
+    """
+
+    member: str
+    start: float
+    duration: float
+    burst_seed: int
+    mean_blocked: float = 0.8
+    mean_runnable: float = 0.15
+    long_stall_prob: float = 0.12
+    mean_long_stall: float = 7.0
+
+
+#: Serialized member event: (time, observer, subject, kind name, incarnation).
+SerializedEvent = Tuple[float, str, str, str, int]
+
+
+@dataclass(frozen=True)
+class ZonedRunResult:
+    """Outcome of one zoned run (either driver)."""
+
+    digest: str
+    zone_digests: Dict[str, str]
+    events: int
+    executed: int
+    shards: int
+    wall_s: float
+    #: Populated only when ``return_events=True``: every zone's member
+    #: events, concatenated in zone order (within a zone, log order).
+    member_events: Tuple[SerializedEvent, ...] = ()
+
+
+def _apply_stress_windows(
+    shard: ZoneShard,
+    layout: ZoneLayout,
+    windows: Tuple[StressWindow, ...],
+) -> None:
+    """Install each window on the zone cluster hosting its member.
+
+    Windows about members outside this shard's zones are skipped; the
+    iteration order is the global ``windows`` order so that per-zone
+    anomaly schedules do not depend on the sharding.
+    """
+    zone_index = {zone.name: index for index, zone in enumerate(layout.zones)}
+    roster = layout.roster()
+    for window in windows:
+        zi = zone_index[roster[window.member]]
+        if zi not in shard.zone_indices:
+            continue
+        shard.clusters[zi].anomalies.cpu_stress(
+            window.member,
+            window.start,
+            window.duration,
+            random.Random(window.burst_seed),
+            mean_blocked=window.mean_blocked,
+            mean_runnable=window.mean_runnable,
+            long_stall_prob=window.long_stall_prob,
+            mean_long_stall=window.mean_long_stall,
+        )
+
+
+def _serialize_events(shard: ZoneShard) -> List[SerializedEvent]:
+    out: List[SerializedEvent] = []
+    for zi in shard.zone_indices:
+        for event in shard.clusters[zi].event_log.events:
+            out.append(
+                (
+                    event.time,
+                    event.observer,
+                    event.subject,
+                    event.kind.name,
+                    event.incarnation,
+                )
+            )
+    return out
+
+
+def shard_slices(zone_count: int, shards: int) -> List[Tuple[int, ...]]:
+    """Contiguous, near-even partition of zone indices across shards."""
+    shards = max(1, min(shards, zone_count))
+    base, remainder = divmod(zone_count, shards)
+    slices: List[Tuple[int, ...]] = []
+    offset = 0
+    for index in range(shards):
+        size = base + (1 if index < remainder else 0)
+        slices.append(tuple(range(offset, offset + size)))
+        offset += size
+    return slices
+
+
+def _count_exchanges(duration: float, epoch: float) -> int:
+    """Number of barrier exchanges a run of ``duration`` performs.
+
+    Replays the exact float arithmetic of the drive loops so master and
+    workers agree even when ``duration`` is not a clean multiple of the
+    epoch length.
+    """
+    now, barrier, count = 0.0, epoch, 0
+    while now < duration:
+        now = min(duration, barrier)
+        if now == barrier:
+            count += 1
+            barrier += epoch
+    return count
+
+
+def _shard_worker(
+    conn: Connection,
+    n_members: int,
+    zone_count: int,
+    bridges_per_zone: int,
+    config: SwimConfig,
+    seed: int,
+    zone_indices: Tuple[int, ...],
+    duration: float,
+    stress_windows: Tuple[StressWindow, ...],
+    return_events: bool,
+) -> None:
+    """Worker entry point: build the shard locally (layouts and seeds are
+    pure functions of the arguments, so nothing structural crosses the
+    pipe) and drive it to ``duration`` in epoch lockstep."""
+    try:
+        layout = build_layout(n_members, zone_count, bridges_per_zone)
+        shard = ZoneShard(layout, zone_indices, config, seed)
+        shard.start()
+        if stress_windows:
+            _apply_stress_windows(shard, layout, stress_windows)
+        epoch = config.cross_zone_interval
+        now, barrier = 0.0, epoch
+        while now < duration:
+            target = min(duration, barrier)
+            shard.run_until(target)
+            now = target
+            if target == barrier:
+                conn.send(("outbox", shard.collect_outbox()))
+                tag, inbound = conn.recv()
+                if tag != "inbound":  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"unexpected master message {tag!r}")
+                shard.deliver(inbound, target)
+                barrier += epoch
+        digests = {
+            layout.zones[zi].name: digest_zone_cluster(shard.clusters[zi])
+            for zi in shard.zone_indices
+        }
+        events = sum(
+            len(shard.clusters[zi].event_log.events) for zi in shard.zone_indices
+        )
+        executed = sum(
+            shard.clusters[zi].scheduler.executed for zi in shard.zone_indices
+        )
+        serialized = _serialize_events(shard) if return_events else []
+        conn.send(("done", digests, events, executed, serialized))
+    except Exception as exc:  # pragma: no cover - surfaced in the master
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _run_single(
+    n_members: int,
+    config: SwimConfig,
+    seed: int,
+    zone_count: int,
+    duration: float,
+    stress_windows: Tuple[StressWindow, ...] = (),
+    return_events: bool = False,
+) -> ZonedRunResult:
+    start = time.perf_counter()
+    cluster = ZonedCluster(n_members, config, seed=seed, zone_count=zone_count)
+    cluster.start()
+    if stress_windows:
+        _apply_stress_windows(cluster.shard, cluster.layout, stress_windows)
+    cluster.run_until(duration)
+    digests = cluster.zone_digests()
+    events = cluster.total_events()
+    executed = sum(
+        cluster.shard.clusters[zi].scheduler.executed
+        for zi in cluster.shard.zone_indices
+    )
+    serialized = (
+        tuple(_serialize_events(cluster.shard)) if return_events else ()
+    )
+    cluster.stop()
+    return ZonedRunResult(
+        digest=merge_zone_digests(digests),
+        zone_digests=digests,
+        events=events,
+        executed=executed,
+        shards=1,
+        wall_s=time.perf_counter() - start,
+        member_events=serialized,
+    )
+
+
+def run_zoned(
+    n_members: int,
+    config: Optional[SwimConfig] = None,
+    seed: int = 0,
+    zone_count: int = 0,
+    duration: float = 30.0,
+    shards: int = 1,
+    stress_windows: Tuple[StressWindow, ...] = (),
+    return_events: bool = False,
+) -> ZonedRunResult:
+    """Run a zoned cluster for ``duration`` of virtual time.
+
+    ``shards=1`` runs in-process; ``shards>1`` spreads zones across that
+    many worker processes (capped at the zone count). The merged digest
+    is identical for any shard count — that is the contract, and it
+    holds with ``stress_windows`` installed because each window's burst
+    schedule is a pure function of its seed. ``return_events`` ships
+    every zone's member events back (serialized tuples, zone order) for
+    offline analysis such as false-positive classification.
+    """
+    if config is None:
+        config = SwimConfig.lifeguard()
+    zone_count = zone_count or config.zone_count
+    if zone_count < 1:
+        raise ValueError("run_zoned needs zone_count >= 1")
+    if shards <= 1:
+        return _run_single(
+            n_members, config, seed, zone_count, duration,
+            stress_windows=stress_windows, return_events=return_events,
+        )
+
+    start = time.perf_counter()
+    slices = shard_slices(zone_count, shards)
+    try:
+        ctx: Any = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context("spawn")
+    conns: List[Connection] = []
+    procs: List[Any] = []
+    try:
+        for zone_indices in slices:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    child,
+                    n_members,
+                    zone_count,
+                    config.bridges_per_zone,
+                    config,
+                    seed,
+                    zone_indices,
+                    duration,
+                    stress_windows,
+                    return_events,
+                ),
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+
+        dest_shard = {
+            zi: index
+            for index, zone_indices in enumerate(slices)
+            for zi in zone_indices
+        }
+        for _ in range(_count_exchanges(duration, config.cross_zone_interval)):
+            merged: List[CrossZoneMessage] = []
+            for conn in conns:
+                tag, payload = conn.recv()
+                if tag == "error":
+                    raise RuntimeError(f"shard worker failed: {payload}")
+                merged.extend(payload)
+            merged.sort(key=lambda m: (m.src_zone, m.seq))
+            batches: List[List[CrossZoneMessage]] = [[] for _ in slices]
+            for message in merged:
+                batches[dest_shard[message.dest_zone]].append(message)
+            for conn, batch in zip(conns, batches):
+                conn.send(("inbound", batch))
+
+        zone_digests: Dict[str, str] = {}
+        events = 0
+        executed = 0
+        all_events: List[SerializedEvent] = []
+        for conn in conns:
+            tag, *payload = conn.recv()
+            if tag == "error":
+                raise RuntimeError(f"shard worker failed: {payload[0]}")
+            digests, shard_events, shard_executed, serialized = payload
+            zone_digests.update(digests)
+            events += shard_events
+            executed += shard_executed
+            all_events.extend(serialized)
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join()
+
+    return ZonedRunResult(
+        digest=merge_zone_digests(zone_digests),
+        zone_digests=zone_digests,
+        events=events,
+        executed=executed,
+        shards=len(slices),
+        wall_s=time.perf_counter() - start,
+        member_events=tuple(all_events),
+    )

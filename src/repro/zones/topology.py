@@ -1,0 +1,126 @@
+"""Zone layouts: how a hierarchical cluster is partitioned.
+
+A *zone* is a full SWIM/Lifeguard group of bounded size; the cluster is
+the union of all zones plus a thin cross-zone layer run by per-zone
+*bridge* members (:mod:`repro.zones.bridge`). The layout is pure data —
+deterministically derived from ``(n_members, zone_count,
+bridges_per_zone)`` — so every process of a sharded run (and every
+rerun of a seeded run) reconstructs the identical topology without
+shipping it over IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Zone", "ZoneLayout", "build_layout", "zone_seed"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One zone: its name, position and member roster."""
+
+    name: str
+    index: int
+    #: Member names, in probe-list seeding order.
+    members: Tuple[str, ...]
+    #: The members that run the cross-zone bridge layer (a prefix of
+    #: ``members``).
+    bridges: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ZoneLayout:
+    """The full partition of a cluster into zones."""
+
+    zones: Tuple[Zone, ...]
+
+    @property
+    def zone_count(self) -> int:
+        return len(self.zones)
+
+    @property
+    def n_members(self) -> int:
+        return sum(len(zone.members) for zone in self.zones)
+
+    def roster(self) -> Dict[str, str]:
+        """``member name -> zone name`` over the whole cluster."""
+        out: Dict[str, str] = {}
+        for zone in self.zones:
+            for name in zone.members:
+                out[name] = zone.name
+        return out
+
+    def zone_of(self, member: str) -> str:
+        """Zone name of ``member`` (raises ``KeyError`` when unknown)."""
+        for zone in self.zones:
+            if member in zone.members:
+                return zone.name
+        raise KeyError(member)
+
+    def bridge_peers(self, exclude_zone: str) -> List[Tuple[str, str]]:
+        """``(zone name, bridge name)`` for every bridge outside
+        ``exclude_zone``, in zone order."""
+        peers: List[Tuple[str, str]] = []
+        for zone in self.zones:
+            if zone.name == exclude_zone:
+                continue
+            for bridge in zone.bridges:
+                peers.append((zone.name, bridge))
+        return peers
+
+
+def zone_name(index: int) -> str:
+    return f"z{index:03d}"
+
+
+def zone_member_name(zone: str, index: int) -> str:
+    return f"{zone}-m{index:03d}"
+
+
+def build_layout(
+    n_members: int,
+    zone_count: int,
+    bridges_per_zone: int = 1,
+    member_names: Optional[Sequence[str]] = None,
+) -> ZoneLayout:
+    """Partition ``n_members`` into ``zone_count`` zones.
+
+    Members are split as evenly as possible (earlier zones absorb the
+    remainder). Names default to ``z<zone>-m<index>`` so they are
+    globally unique; pass ``member_names`` to keep an existing naming
+    scheme (they are assigned to zones in order).
+    """
+    if zone_count < 1:
+        raise ValueError("zone_count must be >= 1")
+    if n_members < zone_count:
+        raise ValueError("need at least one member per zone")
+    if bridges_per_zone < 1:
+        raise ValueError("bridges_per_zone must be >= 1")
+    if member_names is not None and len(member_names) != n_members:
+        raise ValueError("member_names length must equal n_members")
+    base, remainder = divmod(n_members, zone_count)
+    zones: List[Zone] = []
+    offset = 0
+    for index in range(zone_count):
+        size = base + (1 if index < remainder else 0)
+        zname = zone_name(index)
+        if member_names is None:
+            members = tuple(zone_member_name(zname, i) for i in range(size))
+        else:
+            members = tuple(member_names[offset : offset + size])
+        offset += size
+        bridges = members[: min(bridges_per_zone, size)]
+        zones.append(Zone(zname, index, members, bridges))
+    return ZoneLayout(tuple(zones))
+
+
+def zone_seed(seed: int, zone_index: int) -> int:
+    """Deterministic per-zone seed for a master seed.
+
+    Decorrelated the same way the scenario generator decorrelates its
+    streams: a Weyl-style multiply-add, masked to keep the value in a
+    friendly range.
+    """
+    return (seed * 0x9E3779B1 + zone_index * 0x85EBCA77 + 0x1D) & 0x7FFFFFFF

@@ -161,6 +161,11 @@ class TestGenerator:
         seen = set()
         for seed in range(300):
             seen.update(e.kind for e in generate_scenario(seed).faults)
+        # zone_partition only exists in zoned scenarios.
+        assert seen == set(FAULT_KINDS) - {"zone_partition"}
+        zoned = GeneratorParams(zone_counts=(3,))
+        for seed in range(150):
+            seen.update(e.kind for e in generate_scenario(seed, zoned).faults)
         assert seen == set(FAULT_KINDS)
 
 

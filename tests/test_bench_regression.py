@@ -134,68 +134,104 @@ def doc(p50_swim=12.5, rate_swim=2.8, throughput=25000.0, sha="base"):
 
 class TestCompare:
     def test_identical_documents_pass(self):
-        _, regressions = compare_documents(doc(), doc(sha="cur"))
+        _, regressions, _ = compare_documents(doc(), doc(sha="cur"))
         assert regressions == []
 
     def test_within_threshold_passes(self):
-        _, regressions = compare_documents(doc(), doc(p50_swim=12.5 * 1.14))
+        _, regressions, _ = compare_documents(doc(), doc(p50_swim=12.5 * 1.14))
         assert regressions == []
 
     def test_latency_regression_fails(self):
-        lines, regressions = compare_documents(doc(), doc(p50_swim=12.5 * 1.2))
+        lines, regressions, _ = compare_documents(doc(), doc(p50_swim=12.5 * 1.2))
         assert regressions == ["detection_latency_p50[SWIM]"]
         assert any("REGRESSION" in line for line in lines)
 
     def test_message_rate_regression_fails(self):
-        _, regressions = compare_documents(doc(), doc(rate_swim=2.8 * 1.3))
+        _, regressions, _ = compare_documents(doc(), doc(rate_swim=2.8 * 1.3))
         assert regressions == ["msgs_per_member_per_sec[SWIM]"]
 
     def test_improvement_never_gates(self):
-        _, regressions = compare_documents(
+        _, regressions, _ = compare_documents(
             doc(), doc(p50_swim=6.0, rate_swim=1.0, throughput=90000.0)
         )
         assert regressions == []
 
     def test_throughput_drop_fails(self):
-        lines, regressions = compare_documents(
+        lines, regressions, _ = compare_documents(
             doc(), doc(throughput=25000.0 * 0.8)
         )
         assert regressions == ["events_per_sec[n1024]"]
         assert any("dropped" in line for line in lines)
 
     def test_throughput_drop_within_threshold_passes(self):
-        _, regressions = compare_documents(
+        _, regressions, _ = compare_documents(
             doc(), doc(throughput=25000.0 * 0.86)
         )
         assert regressions == []
 
-    def test_metric_missing_from_baseline_is_not_gated(self):
+    def test_metric_missing_from_baseline_warns_but_does_not_gate(self):
         current = doc(sha="cur")
         current["metrics"]["detection_latency_p50"]["Lifeguard"] = 99.0
-        lines, regressions = compare_documents(doc(), current)
+        lines, regressions, uncovered = compare_documents(doc(), current)
         assert regressions == []
-        assert any("missing in baseline" in line for line in lines)
+        assert uncovered == ["detection_latency_p50[Lifeguard] (missing in baseline)"]
+        assert any(
+            "WARNING" in line and "missing in baseline" in line
+            for line in lines
+        )
+
+    def test_metric_missing_from_current_warns_but_does_not_gate(self):
+        baseline = doc()
+        baseline["metrics"]["events_per_sec"]["n16384"] = 5000.0
+        lines, regressions, uncovered = compare_documents(
+            baseline, doc(sha="cur")
+        )
+        assert regressions == []
+        assert uncovered == ["events_per_sec[n16384] (missing in current)"]
+        assert any(
+            "WARNING" in line and "not collected" in line for line in lines
+        )
 
     def test_custom_threshold(self):
-        _, regressions = compare_documents(
+        _, regressions, _ = compare_documents(
             doc(), doc(p50_swim=12.5 * 1.1), threshold=0.05
         )
         assert regressions == ["detection_latency_p50[SWIM]"]
 
 
 class TestCompareCli:
-    def run_compare(self, tmp_path, baseline, current):
+    def run_compare(self, tmp_path, baseline, current, *extra):
         base_path = tmp_path / "baseline.json"
         cur_path = tmp_path / "current.json"
         base_path.write_text(json.dumps(baseline))
         cur_path.write_text(json.dumps(current))
         return main(
-            ["compare", "--baseline", str(base_path), "--current", str(cur_path)]
+            [
+                "compare",
+                "--baseline",
+                str(base_path),
+                "--current",
+                str(cur_path),
+                *extra,
+            ]
         )
 
     def test_exit_zero_when_clean(self, tmp_path, capsys):
         assert self.run_compare(tmp_path, doc(), doc(sha="cur")) == 0
         assert "no gated metric regressed" in capsys.readouterr().out
+
+    def test_uncovered_metric_warns_without_strict(self, tmp_path, capsys):
+        current = doc(sha="cur")
+        current["metrics"]["events_per_sec"]["n16384"] = 5000.0
+        assert self.run_compare(tmp_path, doc(), current) == 0
+        out = capsys.readouterr().out
+        assert "warning:" in out and "not covered by the gate" in out
+
+    def test_uncovered_metric_fails_with_strict(self, tmp_path, capsys):
+        current = doc(sha="cur")
+        current["metrics"]["events_per_sec"]["n16384"] = 5000.0
+        assert self.run_compare(tmp_path, doc(), current, "--strict") == 1
+        assert "FAILED (--strict)" in capsys.readouterr().out
 
     def test_exit_one_on_regression(self, tmp_path, capsys):
         code = self.run_compare(tmp_path, doc(), doc(p50_swim=20.0, sha="cur"))
@@ -223,5 +259,5 @@ class TestCompareCli:
         ):
             assert document["metrics"][metric], metric
         # Comparing the baseline against itself is, definitionally, clean.
-        _, regressions = compare_documents(document, document)
+        _, regressions, _ = compare_documents(document, document)
         assert regressions == []

@@ -60,6 +60,12 @@ class TestPublicApi:
             "repro.baselines.local_aware",
             "repro.baselines.runtime",
             "repro.metrics.trace",
+            "repro.zones",
+            "repro.zones.topology",
+            "repro.zones.bridge",
+            "repro.zones.cluster",
+            "repro.zones.sharded",
+            "repro.zones.metrics",
             "repro.cli",
         ],
     )

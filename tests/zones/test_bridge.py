@@ -1,0 +1,123 @@
+"""Bridge-layer behavior through small end-to-end zoned clusters."""
+
+from repro.config import SwimConfig
+from repro.swim.messages import ZoneClaim
+from repro.swim.state import MemberState
+from repro.zones.cluster import ZonedCluster
+
+
+def make_cluster(n=24, zones=3, seed=1, **overrides):
+    config = SwimConfig.lifeguard().replace(
+        zone_count=zones, bridges_per_zone=2, **overrides
+    )
+    return ZonedCluster(n, config, seed=seed, zone_count=zones)
+
+
+def bridges_of(cluster, zone_name):
+    return [b for b in cluster.bridges if b.zone.name == zone_name]
+
+
+def remote_bridges(cluster, zone_name):
+    return [b for b in cluster.bridges if b.zone.name != zone_name]
+
+
+class TestDirectory:
+    def test_preseeded_with_full_roster(self):
+        cluster = make_cluster()
+        bridge = cluster.bridges[0]
+        for name, zone_name in cluster.layout.roster().items():
+            member = bridge.directory.get(name)
+            assert member is not None, name
+            assert member.zone == zone_name
+            assert member.state is MemberState.ALIVE
+
+    def test_rng_isolated_from_node(self):
+        cluster = make_cluster()
+        cluster.start()
+        cluster.run_until(10.0)
+        # Directory inserts must not have consumed the node's RNG: the
+        # zoned digest is pinned by the equivalence test, so here just
+        # assert the node protocol made progress normally.
+        assert all(node.running for node in cluster.nodes.values())
+
+
+class TestEventForwarding:
+    def test_crash_reaches_remote_directories(self):
+        cluster = make_cluster()
+        cluster.start()
+        cluster.run_until(5.0)
+        victim = "z000-m003"  # not a bridge (bridges are m000/m001)
+        cluster.node(victim).stop()
+        cluster.run_until(60.0)
+        for bridge in remote_bridges(cluster, "z000"):
+            member = bridge.directory.get(victim)
+            assert member.state in (MemberState.DEAD, MemberState.LEFT), (
+                f"{bridge.node.name} never heard {victim} died"
+            )
+
+    def test_leave_forwarded_as_left(self):
+        cluster = make_cluster()
+        cluster.start()
+        cluster.run_until(5.0)
+        cluster.node("z001-m002").leave()
+        cluster.run_until(40.0)
+        for bridge in remote_bridges(cluster, "z001"):
+            assert bridge.directory.get("z001-m002").state is MemberState.LEFT
+
+
+class TestZoneUnreachable:
+    def test_silent_zone_flagged_and_cleared(self):
+        cluster = make_cluster()
+        cluster.start()
+        cluster.run_until(10.0)
+        stopped = bridges_of(cluster, "z002")
+        for bridge in stopped:
+            bridge.node.stop()
+        cluster.run_until(60.0)
+        for bridge in remote_bridges(cluster, "z002"):
+            if bridge.node.running:
+                assert "z002" in bridge.unreachable
+        for bridge in stopped:
+            bridge.node.start()
+        cluster.run_until(120.0)
+        for bridge in remote_bridges(cluster, "z002"):
+            if bridge.node.running:
+                assert "z002" not in bridge.unreachable
+
+
+class TestEchoBackRefutation:
+    def test_wrong_terminal_claim_about_bridge_is_refuted(self):
+        cluster = make_cluster()
+        cluster.start()
+        cluster.run_until(5.0)
+        bridge = bridges_of(cluster, "z000")[0]
+        inc = bridge.node.members.local.incarnation
+        # A remote zone wrongly believes this bridge node is dead.
+        bridge._on_claim(
+            ZoneClaim("z000", bridge.node.name, inc, int(MemberState.DEAD))
+        )
+        assert bridge.node.members.local.incarnation > inc
+        assert bridge.directory.local.incarnation > inc
+
+    def test_suspect_claims_never_strand_timerless_suspicion(self):
+        cluster = make_cluster()
+        cluster.start()
+        cluster.run_until(5.0)
+        bridge = bridges_of(cluster, "z000")[0]
+        subject = "z000-m003"
+        inc = bridge.node.members.get(subject).incarnation
+        bridge.node.apply_external_claim(subject, MemberState.SUSPECT, inc)
+        member = bridge.node.members.get(subject)
+        if member.is_suspect:
+            assert subject in bridge.node.suspicion_subjects(), (
+                "SUSPECT member has no suspicion timer"
+            )
+
+    def test_suspect_view_not_advertised_cross_zone(self):
+        cluster = make_cluster()
+        cluster.start()
+        cluster.run_until(5.0)
+        bridge = bridges_of(cluster, "z000")[0]
+        own, echo = bridge._anti_entropy_claims()
+        for claim in own + echo:
+            assert claim.state is not MemberState.SUSPECT

@@ -1,0 +1,115 @@
+"""Property test: cross-zone claim merging obeys SWIM precedence.
+
+A bridge directory ingests an arbitrary interleaving of zone-local
+claims (from its own node's protocol) and cross-zone forwarded claims
+(echoed through other bridges). Whatever the interleaving, the per-
+member outcome must match a naive reference model that applies
+``claim_supersedes`` one claim at a time — i.e. ``merge_claim`` adds
+nothing beyond the precedence function, and in particular:
+
+* a member's incarnation never decreases;
+* a terminal member (DEAD/LEFT) is only resurrected by an ALIVE claim
+  with a strictly higher incarnation (the refutation path);
+* claims about the map-local member are never applied (the node refutes
+  instead).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.swim.member_map import MERGE_APPLIED, MERGE_LOCAL, MemberMap
+from repro.swim.state import MemberState, claim_supersedes
+
+MEMBERS = tuple(f"z{z:03d}-m{m:03d}" for z in range(2) for m in range(3))
+LOCAL = MEMBERS[0]
+
+#: ZoneClaim traffic is ALIVE/DEAD/LEFT — suspicion never crosses zones
+#: (bridges route SUSPECT through the node's timer machinery instead).
+CLAIM_STATES = (MemberState.ALIVE, MemberState.DEAD, MemberState.LEFT)
+
+claims = st.lists(
+    st.tuples(
+        st.sampled_from(MEMBERS),
+        st.sampled_from(CLAIM_STATES),
+        st.integers(min_value=1, max_value=6),
+    ),
+    max_size=40,
+)
+
+
+def build_map() -> MemberMap:
+    members = MemberMap(LOCAL, LOCAL, random.Random(42), zone="z000")
+    for name in MEMBERS[1:]:
+        members.add(name, name, 1, MemberState.ALIVE, 0.0, zone=name[:4])
+    return members
+
+
+class Reference:
+    """The naive model: one dict, one precedence check per claim."""
+
+    def __init__(self) -> None:
+        self.state = {name: (MemberState.ALIVE, 1) for name in MEMBERS}
+
+    def apply(self, name, state, incarnation):
+        if name == LOCAL:
+            return False
+        old_state, old_inc = self.state[name]
+        if claim_supersedes(state, incarnation, old_state, old_inc):
+            self.state[name] = (state, incarnation)
+            return True
+        return False
+
+
+@settings(max_examples=200, deadline=None)
+@given(claims=claims)
+def test_merge_claim_matches_reference_model(claims):
+    members = build_map()
+    reference = Reference()
+    now = 0.0
+    for name, state, incarnation in claims:
+        now += 1.0
+        decision = members.merge_claim(name, state, incarnation, now)
+        applied = reference.apply(name, state, incarnation)
+        if name == LOCAL:
+            assert decision.action == MERGE_LOCAL
+        else:
+            assert (decision.action == MERGE_APPLIED) == applied, (
+                f"{name} {state} inc={incarnation}: map said "
+                f"{decision.action}, reference said applied={applied}"
+            )
+    for name in MEMBERS[1:]:
+        expected_state, expected_inc = reference.state[name]
+        member = members.get(name)
+        assert member.state is expected_state
+        assert member.incarnation == expected_inc
+
+
+@settings(max_examples=200, deadline=None)
+@given(claims=claims)
+def test_incarnations_monotone_and_no_resurrection(claims):
+    members = build_map()
+    history = {name: [(MemberState.ALIVE, 1)] for name in MEMBERS[1:]}
+    now = 0.0
+    for name, state, incarnation in claims:
+        now += 1.0
+        members.merge_claim(name, state, incarnation, now)
+        if name != LOCAL:
+            member = members.get(name)
+            history[name].append((member.state, member.incarnation))
+    terminal = (MemberState.DEAD, MemberState.LEFT)
+    for name, states in history.items():
+        for (prev_state, prev_inc), (cur_state, cur_inc) in zip(
+            states, states[1:]
+        ):
+            assert cur_inc >= prev_inc, f"{name} incarnation regressed"
+            if prev_state in terminal and cur_state not in terminal:
+                assert cur_inc > prev_inc, (
+                    f"{name} resurrected without an incarnation bump"
+                )
+    # The map-local member is untouched by any amount of claim traffic.
+    assert members.local.state is MemberState.ALIVE
+    assert members.local.incarnation == 1

@@ -1,0 +1,83 @@
+"""Zone layouts are pure, even and deterministic."""
+
+import pytest
+
+from repro.zones.topology import ZoneLayout, build_layout, zone_seed
+
+
+class TestBuildLayout:
+    def test_even_split(self):
+        layout = build_layout(12, 3)
+        assert layout.zone_count == 3
+        assert layout.n_members == 12
+        assert [len(zone.members) for zone in layout.zones] == [4, 4, 4]
+
+    def test_remainder_goes_to_earlier_zones(self):
+        layout = build_layout(10, 3)
+        assert [len(zone.members) for zone in layout.zones] == [4, 3, 3]
+
+    def test_names_are_globally_unique(self):
+        layout = build_layout(50, 7)
+        names = [name for zone in layout.zones for name in zone.members]
+        assert len(names) == len(set(names)) == 50
+        assert names[0] == "z000-m000"
+
+    def test_bridges_are_member_prefix(self):
+        layout = build_layout(12, 3, bridges_per_zone=2)
+        for zone in layout.zones:
+            assert zone.bridges == zone.members[:2]
+
+    def test_bridges_capped_at_zone_size(self):
+        layout = build_layout(3, 3, bridges_per_zone=4)
+        for zone in layout.zones:
+            assert zone.bridges == zone.members
+
+    def test_custom_member_names(self):
+        names = [f"m{i:03d}" for i in range(6)]
+        layout = build_layout(6, 2, member_names=names)
+        assert layout.zones[0].members == ("m000", "m001", "m002")
+        assert layout.zones[1].members == ("m003", "m004", "m005")
+
+    def test_roster_and_zone_of_agree(self):
+        layout = build_layout(11, 4)
+        roster = layout.roster()
+        for zone in layout.zones:
+            for member in zone.members:
+                assert roster[member] == zone.name
+                assert layout.zone_of(member) == zone.name
+        with pytest.raises(KeyError):
+            layout.zone_of("nobody")
+
+    def test_bridge_peers_excludes_own_zone(self):
+        layout = build_layout(12, 3, bridges_per_zone=2)
+        peers = layout.bridge_peers(exclude_zone="z001")
+        assert all(zone != "z001" for zone, _ in peers)
+        assert len(peers) == 4
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            build_layout(2, 0)
+        with pytest.raises(ValueError):
+            build_layout(2, 3)
+        with pytest.raises(ValueError):
+            build_layout(4, 2, bridges_per_zone=0)
+        with pytest.raises(ValueError):
+            build_layout(4, 2, member_names=["a"])
+
+    def test_layout_is_a_pure_function(self):
+        a = build_layout(37, 5, bridges_per_zone=2)
+        b = build_layout(37, 5, bridges_per_zone=2)
+        assert a == b
+        assert isinstance(a, ZoneLayout)
+
+
+class TestZoneSeed:
+    def test_deterministic_and_decorrelated(self):
+        assert zone_seed(3, 0) == zone_seed(3, 0)
+        seen = {zone_seed(3, zi) for zi in range(64)}
+        assert len(seen) == 64
+
+    def test_stays_in_friendly_range(self):
+        for seed in (0, 1, 2**40):
+            for zi in (0, 1, 1023):
+                assert 0 <= zone_seed(seed, zi) < 2**31

@@ -1,0 +1,107 @@
+"""Seeded trace-equivalence pins for the zoned subsystem.
+
+Two contracts, both checked against golden digests (the same discipline
+as ``tests/sim/test_trace_equivalence.py``):
+
+* **shard equivalence** — the merged digest of a seeded zoned run is
+  bit-identical whether the zones run in one process or are partitioned
+  across N worker processes. This is the property that makes the
+  multi-process driver trustworthy at all.
+* **golden pinning** — the digest also matches a committed golden, so a
+  change to the zone protocol (bridge gossip, directory merges, epoch
+  exchange ordering) cannot slip through as "still self-consistent but
+  different from yesterday".
+
+Regenerate intentionally (and say so in the PR):
+
+.. code-block:: console
+
+    $ REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+          tests/zones/test_trace_equivalence.py -q
+
+or run ``python benchmarks/regen_goldens.py`` to refresh every golden
+file in the repo with a before/after diff summary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import SwimConfig
+from repro.zones.sharded import run_zoned
+
+GOLDEN_PATH = Path(__file__).parent / "golden_traces.json"
+
+REGEN = os.environ.get("REPRO_REGEN_GOLDENS") == "1"
+
+#: (name, n_members, zone_count, seed, duration, config overrides)
+SCENARIOS = {
+    "zoned-small": (24, 3, 3, 30.0, {}),
+    "zoned-wide": (64, 8, 7, 30.0, {}),
+    "zoned-two-bridges": (48, 4, 11, 30.0, {"bridges_per_zone": 2}),
+    "zoned-sync-off": (32, 4, 5, 30.0, {"push_pull_interval": 0.0}),
+}
+
+
+def _run(name: str) -> str:
+    n_members, zones, seed, duration, overrides = SCENARIOS[name]
+    config = SwimConfig.lifeguard().replace(zone_count=zones, **overrides)
+    result = run_zoned(
+        n_members, config, seed=seed, zone_count=zones, duration=duration
+    )
+    return result.digest
+
+
+def _load_goldens() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_zoned_trace_matches_golden(name: str) -> None:
+    digest = _run(name)
+    goldens = _load_goldens()
+    if REGEN:
+        goldens[name] = digest
+        GOLDEN_PATH.write_text(
+            json.dumps(goldens, indent=2, sort_keys=True) + "\n"
+        )
+        return
+    assert name in goldens, (
+        f"no golden digest for {name!r}; regenerate with "
+        f"REPRO_REGEN_GOLDENS=1 (see module docstring)"
+    )
+    assert digest == goldens[name], (
+        f"seeded zoned trace for {name!r} diverged from the golden — "
+        f"a change altered zone-protocol behavior. If intentional, "
+        f"regenerate goldens and call it out in the PR."
+    )
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_sharded_run_reproduces_single_process(shards: int) -> None:
+    """The multi-process driver's output is defined to be the 1-process
+    trace; any divergence is a bug, never acceptable drift."""
+    n_members, zones, seed, duration, overrides = SCENARIOS["zoned-wide"]
+    config = SwimConfig.lifeguard().replace(zone_count=zones, **overrides)
+    single = run_zoned(
+        n_members, config, seed=seed, zone_count=zones, duration=duration
+    )
+    sharded = run_zoned(
+        n_members,
+        config,
+        seed=seed,
+        zone_count=zones,
+        duration=duration,
+        shards=shards,
+    )
+    assert sharded.shards == shards
+    assert sharded.zone_digests == single.zone_digests
+    assert sharded.digest == single.digest
+    assert sharded.events == single.events
+    assert sharded.executed == single.executed
