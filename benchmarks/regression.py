@@ -5,8 +5,9 @@ Two subcommands, stdlib only (CI runs this between pytest steps):
 ``collect --sha <sha>``
     Reads the raw JSON the pinned benchmark subset just published under
     ``benchmarks/results/`` (``table5_latency``, ``table6_message_load``,
-    ``scale_throughput``, ``probe_strategies``, ``ops_overhead``),
-    distils the gated metrics and writes ``BENCH_<sha>.json``.
+    ``scale_throughput``, ``probe_strategies``, ``packet_path``,
+    ``ops_overhead``), distils the gated metrics and writes
+    ``BENCH_<sha>.json``.
 
 ``compare --baseline benchmarks/baseline.json --current BENCH_<sha>.json``
     Fails (exit 1) when a *gated* metric regressed by more than the
@@ -23,6 +24,12 @@ Two subcommands, stdlib only (CI runs this between pytest steps):
     * ``events_per_sec`` — simulator throughput per cluster size from
       ``bench_scale``; **lower** is worse (a drop past the threshold
       fails the build).
+    * ``packet_msgs_per_sec`` — loopback echo throughput per transport
+      backend from ``bench_packet_path`` (fresh-subprocess reps), plus
+      a ``batched_vs_asyncio`` ratio row; **lower** is worse. The ratio
+      row is the ISSUE 8 acceptance bar in gate form: the committed
+      baseline carries ~5x, so a drop past the threshold fires long
+      before the batched path stops being >=3x the stock one.
 
     ``ops_overhead`` numbers are wall-clock and therefore noisy on
     shared CI runners; they are carried in the artifact and printed for
@@ -56,7 +63,7 @@ DEFAULT_THRESHOLD = 0.15
 GATED_CONFIGURATIONS = ("SWIM", "Lifeguard")
 
 #: Gated metrics where a *drop* (not a rise) is the regression.
-HIGHER_IS_BETTER = frozenset({"events_per_sec"})
+HIGHER_IS_BETTER = frozenset({"events_per_sec", "packet_msgs_per_sec"})
 
 
 # --------------------------------------------------------------------- #
@@ -78,6 +85,7 @@ def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
         "msgs_per_member_per_sec": {},
         "scheduler_detection_latency_p50": {},
         "events_per_sec": {},
+        "packet_msgs_per_sec": {},
     }
 
     table5 = _load_result("table5_latency", results_dir)
@@ -115,6 +123,22 @@ def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
             rate = row.get("events_per_sec")
             if size is not None and rate:
                 metrics["events_per_sec"][f"n{int(size)}"] = rate
+
+    packet = _load_result("packet_path", results_dir)
+    if packet is not None:
+        for backend in ("asyncio", "batched", "uvloop"):
+            row = packet.get(backend)
+            if row is None:
+                continue
+            rate = row.get("msgs_per_sec")
+            if rate:
+                metrics["packet_msgs_per_sec"][backend] = rate
+        stock = packet.get("asyncio", {}).get("msgs_per_sec")
+        fast = packet.get("batched", {}).get("msgs_per_sec")
+        if stock and fast:
+            metrics["packet_msgs_per_sec"]["batched_vs_asyncio"] = (
+                fast / stock
+            )
 
     document = {"schema": SCHEMA, "metrics": metrics}
     ops = _load_result("ops_overhead", results_dir)

@@ -27,7 +27,7 @@ import urllib.error
 import urllib.request
 from typing import List, Optional
 
-from repro.config import PROBE_SCHEDULER_NAMES
+from repro.config import PROBE_SCHEDULER_NAMES, TRANSPORT_BACKEND_NAMES
 from repro.harness.configurations import CONFIGURATION_NAMES
 from repro.harness.interval import IntervalParams, run_interval
 from repro.harness.schedulers import (
@@ -181,6 +181,35 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--profile", metavar="PSTATS_OUT",
                        help="run under cProfile and write pstats data "
                             "to this path (summary on stderr)")
+
+    packetbench = sub.add_parser(
+        "packetbench",
+        help="loopback UDP echo throughput for a transport backend "
+             "(repro.transport.fastudp)",
+    )
+    packetbench.add_argument("--backend", default="asyncio",
+                             choices=TRANSPORT_BACKEND_NAMES,
+                             help="datagram backend to measure "
+                                  "(default: asyncio)")
+    packetbench.add_argument("--duration", type=float, default=1.0,
+                             help="seconds per repetition (default: 1)")
+    packetbench.add_argument("--payload-size", type=int, default=64,
+                             help="datagram payload bytes (default: 64)")
+    packetbench.add_argument("--batch-size", type=int, default=32,
+                             help="max datagrams per syscall on the batched "
+                                  "backend (default: 32)")
+    packetbench.add_argument("--window", type=int, default=256,
+                             help="packets kept in flight (default: 256)")
+    packetbench.add_argument("-r", "--reps", type=int, default=3,
+                             help="repetitions; best throughput is reported "
+                                  "(default: 3)")
+    packetbench.add_argument("--in-process", action="store_true",
+                             help="run reps inside this process instead of "
+                                  "fresh subprocesses (faster, but the "
+                                  "asyncio baseline then depends on this "
+                                  "process's allocator history)")
+    packetbench.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON instead of text")
 
     watch = sub.add_parser(
         "watch", help="poll a live node's admin endpoint (repro.ops)"
@@ -535,6 +564,40 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             return 0
 
 
+def _cmd_packetbench(args: argparse.Namespace) -> int:
+    from repro.harness.packetbench import run_packet_bench
+
+    try:
+        result = run_packet_bench(
+            backend=args.backend,
+            duration=args.duration,
+            payload_size=args.payload_size,
+            batch_size=args.batch_size,
+            window=args.window,
+            reps=args.reps,
+            isolate=not args.in_process,
+        )
+    except RuntimeError as exc:  # e.g. uvloop not installed
+        print(f"packetbench: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        return _emit_json("packetbench", result)
+    print(
+        f"backend={result['backend']}  "
+        f"msgs/s={result['msgs_per_sec']:,.0f}  "
+        f"round_trips={result['round_trips']}  loss={result['loss']}  "
+        f"elapsed={result['elapsed']:.2f}s"
+    )
+    print(
+        f"  syscalls: send={result['client_send_syscalls']} "
+        f"(avg batch {result['avg_send_batch']:.1f})  "
+        f"recv={result['client_recv_syscalls']} "
+        f"(avg batch {result['avg_recv_batch']:.1f})  "
+        f"mmsg={'yes' if result['uses_mmsg'] else 'no'}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "threshold": _cmd_threshold,
     "interval": _cmd_interval,
@@ -542,6 +605,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "schedulers": _cmd_schedulers,
     "check": _cmd_check,
+    "packetbench": _cmd_packetbench,
     "watch": _cmd_watch,
 }
 

@@ -35,6 +35,14 @@ from repro.core.suspicion import (
 #: pins this tuple against the scheduler registry's keys.
 PROBE_SCHEDULER_NAMES = ("round-robin", "likelihood", "lhm-rtt")
 
+#: Selectable real-network datagram backends (see
+#: :mod:`repro.transport.fastudp` and docs/PERFORMANCE.md).
+#: ``"asyncio"`` is the stock per-datagram path and the default;
+#: ``"batched"`` moves N datagrams per syscall via recvmmsg/sendmmsg
+#: (portable fallback where unavailable); ``"uvloop"`` is the stock
+#: path on a libuv loop (requires the optional uvloop package).
+TRANSPORT_BACKEND_NAMES = ("asyncio", "batched", "uvloop")
+
 
 @dataclass(frozen=True)
 class LifeguardFlags:
@@ -183,6 +191,14 @@ class SwimConfig:
     #: before the node counts one LHM event (>=2 avoids blaming ourselves
     #: for a single dead peer).
     reliable_failure_peer_threshold: int = 2
+    #: Datagram backend for the real-network transport: one of
+    #: :data:`TRANSPORT_BACKEND_NAMES`. The default ``"asyncio"``
+    #: preserves the historical per-datagram behaviour exactly.
+    transport_backend: str = "asyncio"
+    #: Max datagrams moved per ``recvmmsg``/``sendmmsg`` syscall on the
+    #: ``"batched"`` backend (also sizes its preallocated slot arrays).
+    #: Ignored by the other backends.
+    transport_batch_size: int = 32
 
     # ------------------------------------------------------------------ #
     # Ops / admin plane (real-network members only; see :mod:`repro.ops`).
@@ -276,6 +292,13 @@ class SwimConfig:
             raise ValueError("reliable_failure_window must be positive")
         if self.reliable_failure_peer_threshold < 1:
             raise ValueError("reliable_failure_peer_threshold must be >= 1")
+        if self.transport_backend not in TRANSPORT_BACKEND_NAMES:
+            known = ", ".join(TRANSPORT_BACKEND_NAMES)
+            raise ValueError(
+                f"transport_backend must be one of: {known}"
+            )
+        if not 1 <= self.transport_batch_size <= 1024:
+            raise ValueError("transport_batch_size must be in [1, 1024]")
         if self.admin_port is not None and not 0 <= self.admin_port <= 65535:
             raise ValueError("admin_port must be in [0, 65535]")
         if not self.admin_host:

@@ -27,13 +27,30 @@ class TransportStats:
     ``conns_closed_idle``, ``conns_closed_surplus``,
     ``conns_closed_error``, ``connect_failures``, ``frames_received``,
     ``frames_truncated``, ``frames_oversized``,
-    ``datagrams_buffered_early``, ``reliable_failure_signals``.
+    ``datagrams_buffered_early``, ``datagrams_dropped_early``,
+    ``reliable_failure_signals``, ``udp_send_syscalls``,
+    ``udp_recv_syscalls``.
+
+    Beyond plain event counts, transports record the number of datagrams
+    moved per send/receive syscall via :meth:`record_batch`; the
+    ``(direction, size)`` histogram feeds the per-backend
+    ``lifeguard_transport_batch_size`` metric. The default asyncio
+    backend always records size 1 (one datagram per syscall); the
+    batched backend (:mod:`repro.transport.fastudp`) records the actual
+    ``recvmmsg``/``sendmmsg`` batch sizes. :attr:`backend` carries the
+    owning transport's backend name once the transport adopts the stats
+    object (``""`` for transports without a syscall layer, e.g. the
+    simulator's).
     """
 
-    __slots__ = ("events",)
+    __slots__ = ("events", "batches", "backend")
 
     def __init__(self) -> None:
         self.events: Counter = Counter()
+        #: ``(direction, batch_size) -> occurrences`` for syscall batches.
+        self.batches: Counter = Counter()
+        #: Name of the transport backend feeding these stats.
+        self.backend: str = ""
 
     def incr(self, event: str, n: int = 1) -> None:
         self.events[event] += n
@@ -41,8 +58,15 @@ class TransportStats:
     def get(self, event: str) -> int:
         return self.events[event]
 
+    def record_batch(self, direction: str, size: int, n: int = 1) -> None:
+        """Record ``n`` syscalls that each moved ``size`` datagrams."""
+        self.batches[(direction, size)] += n
+
     def merge(self, other: "TransportStats") -> None:
         self.events.update(other.events)
+        self.batches.update(other.batches)
+        if not self.backend:
+            self.backend = other.backend
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.events)

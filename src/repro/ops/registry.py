@@ -47,6 +47,12 @@ DEFAULT_RTT_BUCKETS: Tuple[float, ...] = (
 #: on the order of the member count.
 SYNC_MERGE_BUCKETS: Tuple[float, ...] = (0, 1, 2, 5, 10, 25, 50, 100, 250)
 
+#: Cumulative upper bounds for datagrams-per-syscall. Powers of two up
+#: to twice the default ``transport_batch_size``; the asyncio backend
+#: lands everything in the first bucket, full recvmmsg drains on the
+#: batched backend land at the configured batch size.
+TRANSPORT_BATCH_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
 
 class _Child:
     """One labelled time series inside a metric family."""
@@ -430,6 +436,20 @@ class NodeCollector:
             "(see docs/PROBE_SCHEDULING.md).",
             ("node", "strategy"),
         )
+        self._transport_syscalls = c(
+            "lifeguard_transport_syscalls_total",
+            "Datagram syscalls issued by the transport backend (one "
+            "recvmmsg/sendmmsg may move many datagrams).",
+            ("node", "backend", "direction"),
+        )
+        self.transport_batch = registry.histogram(
+            "lifeguard_transport_batch_size",
+            "Datagrams moved per datagram syscall, by backend and "
+            "direction (always 1 on the asyncio backend; actual "
+            "recvmmsg/sendmmsg batch sizes on the batched backend).",
+            ("node", "backend", "direction"),
+            buckets=TRANSPORT_BATCH_BUCKETS,
+        )
         self.sync_merge_changes = registry.histogram(
             "lifeguard_sync_merge_changes",
             "State changes applied per push-pull merge (0 = the snapshot "
@@ -498,6 +518,17 @@ class NodeCollector:
             self._by_kind_bytes.labels(node=name, kind=kind).set_total(n_bytes)
         for event, count in telemetry.transport.as_dict().items():
             self._transport_events.labels(node=name, event=event).set_total(count)
+        transport = telemetry.transport
+        if transport.backend:
+            be = transport.backend
+            self._transport_syscalls.labels(
+                node=name, backend=be, direction="send"
+            ).set_total(transport.get("udp_send_syscalls"))
+            self._transport_syscalls.labels(
+                node=name, backend=be, direction="recv"
+            ).set_total(transport.get("udp_recv_syscalls"))
+            for direction in ("send", "recv"):
+                self._mirror_batches(transport, be, direction, name)
         for event in LhmEvent:
             self._lhm_events.labels(node=name, event=event.value).set_total(
                 lhm.event_count(event)
@@ -524,3 +555,28 @@ class NodeCollector:
         self._scheduler_selections.labels(
             node=name, strategy=scheduler.name
         ).set_total(scheduler.selections)
+
+    def _mirror_batches(self, transport, backend, direction, name) -> None:
+        """Overwrite one batch-size histogram series from the transport's
+        ``(direction, size)`` counters — the pull-time analogue of
+        ``set_total`` for histograms: the transport keeps the source of
+        truth, the registry snapshots it at scrape time."""
+        child = self.transport_batch.labels(
+            node=name, backend=backend, direction=direction
+        )._child
+        bounds = self.transport_batch.buckets
+        counts = [0] * len(bounds)
+        total = 0
+        weighted = 0.0
+        for (d, size), n in transport.batches.items():
+            if d != direction:
+                continue
+            total += n
+            weighted += size * n
+            for index, bound in enumerate(bounds):
+                if size <= bound:
+                    counts[index] += n
+                    break
+        child.bucket_counts = counts
+        child.sum = weighted
+        child.count = total

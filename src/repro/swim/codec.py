@@ -15,12 +15,29 @@ a few bytes of msgpack for these message shapes:
 
 Encoding and decoding round-trip exactly; a corrupt or truncated packet
 raises :class:`CodecError` rather than yielding garbage.
+
+:func:`decode` accepts ``bytes``, ``bytearray`` or ``memoryview`` input.
+For buffer (non-``bytes``) input it slices without copying until string
+materialization: integers are unpacked straight off the view, and only
+the string/bytes *fields* of the resulting message are materialized (a
+``str``/``bytes`` object has to own its storage anyway). This is what
+lets the batched transport (:mod:`repro.transport.fastudp`) hand decode
+views into its reusable receive buffers — nothing in a decoded
+:class:`Message` aliases the underlying buffer, so the buffer can be
+reused for the next syscall immediately. The differential suite
+(``tests/swim/test_codec_equivalence.py``) pins both paths to identical
+messages *and* identical :class:`CodecError` behavior.
+
+:func:`encode_into` is the allocation-lean sibling of :func:`encode`:
+it appends the identical bytes to a caller-owned ``bytearray`` scratch
+buffer, so steady-state probe/ack senders can reuse one buffer instead
+of allocating a fresh ``bytes`` per packet.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.swim.messages import (
     Ack,
@@ -106,6 +123,11 @@ class CodecError(ValueError):
     """Raised when a packet cannot be decoded."""
 
 
+#: Anything :func:`decode` accepts. ``bytes`` is the classic path;
+#: ``bytearray``/``memoryview`` take the zero-copy path.
+Buffer = Union[bytes, bytearray, memoryview]
+
+
 def _put_str(out: List[bytes], value: str) -> None:
     raw = value.encode("utf-8")
     if len(raw) > 255:
@@ -121,15 +143,20 @@ def _put_bytes(out: List[bytes], value: bytes, limit: int) -> None:
     out.append(value)
 
 
-def _get_bytes(buf: bytes, offset: int) -> Tuple[bytes, int]:
+def _get_bytes(buf: Buffer, offset: int) -> Tuple[bytes, int]:
     length, offset = _get_u16(buf, offset)
     end = offset + length
     if end > len(buf):
         raise CodecError("truncated byte field")
-    return buf[offset:end], end
+    data = buf[offset:end]
+    # A slice of a memoryview aliases the (possibly reused) underlying
+    # buffer; message fields must own their storage.
+    if data.__class__ is not bytes:
+        data = bytes(data)
+    return data, end
 
 
-def _get_str(buf: bytes, offset: int) -> Tuple[str, int]:
+def _get_str(buf: Buffer, offset: int) -> Tuple[str, int]:
     if offset >= len(buf):
         raise CodecError("truncated string length")
     length = buf[offset]
@@ -137,10 +164,14 @@ def _get_str(buf: bytes, offset: int) -> Tuple[str, int]:
     end = offset + length
     if end > len(buf):
         raise CodecError("truncated string body")
+    raw = buf[offset:end]
     try:
-        return buf[offset:end].decode("utf-8"), end
+        # str(view, "utf-8") materializes straight from the buffer (and
+        # raises the same UnicodeDecodeError bytes.decode would).
+        text = raw.decode("utf-8") if raw.__class__ is bytes else str(raw, "utf-8")
     except UnicodeDecodeError as exc:
         raise CodecError(f"invalid UTF-8 in string: {exc}") from exc
+    return text, end
 
 
 def encode(message: Message) -> bytes:
@@ -148,6 +179,23 @@ def encode(message: Message) -> bytes:
     out: List[bytes] = []
     _encode_into(message, out)
     return b"".join(out)
+
+
+def encode_into(message: Message, out: bytearray) -> int:
+    """Append ``message``'s wire form to ``out``; returns bytes appended.
+
+    The appended bytes are pinned byte-identical to :func:`encode` (both
+    run the same piece generator; this one skips the final ``join``
+    allocation by extending the caller's scratch buffer instead). A
+    steady-state sender clears and reuses one ``bytearray`` per packet —
+    see :meth:`repro.transport.fastudp.BatchedUdpTransport.send_encoded`.
+    """
+    pieces: List[bytes] = []
+    _encode_into(message, pieces)
+    before = len(out)
+    for piece in pieces:
+        out += piece
+    return len(out) - before
 
 
 def _encode_into(message: Message, out: List[bytes]) -> None:
@@ -304,8 +352,26 @@ _DECODE_CACHE_LIMIT = 8192
 _CACHEABLE_MAX_LEN = 96
 
 
-def decode(buf: bytes) -> Message:
-    """Decode one wire packet back into a message."""
+def decode(buf: Buffer) -> Message:
+    """Decode one wire packet back into a message.
+
+    ``bytes`` input is decoded as always (including the small-message
+    decode cache). ``bytearray``/``memoryview`` input is decoded without
+    copying the packet: small non-compound packets are interned to
+    ``bytes`` once so they share the decode cache with the classic path,
+    larger packets (push-pull snapshots, gossip compounds) are sliced in
+    place. Both paths produce identical messages and identical
+    :class:`CodecError` behavior.
+    """
+    if buf.__class__ is not bytes:
+        if len(buf) <= _CACHEABLE_MAX_LEN and len(buf) and buf[0] != T_COMPOUND:
+            # Interning the (tiny) packet costs one small copy but buys
+            # full cache hits for the retransmit-heavy gossip kinds.
+            return decode(bytes(buf))
+        message, offset = _decode_at(buf, 0)
+        if offset != len(buf):
+            raise CodecError(f"{len(buf) - offset} trailing bytes after message")
+        return message
     if len(buf) <= _CACHEABLE_MAX_LEN and buf and buf[0] != T_COMPOUND:
         cached = _DECODE_CACHE.get(buf)
         if cached is not None:
@@ -323,7 +389,7 @@ def decode(buf: bytes) -> Message:
     return message
 
 
-def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
+def _decode_at(buf: Buffer, offset: int) -> Tuple[Message, int]:
     if offset >= len(buf):
         raise CodecError("empty packet")
     tag = buf[offset]
@@ -396,6 +462,8 @@ def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
             if end > buf_len:
                 raise CodecError("truncated string body")
             raw = buf[offset + 1 : end]
+            if raw.__class__ is not bytes:
+                raw = bytes(raw)
             name = str_cache.get(raw)
             if name is None:
                 try:
@@ -413,6 +481,8 @@ def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
             if end > buf_len:
                 raise CodecError("truncated string body")
             raw = buf[offset + 1 : end]
+            if raw.__class__ is not bytes:
+                raw = bytes(raw)
             address = str_cache.get(raw)
             if address is None:
                 try:
@@ -437,6 +507,8 @@ def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
                 if meta_end > buf_len:
                     raise CodecError("truncated byte field")
                 meta = buf[offset:meta_end]
+                if meta.__class__ is not bytes:
+                    meta = bytes(meta)
                 offset = meta_end
             else:
                 meta = b""
@@ -494,30 +566,30 @@ def _decode_at(buf: bytes, offset: int) -> Tuple[Message, int]:
     raise CodecError(f"unknown message tag 0x{tag:02x}")
 
 
-def _get_u8(buf: bytes, offset: int) -> Tuple[int, int]:
+def _get_u8(buf: Buffer, offset: int) -> Tuple[int, int]:
     if offset + 1 > len(buf):
         raise CodecError("truncated u8")
     return buf[offset], offset + 1
 
 
-def _get_bool(buf: bytes, offset: int) -> Tuple[bool, int]:
+def _get_bool(buf: Buffer, offset: int) -> Tuple[bool, int]:
     value, offset = _get_u8(buf, offset)
     return bool(value), offset
 
 
-def _get_u16(buf: bytes, offset: int) -> Tuple[int, int]:
+def _get_u16(buf: Buffer, offset: int) -> Tuple[int, int]:
     if offset + 2 > len(buf):
         raise CodecError("truncated u16")
     return _U16.unpack_from(buf, offset)[0], offset + 2
 
 
-def _get_u32(buf: bytes, offset: int) -> Tuple[int, int]:
+def _get_u32(buf: Buffer, offset: int) -> Tuple[int, int]:
     if offset + 4 > len(buf):
         raise CodecError("truncated u32")
     return _U32.unpack_from(buf, offset)[0], offset + 4
 
 
-def _get_u64(buf: bytes, offset: int) -> Tuple[int, int]:
+def _get_u64(buf: Buffer, offset: int) -> Tuple[int, int]:
     if offset + 8 > len(buf):
         raise CodecError("truncated u64")
     return _U64.unpack_from(buf, offset)[0], offset + 8
@@ -559,3 +631,27 @@ def pack_encoded_with_piggyback(
         out.append(_U16.pack(len(raw)))
         out.append(raw)
     return b"".join(out)
+
+
+def pack_encoded_with_piggyback_into(
+    encoded_primary: bytes, piggyback: List[bytes], out: bytearray
+) -> int:
+    """Append :func:`pack_encoded_with_piggyback`'s output to ``out``.
+
+    Byte-identical to the allocating form; returns the bytes appended.
+    Paired with a transport whose ``send`` copies before returning
+    (``supports_buffer_send``), a sender reuses one scratch buffer for
+    every outgoing packet instead of allocating a fresh ``bytes``.
+    """
+    before = len(out)
+    if not piggyback:
+        out += encoded_primary
+        return len(out) - before
+    out.append(T_COMPOUND)
+    out += _U16.pack(1 + len(piggyback))
+    out += _U16.pack(len(encoded_primary))
+    out += encoded_primary
+    for raw in piggyback:
+        out += _U16.pack(len(raw))
+        out += raw
+    return len(out) - before

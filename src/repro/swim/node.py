@@ -157,6 +157,15 @@ class SwimNode:
         self._clock = clock
         self._scheduler = scheduler
         self._transport = transport
+        # Transports that copy (or fully consume) the payload before
+        # ``send`` returns advertise ``supports_buffer_send``; for those
+        # the node reuses one scratch buffer for every outgoing datagram
+        # instead of allocating a fresh ``bytes`` per packet.
+        self._packet_scratch: Optional[bytearray] = (
+            bytearray()
+            if getattr(transport, "supports_buffer_send", False)
+            else None
+        )
         self._rng = rng if rng is not None else random.Random()
         self._listeners: List[EventListener] = [] if listener is None else [listener]
         self._on_user_event = on_user_event
@@ -620,9 +629,14 @@ class SwimNode:
     # ------------------------------------------------------------------ #
 
     def handle_packet(
-        self, payload: bytes, from_address: str, reliable: bool = False
+        self, payload: codec.Buffer, from_address: str, reliable: bool = False
     ) -> None:
-        """Entry point for the transport: decode and dispatch one packet."""
+        """Entry point for the transport: decode and dispatch one packet.
+
+        ``payload`` may be a ``memoryview`` into a transport-owned
+        receive buffer that is reused after this call returns (the
+        batched backend's zero-copy path); decoding materialises
+        everything the node keeps, so nothing aliases the buffer."""
         if not self._running:
             return
         self.telemetry.record_receive(len(payload))
@@ -1260,6 +1274,17 @@ class SwimNode:
                             budget, codec.COMPOUND_PART_OVERHEAD
                         )
                     )
+        scratch = self._packet_scratch
+        if scratch is not None and not reliable:
+            # Buffer-reusing fast path: the transport copies before
+            # returning, so one scratch serves every datagram send.
+            del scratch[:]
+            n = codec.pack_encoded_with_piggyback_into(
+                encoded_primary, payloads, scratch
+            )
+            self.telemetry.record_send(primary_kind(primary), n, reliable)
+            self._transport.send(address, scratch, reliable=False)
+            return
         packet = codec.pack_encoded_with_piggyback(encoded_primary, payloads)
         self.telemetry.record_send(primary_kind(primary), len(packet), reliable)
         self._transport.send(address, packet, reliable=reliable)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import random
+import socket
 import struct
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -55,6 +56,23 @@ def parse_address(address: str) -> Tuple[str, int]:
     if not host or not port.isdigit():
         raise ValueError(f"not a host:port address: {address!r}")
     return host, int(port)
+
+
+#: Requested UDP socket buffer size. Default buffers (~208 KiB on stock
+#: Linux) hold only ~250 small datagrams of kernel skb accounting — one
+#: gossip burst from a batched sender — so bursts silently drop right at
+#: the protocol's normal fan-out size. The kernel clamps the request to
+#: ``net.core.{rmem,wmem}_max``; asking for more than it grants is fine.
+_UDP_SOCKET_BUFFER = 1 << 22
+
+
+def _request_socket_buffers(sock: socket.socket) -> None:
+    """Best-effort enlargement of a UDP socket's kernel buffers."""
+    for option in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, option, _UDP_SOCKET_BUFFER)
+        except OSError:
+            pass
 
 
 async def _close_writer(writer: asyncio.StreamWriter) -> None:
@@ -88,29 +106,36 @@ class AsyncioScheduler:
 
 class _UdpProtocol(asyncio.DatagramProtocol):
     """Datagram protocol that tolerates packets arriving before its owner
-    transport is fully constructed: early datagrams are buffered and
-    flushed once :meth:`set_owner` runs (previously they crashed the
-    receive callback with an ``AttributeError``)."""
+    transport is fully constructed: early datagrams are buffered — up to
+    :data:`_MAX_EARLY_DATAGRAMS`, beyond which they are counted and
+    dropped rather than accumulated without bound — and flushed once
+    :meth:`set_owner` runs (previously they crashed the receive callback
+    with an ``AttributeError``). Both the buffered and the dropped count
+    surface in :class:`TransportStats` as ``datagrams_buffered_early`` /
+    ``datagrams_dropped_early``."""
 
     _MAX_EARLY_DATAGRAMS = 128
 
     def __init__(self, owner: Optional["UdpTransport"] = None) -> None:
         self._owner = owner
         self._early: List[Tuple[bytes, tuple]] = []
+        self._early_dropped = 0
 
-    def set_owner(self, owner: "UdpTransport") -> int:
+    def set_owner(self, owner: "UdpTransport") -> Tuple[int, int]:
         """Attach the owning transport and flush buffered datagrams;
-        returns how many had been buffered."""
+        returns ``(buffered, dropped)`` counts from the ownerless window."""
         self._owner = owner
         early, self._early = self._early, []
         for data, addr in early:
             owner._on_datagram(data, addr)
-        return len(early)
+        return len(early), self._early_dropped
 
     def datagram_received(self, data: bytes, addr) -> None:
         if self._owner is None:
             if len(self._early) < self._MAX_EARLY_DATAGRAMS:
                 self._early.append((data, addr))
+            else:
+                self._early_dropped += 1
             return
         self._owner._on_datagram(data, addr)
 
@@ -283,7 +308,19 @@ class UdpTransport:
     same semantics (:class:`~repro.transport.sim.SimTransport` fires it
     for partition-severed reliable sends), so the node's local-health
     accounting and the sync engine's error handling are transport-agnostic.
+
+    The datagram path is pluggable: this class is the default
+    ``"asyncio"`` backend (one ``sendto``/callback per datagram);
+    :class:`repro.transport.fastudp.BatchedUdpTransport` subclasses it,
+    replacing only the datagram path with a batched-syscall
+    :class:`~repro.transport.fastudp.PacketPump` while inheriting the
+    whole pooled reliable channel. Use
+    :func:`repro.transport.fastudp.create_udp_transport` to pick a
+    backend from :attr:`SwimConfig.transport_backend`.
     """
+
+    #: Backend name reported in stats/metrics (overridden by subclasses).
+    backend = "asyncio"
 
     def __init__(
         self, local_address: str, config: Optional[SwimConfig] = None
@@ -315,18 +352,29 @@ class UdpTransport:
         udp_transport, protocol = await loop.create_datagram_endpoint(
             _UdpProtocol, local_addr=(host, port)
         )
+        udp_sock = udp_transport.get_extra_info("socket")
+        if udp_sock is not None:
+            _request_socket_buffers(udp_sock)
         bound_host, bound_port = udp_transport.get_extra_info("sockname")[:2]
         self = cls(f"{bound_host}:{bound_port}", config)
         self._loop = loop
         self._udp = udp_transport
-        buffered = protocol.set_owner(self)
+        buffered, dropped = protocol.set_owner(self)
         if buffered:
             self._stats.incr("datagrams_buffered_early", buffered)
-        self._tcp_server = await asyncio.start_server(
-            self._on_tcp_connection, host=bound_host, port=bound_port
-        )
-        self._reaper = loop.create_task(self._reap_idle_loop())
+        if dropped:
+            self._stats.incr("datagrams_dropped_early", dropped)
+        await self._start_reliable(bound_host, bound_port)
         return self
+
+    async def _start_reliable(self, host: str, port: int) -> None:
+        """Start the TCP side channel (server + idle reaper) on the same
+        host/port the datagram socket is bound to. Shared by every
+        backend — the reliable channel is backend-independent."""
+        self._tcp_server = await asyncio.start_server(
+            self._on_tcp_connection, host=host, port=port
+        )
+        self._reaper = self._loop.create_task(self._reap_idle_loop())
 
     @property
     def local_address(self) -> str:
@@ -345,6 +393,7 @@ class UdpTransport:
         """Redirect counting into ``stats`` (folding in anything already
         counted), so transport events surface in a node's telemetry."""
         stats.merge(self._stats)
+        stats.backend = self.backend
         self._stats = stats
 
     def loop_time(self) -> float:
@@ -370,6 +419,12 @@ class UdpTransport:
                 self._udp.sendto(payload, parse_address(destination))
             except (OSError, ValueError):
                 self._stats.incr("udp_send_error")
+                return
+            # One datagram per syscall is what defines this backend; the
+            # counter/batch pair makes that visible next to the batched
+            # backend's numbers on the same dashboards.
+            self._stats.incr("udp_send_syscalls")
+            self._stats.record_batch("send", 1)
 
     async def _send_reliable(self, destination: str, payload: bytes) -> None:
         try:
@@ -418,6 +473,8 @@ class UdpTransport:
             await _close_writer(writer)
 
     def _on_datagram(self, data: bytes, addr) -> None:
+        self._stats.incr("udp_recv_syscalls")
+        self._stats.record_batch("recv", 1)
         if self._handler is not None:
             self._handler(data, f"{addr[0]}:{addr[1]}", False)
 
@@ -488,7 +545,11 @@ class UdpMember:
         on_user_event=None,
     ) -> "UdpMember":
         config = config if config is not None else SwimConfig.lifeguard()
-        transport = await UdpTransport.create(host, port, config=config)
+        # Late import: fastudp subclasses UdpTransport, so the factory
+        # lives there and cannot be imported at module load time.
+        from repro.transport.fastudp import create_udp_transport
+
+        transport = await create_udp_transport(host, port, config=config)
         scheduler = AsyncioScheduler()
         node = SwimNode(
             name,

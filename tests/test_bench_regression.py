@@ -59,6 +59,14 @@ def write_results(tmp_path, *, p50=12.5, rate=2.8, throughput=25000.0):
             }
         )
     )
+    (tmp_path / "packet_path.json").write_text(
+        json.dumps(
+            {
+                "asyncio": {"msgs_per_sec": 30000.0, "uses_mmsg": False},
+                "batched": {"msgs_per_sec": 150000.0, "uses_mmsg": True},
+            }
+        )
+    )
     (tmp_path / "ops_overhead.json").write_text(
         json.dumps({"hook_overhead": 0.01, "scrape_overhead": 3.2})
     )
@@ -83,6 +91,9 @@ class TestCollect:
         }
         assert metrics["events_per_sec"]["n1024"] == 25000.0
         assert metrics["events_per_sec"]["n256"] == 62500.0
+        assert metrics["packet_msgs_per_sec"]["asyncio"] == 30000.0
+        assert metrics["packet_msgs_per_sec"]["batched"] == 150000.0
+        assert metrics["packet_msgs_per_sec"]["batched_vs_asyncio"] == 5.0
         assert document["ops_overhead"]["hook_overhead"] == 0.01
 
     def test_collect_cli_fails_without_data(self, tmp_path, capsys):
@@ -120,7 +131,13 @@ class TestCollect:
         assert document["metrics"]["detection_latency_p50"]
 
 
-def doc(p50_swim=12.5, rate_swim=2.8, throughput=25000.0, sha="base"):
+def doc(
+    p50_swim=12.5,
+    rate_swim=2.8,
+    throughput=25000.0,
+    packet_ratio=5.0,
+    sha="base",
+):
     return {
         "schema": SCHEMA,
         "sha": sha,
@@ -128,6 +145,10 @@ def doc(p50_swim=12.5, rate_swim=2.8, throughput=25000.0, sha="base"):
             "detection_latency_p50": {"SWIM": p50_swim},
             "msgs_per_member_per_sec": {"SWIM": rate_swim},
             "events_per_sec": {"n1024": throughput},
+            "packet_msgs_per_sec": {
+                "batched": 30000.0 * packet_ratio,
+                "batched_vs_asyncio": packet_ratio,
+            },
         },
     }
 
@@ -167,6 +188,19 @@ class TestCompare:
         _, regressions, _ = compare_documents(
             doc(), doc(throughput=25000.0 * 0.86)
         )
+        assert regressions == []
+
+    def test_packet_path_drop_fails(self):
+        """The ISSUE 8 bar in gate form: the batched backend slowing
+        down (absolute, and relative to the asyncio baseline) fails."""
+        _, regressions, _ = compare_documents(doc(), doc(packet_ratio=4.0))
+        assert sorted(regressions) == [
+            "packet_msgs_per_sec[batched]",
+            "packet_msgs_per_sec[batched_vs_asyncio]",
+        ]
+
+    def test_packet_path_improvement_passes(self):
+        _, regressions, _ = compare_documents(doc(), doc(packet_ratio=6.0))
         assert regressions == []
 
     def test_metric_missing_from_baseline_warns_but_does_not_gate(self):
@@ -256,6 +290,7 @@ class TestCompareCli:
             "detection_latency_p50",
             "msgs_per_member_per_sec",
             "events_per_sec",
+            "packet_msgs_per_sec",
         ):
             assert document["metrics"][metric], metric
         # Comparing the baseline against itself is, definitionally, clean.

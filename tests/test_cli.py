@@ -143,6 +143,42 @@ class TestCompareCommand:
             assert name in out
 
 
+class TestPacketbenchCommand:
+    FAST = ["--in-process", "--duration", "0.05", "-r", "1"]
+
+    def test_runs_and_reports(self, capsys):
+        code, out = run_cli(capsys, "packetbench", *self.FAST)
+        assert code == 0
+        assert "backend=asyncio" in out
+        assert "msgs/s=" in out
+        assert "syscalls:" in out
+
+    def test_batched_backend_json(self, capsys):
+        payload = run_cli_json(
+            capsys, "packetbench", "--backend", "batched", "--json",
+            *self.FAST,
+        )
+        assert payload["kind"] == "packetbench"
+        assert payload["backend"] == "batched"
+        assert payload["msgs_per_sec"] > 0
+        assert payload["round_trips"] > 0
+        assert payload["isolated"] is False
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["packetbench", "--backend", "turbo"])
+
+    def test_uvloop_exits_one_when_unavailable(self, capsys):
+        from repro.transport.fastudp import uvloop_available
+
+        if uvloop_available():  # pragma: no cover - env dependent
+            pytest.skip("uvloop installed; gating path not reachable")
+        code = main(["packetbench", "--backend", "uvloop", *self.FAST])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "uvloop" in captured.err
+
+
 class TestJsonOutput:
     """--json emits the shared ops-plane envelope on every subcommand."""
 

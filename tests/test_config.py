@@ -105,6 +105,11 @@ class TestSwimConfigValidation:
             dict(reliable_backoff_base=0.5, reliable_backoff_max=0.1),
             dict(reliable_failure_window=0.0),
             dict(reliable_failure_peer_threshold=0),
+            dict(transport_backend="bogus"),
+            dict(transport_backend=""),
+            dict(transport_batch_size=0),
+            dict(transport_batch_size=-4),
+            dict(transport_batch_size=2048),
         ],
     )
     def test_rejects_invalid(self, kwargs):
@@ -117,3 +122,12 @@ class TestSwimConfigValidation:
 
     def test_beta_one_allowed(self):
         assert SwimConfig(suspicion_beta=1.0).suspicion_beta == 1.0
+
+    @pytest.mark.parametrize("backend", ["asyncio", "batched", "uvloop"])
+    def test_known_transport_backends_accepted(self, backend):
+        config = SwimConfig(transport_backend=backend)
+        assert config.transport_backend == backend
+
+    def test_transport_batch_size_bounds(self):
+        assert SwimConfig(transport_batch_size=1).transport_batch_size == 1
+        assert SwimConfig(transport_batch_size=1024).transport_batch_size == 1024

@@ -1,4 +1,9 @@
-"""Tests for the asyncio UDP/TCP runtime (localhost only)."""
+"""Tests for the real UDP/TCP runtime (localhost only).
+
+Datagram-path tests take the ``backend`` fixture (see conftest.py) and
+run against both the stock asyncio path and the batched fast path —
+the parity matrix from ISSUE 8.
+"""
 
 import asyncio
 
@@ -8,7 +13,8 @@ from repro.config import SwimConfig
 from repro.metrics.event_log import ClusterEventLog
 from repro.swim.events import EventKind
 from repro.swim.state import MemberState
-from repro.transport.udp import UdpMember, UdpTransport, parse_address
+from repro.transport.udp import UdpMember, parse_address
+from tests.transport.conftest import make_transport
 
 
 def fast_config(**overrides):
@@ -35,28 +41,34 @@ class TestParseAddress:
 
 
 class TestUdpTransport:
-    def test_datagram_round_trip(self):
+    def test_datagram_round_trip(self, backend):
         async def scenario():
-            a = await UdpTransport.create()
-            b = await UdpTransport.create()
+            a = await make_transport(backend)
+            b = await make_transport(backend)
             received = asyncio.get_running_loop().create_future()
-            b.bind(lambda p, s, r: received.set_result((p, s, r)))
+            # Payload may arrive as a memoryview into a reused receive
+            # slot (batched backend): materialise inside the handler,
+            # exactly as real handlers must.
+            b.bind(lambda p, s, r: received.set_result((bytes(p), s, r)))
             a.send(b.local_address, b"hello")
             payload, source, reliable = await asyncio.wait_for(received, 5)
             assert payload == b"hello"
             assert source == a.local_address
             assert reliable is False
+            assert a.backend == backend
+            assert a.stats.get("udp_send_syscalls") >= 1
+            assert b.stats.get("udp_recv_syscalls") >= 1
             await a.close()
             await b.close()
 
         asyncio.run(scenario())
 
-    def test_reliable_round_trip_carries_canonical_address(self):
+    def test_reliable_round_trip_carries_canonical_address(self, backend):
         async def scenario():
-            a = await UdpTransport.create()
-            b = await UdpTransport.create()
+            a = await make_transport(backend)
+            b = await make_transport(backend)
             received = asyncio.get_running_loop().create_future()
-            b.bind(lambda p, s, r: received.set_result((p, s, r)))
+            b.bind(lambda p, s, r: received.set_result((bytes(p), s, r)))
             a.send(b.local_address, b"sync", reliable=True)
             payload, source, reliable = await asyncio.wait_for(received, 5)
             assert payload == b"sync"
@@ -67,23 +79,51 @@ class TestUdpTransport:
 
         asyncio.run(scenario())
 
-    def test_send_to_bad_address_does_not_crash(self):
+    def test_send_to_bad_address_does_not_crash(self, backend):
         async def scenario():
-            a = await UdpTransport.create()
+            a = await make_transport(backend)
             a.send("not-an-address", b"x")
             a.send("127.0.0.1:1", b"x", reliable=True)  # likely refused
             await asyncio.sleep(0.2)
+            assert a.stats.get("udp_send_error") == 1
             await a.close()
+
+        asyncio.run(scenario())
+
+    def test_burst_round_trip(self, backend):
+        """Many datagrams queued in one tick all arrive (this is the
+        sendmmsg coalescing path on the batched backend)."""
+
+        async def scenario():
+            a = await make_transport(backend)
+            b = await make_transport(backend)
+            got = []
+            done = asyncio.get_running_loop().create_future()
+
+            def on_packet(p, s, r):
+                got.append(bytes(p))
+                if len(got) == 50 and not done.done():
+                    done.set_result(None)
+
+            b.bind(on_packet)
+            for i in range(50):
+                a.send(b.local_address, b"m%03d" % i)
+            await asyncio.wait_for(done, 5)
+            assert sorted(got) == [b"m%03d" % i for i in range(50)]
+            assert a.stats.get("udp_send_syscalls") >= 1
+            await a.close()
+            await b.close()
 
         asyncio.run(scenario())
 
 
 class TestUdpCluster:
-    def test_join_detect_failure(self):
+    def test_join_detect_failure(self, backend):
         async def scenario():
             log = ClusterEventLog()
+            config = fast_config(transport_backend=backend)
             members = [
-                await UdpMember.create(f"u{i}", fast_config(), listener=log)
+                await UdpMember.create(f"u{i}", config, listener=log)
                 for i in range(4)
             ]
             seed = members[0]
@@ -93,6 +133,9 @@ class TestUdpCluster:
                 member.join([seed.address])
             await asyncio.sleep(2.5)
             assert all(len(m.node.members) == 4 for m in members)
+            assert all(
+                m.node.telemetry.transport.backend == backend for m in members
+            )
 
             victim = members[2]
             await victim.stop()

@@ -5,6 +5,11 @@ peer refuses connections, retry/backoff recovering from a transient
 connect failure, pool reuse across consecutive sends (asserted via
 telemetry counters), truncated frames, mid-stream disconnects, and the
 datagram-before-bind race.
+
+Every scenario runs across the backend parity matrix (``backend``
+fixture, see conftest.py): the batched fast path inherits the whole
+reliable channel from the asyncio transport, and these tests prove
+the fault behaviour is identical on both.
 """
 
 import asyncio
@@ -13,6 +18,7 @@ import socket
 
 from repro.config import SwimConfig
 from repro.transport.udp import _FRAME, UdpTransport, _UdpProtocol, parse_address
+from tests.transport.conftest import make_transport
 from tests.transport.fault_injection import TcpFaultProxy
 
 
@@ -43,11 +49,9 @@ def open_fds() -> int:
 
 
 class TestUnreachablePeer:
-    def test_refused_connections_leak_nothing_and_report_failure(self):
+    def test_refused_connections_leak_nothing_and_report_failure(self, backend):
         async def scenario():
-            a = await UdpTransport.create(
-                config=fault_config(reliable_connect_retries=1)
-            )
+            a = await make_transport(backend, fault_config(reliable_connect_retries=1))
             failures = []
             a.on_reliable_failure = failures.append
             dead = f"127.0.0.1:{free_port()}"
@@ -65,9 +69,9 @@ class TestUnreachablePeer:
 
         asyncio.run(scenario())
 
-    def test_malformed_destination_counts_as_failure(self):
+    def test_malformed_destination_counts_as_failure(self, backend):
         async def scenario():
-            a = await UdpTransport.create(config=fault_config())
+            a = await make_transport(backend, fault_config())
             a.send("not-an-address", b"x", reliable=True)
             await asyncio.sleep(0.05)
             assert a.stats.get("reliable_send_failed") == 1
@@ -77,21 +81,19 @@ class TestUnreachablePeer:
 
 
 class TestRetryBackoff:
-    def test_send_succeeds_after_transient_connect_failure(self):
+    def test_send_succeeds_after_transient_connect_failure(self, backend):
         async def scenario():
             port = free_port()
-            a = await UdpTransport.create(
-                config=fault_config(
+            a = await make_transport(backend, fault_config(
                     reliable_connect_retries=5,
                     reliable_backoff_base=0.1,
                     reliable_backoff_max=0.2,
-                )
-            )
+                ))
             received = asyncio.get_running_loop().create_future()
             # Nothing is listening yet: the first attempt(s) must fail.
             a.send(f"127.0.0.1:{port}", b"late", reliable=True)
             await asyncio.sleep(0.15)
-            b = await UdpTransport.create(port=port, config=fault_config())
+            b = await make_transport(backend, fault_config(), port=port)
             b.bind(
                 lambda p, s, r: received.done() or received.set_result((p, s, r))
             )
@@ -110,10 +112,10 @@ class TestRetryBackoff:
 
 
 class TestConnectionPool:
-    def test_pool_reuses_one_connection_across_sends(self):
+    def test_pool_reuses_one_connection_across_sends(self, backend):
         async def scenario():
-            a = await UdpTransport.create(config=fault_config())
-            b = await UdpTransport.create(config=fault_config())
+            a = await make_transport(backend, fault_config())
+            b = await make_transport(backend, fault_config())
             got = []
             b.bind(lambda p, s, r: got.append(p))
             for i in range(3):
@@ -130,12 +132,10 @@ class TestConnectionPool:
 
         asyncio.run(scenario())
 
-    def test_idle_reaper_closes_pooled_connections(self):
+    def test_idle_reaper_closes_pooled_connections(self, backend):
         async def scenario():
-            a = await UdpTransport.create(
-                config=fault_config(reliable_idle_timeout=0.15)
-            )
-            b = await UdpTransport.create(config=fault_config())
+            a = await make_transport(backend, fault_config(reliable_idle_timeout=0.15))
+            b = await make_transport(backend, fault_config())
             b.bind(lambda p, s, r: None)
             a.send(b.local_address, b"once", reliable=True)
             await asyncio.sleep(0.05)
@@ -148,15 +148,15 @@ class TestConnectionPool:
 
         asyncio.run(scenario())
 
-    def test_stale_pooled_connection_is_discarded(self):
+    def test_stale_pooled_connection_is_discarded(self, backend):
         async def scenario():
-            b = await UdpTransport.create(config=fault_config())
+            b = await make_transport(backend, fault_config())
             got = []
             b.bind(lambda p, s, r: got.append(p))
             host, port = parse_address(b.local_address)
             proxy = TcpFaultProxy(host, port)
             await proxy.start()
-            a = await UdpTransport.create(config=fault_config())
+            a = await make_transport(backend, fault_config())
             a.send(proxy.address, b"first", reliable=True)
             await asyncio.wait_for(_wait_until(lambda: b"first" in got), 5)
             # Kill the proxied connection under the pool: the channel is
@@ -188,9 +188,9 @@ async def _wait_until(predicate, interval=0.02):
 
 
 class TestReceiverRobustness:
-    def test_truncated_frame_is_counted_and_receiver_survives(self):
+    def test_truncated_frame_is_counted_and_receiver_survives(self, backend):
         async def scenario():
-            b = await UdpTransport.create(config=fault_config())
+            b = await make_transport(backend, fault_config())
             received = asyncio.get_running_loop().create_future()
             b.bind(
                 lambda p, s, r: received.done() or received.set_result(p)
@@ -207,7 +207,7 @@ class TestReceiverRobustness:
             assert b.stats.get("frames_truncated") == 1
             assert b.stats.get("frames_received") == 0
             # Well-formed traffic still flows afterwards.
-            a = await UdpTransport.create(config=fault_config())
+            a = await make_transport(backend, fault_config())
             a.send(b.local_address, b"ok", reliable=True)
             assert await asyncio.wait_for(received, 5) == b"ok"
             assert b.stats.get("frames_received") == 1
@@ -216,17 +216,15 @@ class TestReceiverRobustness:
 
         asyncio.run(scenario())
 
-    def test_mid_stream_disconnect_via_proxy(self):
+    def test_mid_stream_disconnect_via_proxy(self, backend):
         async def scenario():
-            b = await UdpTransport.create(config=fault_config())
+            b = await make_transport(backend, fault_config())
             b.bind(lambda p, s, r: None)
             host, port = parse_address(b.local_address)
             proxy = TcpFaultProxy(host, port)
             proxy.truncate_client_bytes = 10  # cuts inside the address field
             await proxy.start()
-            a = await UdpTransport.create(
-                config=fault_config(reliable_connect_retries=0)
-            )
+            a = await make_transport(backend, fault_config(reliable_connect_retries=0))
             a.send(proxy.address, b"x" * 200, reliable=True)
             await asyncio.wait_for(
                 _wait_until(lambda: b.stats.get("frames_truncated") >= 1), 5
@@ -238,9 +236,9 @@ class TestReceiverRobustness:
 
         asyncio.run(scenario())
 
-    def test_oversized_frame_header_is_rejected(self):
+    def test_oversized_frame_header_is_rejected(self, backend):
         async def scenario():
-            b = await UdpTransport.create(config=fault_config())
+            b = await make_transport(backend, fault_config())
             b.bind(lambda p, s, r: None)
             host, port = parse_address(b.local_address)
             reader, writer = await asyncio.open_connection(host, port)
@@ -267,7 +265,7 @@ class TestDatagramBeforeBind:
         protocol.datagram_received(b"one", ("127.0.0.1", 1))
         protocol.datagram_received(b"two", ("127.0.0.1", 2))
         assert got == []  # buffered, not crashed
-        assert protocol.set_owner(Owner()) == 2
+        assert protocol.set_owner(Owner()) == (2, 0)
         assert got == [
             (b"one", ("127.0.0.1", 1)),
             (b"two", ("127.0.0.1", 2)),
@@ -275,7 +273,7 @@ class TestDatagramBeforeBind:
         protocol.datagram_received(b"three", ("127.0.0.1", 3))
         assert got[-1] == (b"three", ("127.0.0.1", 3))
 
-    def test_early_buffer_is_bounded(self):
+    def test_early_buffer_is_bounded_and_drops_are_counted(self):
         protocol = _UdpProtocol()
         for i in range(500):
             protocol.datagram_received(b"x", ("127.0.0.1", i))
@@ -285,5 +283,24 @@ class TestDatagramBeforeBind:
             def _on_datagram(self, data, addr):
                 got.append(data)
 
-        assert protocol.set_owner(Owner()) == protocol._MAX_EARLY_DATAGRAMS
+        buffered, dropped = protocol.set_owner(Owner())
+        assert buffered == protocol._MAX_EARLY_DATAGRAMS
+        assert dropped == 500 - protocol._MAX_EARLY_DATAGRAMS
         assert len(got) == protocol._MAX_EARLY_DATAGRAMS
+
+    def test_early_drop_counter_reaches_transport_stats(self):
+        """End of the pipe: the dropped count surfaces as the
+        ``datagrams_dropped_early`` TransportStats event."""
+        async def scenario():
+            transport = await UdpTransport.create(config=fault_config())
+            protocol = _UdpProtocol()
+            for i in range(200):
+                protocol.datagram_received(b"x", ("127.0.0.1", i))
+            buffered, dropped = protocol.set_owner(transport)
+            transport.stats.incr("datagrams_buffered_early", buffered)
+            transport.stats.incr("datagrams_dropped_early", dropped)
+            assert transport.stats.get("datagrams_buffered_early") == 128
+            assert transport.stats.get("datagrams_dropped_early") == 72
+            await transport.close()
+
+        asyncio.run(scenario())
