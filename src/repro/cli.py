@@ -211,6 +211,52 @@ def _build_parser() -> argparse.ArgumentParser:
     packetbench.add_argument("--json", action="store_true",
                              help="emit machine-readable JSON instead of text")
 
+    member = sub.add_parser(
+        "member",
+        help="run one real UDP member process (spawned by repro soak)",
+        add_help=False,
+    )
+    member.add_argument("member_args", nargs=argparse.REMAINDER,
+                        help="flags for repro.soak.member_main")
+
+    soak = sub.add_parser(
+        "soak",
+        help="chaos-soak a real local cluster against a JSON schedule "
+             "(repro.soak; see docs/SOAK.md)",
+    )
+    soak.add_argument("-n", "--members", type=int, default=12,
+                      help="member processes to launch (default: 12)")
+    soak.add_argument("--schedule", required=True, metavar="FILE",
+                      help="chaos schedule JSON (repro-soak-schedule/v1)")
+    soak.add_argument("--duration", type=float, default=60.0,
+                      help="soak seconds after the chaos epoch "
+                           "(default: 60)")
+    soak.add_argument("--report", metavar="DIR", default="",
+                      help="run/report directory (default: soak-runs/<ts>)")
+    soak.add_argument("--probe-interval", type=float, default=0.5,
+                      help="base probe interval, seconds (default: 0.5)")
+    soak.add_argument("--alpha", type=float, default=5.0,
+                      help="suspicion alpha (default: 5)")
+    soak.add_argument("--beta", type=float, default=6.0,
+                      help="suspicion beta (default: 6)")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="seed for member RNGs and the paired sim run")
+    soak.add_argument("--host", default="127.0.0.1",
+                      help="interface members bind to (default: 127.0.0.1)")
+    soak.add_argument("--stagger", type=float, default=0.1,
+                      help="delay between member spawns, seconds "
+                           "(default: 0.1)")
+    soak.add_argument("--converge-timeout", type=float, default=60.0,
+                      help="seconds to wait for full membership before "
+                           "aborting (default: 60)")
+    soak.add_argument("--no-sim-compare", action="store_true",
+                      help="skip the paired simulator run")
+    soak.add_argument("--gate", action="store_true",
+                      help="exit 1 unless the run has zero healthy-phase "
+                           "false positives and every kill was detected")
+    soak.add_argument("--json", action="store_true",
+                      help="emit the report JSON on stdout")
+
     watch = sub.add_parser(
         "watch", help="poll a live node's admin endpoint (repro.ops)"
     )
@@ -598,6 +644,74 @@ def _cmd_packetbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_member(args: argparse.Namespace) -> int:
+    from repro.soak.member_main import main as member_main
+
+    return member_main(args.member_args)
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.soak.runner import SoakParams, run_soak
+    from repro.soak.schedule import ChaosSchedule
+
+    try:
+        schedule = ChaosSchedule.load(args.schedule)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"soak: cannot load schedule {args.schedule}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        params = SoakParams(
+            members=args.members,
+            schedule=schedule,
+            duration=args.duration,
+            run_dir=args.report,
+            host=args.host,
+            probe_interval=args.probe_interval,
+            alpha=args.alpha,
+            beta=args.beta,
+            seed=args.seed,
+            stagger=args.stagger,
+            converge_timeout=args.converge_timeout,
+            sim_compare=not args.no_sim_compare,
+        )
+    except ValueError as exc:
+        print(f"soak: {exc}", file=sys.stderr)
+        return 2
+
+    def log(message: str) -> None:
+        if not args.json:
+            print(f"soak: {message}", flush=True)
+
+    try:
+        result = run_soak(params, log=log)
+    except RuntimeError as exc:
+        print(f"soak: {exc}", file=sys.stderr)
+        return 1
+    analysis = result.analysis
+    if args.json:
+        with open(result.report_json, "r", encoding="utf-8") as handle:
+            print(handle.read(), end="")
+    else:
+        gate = analysis.gate()
+        def fmt(value):
+            return f"{value:.2f}s" if value is not None else "n/a"
+        print(f"soak: {params.members} members, "
+              f"{len(analysis.kills)} kill(s), "
+              f"convergence {fmt(analysis.convergence_time)}")
+        print(f"soak: first-detection median "
+              f"{fmt(analysis.detection_median())}, dissemination median "
+              f"{fmt(analysis.dissemination_median())}")
+        print(f"soak: false positives {analysis.fp_total} "
+              f"({analysis.fp_healthy} healthy-phase), undetected kills "
+              f"{len(gate['undetected_kills'])}")
+        print(f"soak: report at {result.report_md}")
+        print(f"soak: gate {'PASS' if gate['ok'] else 'FAIL'}")
+    if args.gate and not result.gate_ok:
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "threshold": _cmd_threshold,
     "interval": _cmd_interval,
@@ -606,12 +720,22 @@ _COMMANDS = {
     "schedulers": _cmd_schedulers,
     "check": _cmd_check,
     "packetbench": _cmd_packetbench,
+    "member": _cmd_member,
+    "soak": _cmd_soak,
     "watch": _cmd_watch,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["member"]:
+        # Dispatched before argparse: REMAINDER cannot capture leading
+        # optionals (``repro member --name ...``), and the member process
+        # owns its full flag set (repro.soak.member_main).
+        from repro.soak.member_main import main as member_main
+
+        return member_main(argv[1:])
     args = _build_parser().parse_args(argv)
     command = _COMMANDS[args.command]
     profile_out = getattr(args, "profile", None)

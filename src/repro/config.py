@@ -28,6 +28,7 @@ from repro.core.suspicion import (
     DEFAULT_SUSPICION_K,
     SWIM_SUSPICION_BETA,
 )
+from repro.faults import FaultPlan
 
 #: Selectable probe-target scheduling strategies (see
 #: :mod:`repro.swim.probe_scheduler` and docs/PROBE_SCHEDULING.md). Kept
@@ -199,6 +200,12 @@ class SwimConfig:
     #: ``"batched"`` backend (also sizes its preallocated slot arrays).
     #: Ignored by the other backends.
     transport_batch_size: int = 32
+    #: Declarative fault schedule enforced at the real transport's socket
+    #: boundary (loss/partition windows anchored to a wall-clock epoch;
+    #: see :mod:`repro.faults` and docs/SOAK.md). ``None`` disables
+    #: injection. The simulator ignores this — its faults are injected
+    #: by the :class:`~repro.sim.anomaly.AnomalyController` instead.
+    fault_plan: Optional[FaultPlan] = None
 
     # ------------------------------------------------------------------ #
     # Ops / admin plane (real-network members only; see :mod:`repro.ops`).
@@ -299,6 +306,10 @@ class SwimConfig:
             )
         if not 1 <= self.transport_batch_size <= 1024:
             raise ValueError("transport_batch_size must be in [1, 1024]")
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ValueError("fault_plan must be a repro.faults.FaultPlan")
         if self.admin_port is not None and not 0 <= self.admin_port <= 65535:
             raise ValueError("admin_port must be in [0, 65535]")
         if not self.admin_host:

@@ -1,0 +1,233 @@
+"""Declarative, clock-driven fault injection for the real transports.
+
+The simulator injects faults by construction (:mod:`repro.sim.anomaly`,
+:meth:`SimNetwork.partition <repro.sim.network.SimNetwork.partition>`);
+a *real* cluster on one host has no such narrator — and reaching for
+iptables would need root and leak state past the process. Instead the
+chaos harness (:mod:`repro.soak`) hands every member a :class:`FaultPlan`
+— a wall-clock schedule of loss and partition windows — and the member's
+own :class:`~repro.transport.udp.UdpTransport` enforces it at the socket
+boundary:
+
+* **loss** windows drop outbound and inbound datagrams independently
+  with the window's rate (UDP only — TCP retransmits through loss, as in
+  the simulator's symmetric loss model);
+* **partition** windows silently drop all datagrams to/from the listed
+  peer addresses and fail reliable sends to them permanently (surfaced
+  through ``on_reliable_failure``, exactly like a real severed path).
+
+Every member of a soak run carries the same schedule translated to its
+own viewpoint, so both sides of a partition drop symmetrically without
+any coordination at runtime. Windows are anchored to an absolute
+``epoch`` (unix time), letting the launcher arm hundreds of processes
+against one shared timeline.
+
+Plans are immutable and JSON round-trippable; they ride on
+:attr:`SwimConfig.fault_plan <repro.config.SwimConfig.fault_plan>` (the
+static hook) or are armed on a live transport via
+:meth:`UdpTransport.set_fault_plan
+<repro.transport.udp.UdpTransport.set_fault_plan>` (how the soak
+launcher arms an already-converged cluster). Stdlib only, no imports
+from the rest of the package — :mod:`repro.config` imports this module,
+so it must sit below both config and the transports.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+PLAN_SCHEMA = "repro-fault-plan/v1"
+
+#: Injectable fault kinds at the transport boundary.
+FAULT_WINDOW_KINDS = ("loss", "partition")
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One timed fault at one member's transport.
+
+    ``start``/``end`` are offsets in seconds from the owning plan's
+    ``epoch``. ``rate`` is the independent datagram drop probability for
+    ``loss`` windows; ``peers`` is the tuple of ``host:port`` addresses
+    cut off by a ``partition`` window.
+    """
+
+    kind: str
+    start: float
+    end: float
+    rate: float = 0.0
+    peers: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_WINDOW_KINDS:
+            known = ", ".join(FAULT_WINDOW_KINDS)
+            raise ValueError(f"fault window kind must be one of: {known}")
+        if self.start < 0:
+            raise ValueError("fault window start must be >= 0")
+        if self.end <= self.start:
+            raise ValueError("fault window end must be > start")
+        if self.kind == "loss":
+            if not 0.0 < self.rate <= 1.0:
+                raise ValueError("loss rate must be in (0, 1]")
+        if self.kind == "partition" and not self.peers:
+            raise ValueError("partition window needs at least one peer")
+
+    def as_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "start": self.start, "end": self.end}
+        if self.kind == "loss":
+            out["rate"] = self.rate
+        if self.peers:
+            out["peers"] = list(self.peers)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultWindow":
+        return cls(
+            kind=str(data["kind"]),
+            start=float(data["start"]),
+            end=float(data["end"]),
+            rate=float(data.get("rate", 0.0)),
+            peers=tuple(data.get("peers", ())),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A member's full fault schedule, anchored at ``epoch`` (unix time).
+
+    Immutable and hashable so it can ride on the frozen
+    :class:`~repro.config.SwimConfig`. ``seed`` makes the loss coin
+    flips reproducible per member.
+    """
+
+    windows: Tuple[FaultWindow, ...] = ()
+    epoch: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.windows, tuple):
+            object.__setattr__(self, "windows", tuple(self.windows))
+
+    @property
+    def end(self) -> float:
+        """Offset of the last window's end (0 for an empty plan)."""
+        return max((w.end for w in self.windows), default=0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": PLAN_SCHEMA,
+            "epoch": self.epoch,
+            "seed": self.seed,
+            "windows": [w.as_dict() for w in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        schema = data.get("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ValueError(f"unknown fault plan schema: {schema!r}")
+        return cls(
+            windows=tuple(
+                FaultWindow.from_dict(w) for w in data.get("windows", ())
+            ),
+            epoch=float(data.get("epoch", 0.0)),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps() + "\n")
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against a wall clock.
+
+    One instance lives on each real transport; the hot-path queries are
+    O(active windows) and the common case (no plan, or outside every
+    window) is a couple of float compares.
+    """
+
+    __slots__ = ("plan", "rng", "dropped_out", "dropped_in", "blocked_reliable")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed ^ 0xFA17)
+        #: Injection counters (merged into TransportStats by the owner).
+        self.dropped_out = 0
+        self.dropped_in = 0
+        self.blocked_reliable = 0
+
+    def _active(self, now: float):
+        offset = now - self.plan.epoch
+        for window in self.plan.windows:
+            if window.start <= offset < window.end:
+                yield window
+
+    def loss_rate(self, now: float) -> float:
+        """Effective datagram loss probability at ``now`` (max of
+        overlapping loss windows)."""
+        rate = 0.0
+        for window in self._active(now):
+            if window.kind == "loss" and window.rate > rate:
+                rate = window.rate
+        return rate
+
+    def partitioned_from(self, peer: str, now: float) -> bool:
+        """Whether ``peer`` is cut off by an active partition window."""
+        for window in self._active(now):
+            if window.kind == "partition" and peer in window.peers:
+                return True
+        return False
+
+    def drop_datagram(self, peer: str, now: float, outbound: bool) -> bool:
+        """Decide one datagram's fate; counts the drop when taken."""
+        if self.partitioned_from(peer, now):
+            pass  # partition always drops
+        else:
+            rate = self.loss_rate(now)
+            if rate <= 0.0 or self.rng.random() >= rate:
+                return False
+        if outbound:
+            self.dropped_out += 1
+        else:
+            self.dropped_in += 1
+        return True
+
+    def block_reliable(self, peer: str, now: float) -> bool:
+        """Whether a reliable send to ``peer`` must fail permanently."""
+        if self.partitioned_from(peer, now):
+            self.blocked_reliable += 1
+            return True
+        return False
+
+
+def plan_digest(plans: Dict[str, FaultPlan]) -> dict:
+    """A compact JSON summary of a per-member plan set (for reports)."""
+    return {
+        name: {
+            "windows": len(plan.windows),
+            "epoch": plan.epoch,
+            "end": plan.end,
+        }
+        for name, plan in sorted(plans.items())
+    }
+
+
+def load_optional(path: Optional[str]) -> Optional[FaultPlan]:
+    """Load a plan file if ``path`` is given, else ``None``."""
+    return FaultPlan.load(path) if path else None

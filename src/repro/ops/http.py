@@ -171,7 +171,12 @@ class AdminServer:
         if path == "/suspicions":
             return self._json(suspicions_payload(self.node))
         if path == "/info":
-            return self._json(node_info(self.node))
+            info = node_info(self.node)
+            # The chosen (possibly ephemeral) admin binding, so launchers
+            # that start members with ``admin_port=0`` can discover the
+            # port from the member itself (docs/SOAK.md).
+            info["admin"] = {"address": self.address, "url": self.url}
+            return self._json(info)
         if path == "/health":
             return self._health()
         if path == "/events":

@@ -1,0 +1,112 @@
+"""Executes the process-level half of a chaos schedule in wall time.
+
+The transport-level phases (loss, partition) are enforced *inside* each
+member by its :class:`~repro.faults.FaultPlan` — nothing to do here at
+runtime. The process-level phases need an external hand on the signal:
+
+* ``kill``  -> SIGKILL at ``epoch + start`` (crash, no goodbye);
+* ``pause`` -> SIGSTOP at ``epoch + start``, SIGCONT at ``epoch + end``
+  (the paper's unresponsive-but-alive incident shape).
+
+The driver turns the schedule into a sorted action list and sleeps
+between actions in short increments so a stop request (teardown, ^C)
+interrupts within ~100 ms. Every action lands in :attr:`ChaosDriver.log`
+with its intended and actual wall time, so the report can bound signal
+jitter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.soak.launcher import SoakLauncher
+from repro.soak.schedule import ChaosSchedule
+
+#: Maximum sleep slice between actions (keeps stop requests responsive).
+_TICK = 0.1
+
+
+class ChaosDriver:
+    """Runs the kill/pause phases of ``schedule`` against ``launcher``.
+
+    Either call :meth:`run` inline (blocks until the last action) or
+    :meth:`start`/:meth:`join` to drive from a background thread while
+    the caller scrapes.
+    """
+
+    def __init__(
+        self, launcher: SoakLauncher, schedule: ChaosSchedule, epoch: float
+    ) -> None:
+        self.launcher = launcher
+        self.schedule = schedule
+        self.epoch = epoch
+        #: Executed actions: ``{"t", "planned_t", "action", "index",
+        #: "phase", "ok"}`` (wall-clock unix seconds).
+        self.log: List[dict] = []
+        self._actions = self._build_actions()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _build_actions(self) -> List[tuple]:
+        actions = []
+        for phase in self.schedule.phases:
+            if phase.kind == "kill":
+                for target in phase.targets:
+                    actions.append((phase.start, "kill", target, phase.label))
+            elif phase.kind == "pause":
+                for target in phase.targets:
+                    actions.append((phase.start, "pause", target, phase.label))
+                    actions.append((phase.end, "resume", target, phase.label))
+        actions.sort(key=lambda item: item[0])
+        return actions
+
+    @property
+    def actions(self) -> List[tuple]:
+        """The planned ``(offset, verb, index, phase_label)`` list."""
+        return list(self._actions)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> List[dict]:
+        """Execute all actions; returns the execution log."""
+        for offset, verb, index, label in self._actions:
+            planned = self.epoch + offset
+            while not self._stop.is_set():
+                remaining = planned - time.time()
+                if remaining <= 0:
+                    break
+                time.sleep(min(_TICK, remaining))
+            if self._stop.is_set():
+                break
+            ok = getattr(self.launcher, verb)(index)
+            self.log.append(
+                {
+                    "t": time.time(),
+                    "planned_t": planned,
+                    "action": verb,
+                    "index": index,
+                    "phase": label,
+                    "ok": ok,
+                }
+            )
+        return self.log
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("chaos driver already started")
+        self._thread = threading.Thread(
+            target=self.run, daemon=True, name="soak-chaos"
+        )
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.join(timeout=1.0)

@@ -1,0 +1,197 @@
+"""Entry point for one soak-harness member process (``repro member``).
+
+The :class:`~repro.soak.launcher.SoakLauncher` spawns one of these per
+cluster member. The process:
+
+1. builds a Lifeguard :class:`~repro.config.SwimConfig` from the CLI
+   flags (ephemeral UDP and admin ports by default, so dozens of members
+   share one host without port planning);
+2. creates a real :class:`~repro.transport.udp.UdpMember` and prints a
+   single machine-readable *ready line* on stdout —
+   ``{"event": "ready", "address": ..., "admin": ..., "pid": ...}`` —
+   which is how the launcher learns the ports the kernel actually chose;
+3. starts the protocol, joins the given seed addresses, and runs until
+   SIGTERM/SIGINT;
+4. optionally watches a fault-plan file (``--watch-fault-plan``): the
+   launcher writes each member's :class:`~repro.faults.FaultPlan` only
+   once the cluster has converged and the chaos epoch is known, and the
+   watcher arms it on the live transport via
+   :meth:`~repro.transport.udp.UdpTransport.set_fault_plan`. A plan file
+   that already exists at startup is instead applied through the static
+   ``SwimConfig(fault_plan=...)`` hook;
+5. self-terminates if its parent launcher dies (``--parent-pid``), so a
+   crashed harness never strands orphan members on the host.
+
+Everything after the ready line on stdout is free-form logging; the
+launcher tees it into the member's log file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+from typing import List, Optional
+
+from repro.config import SwimConfig
+from repro.faults import FaultPlan
+
+#: How often the fault-plan watcher and parent-liveness checks run (s).
+_WATCH_INTERVAL = 0.25
+
+
+def build_config(args: argparse.Namespace) -> SwimConfig:
+    """The member's protocol config; shared with tests for parity."""
+    probe_timeout = min(0.5, args.probe_interval / 2.0)
+    overrides: dict = dict(
+        probe_interval=args.probe_interval,
+        probe_timeout=probe_timeout,
+        admin_port=args.admin_port,
+        admin_host=args.admin_host,
+    )
+    if args.fault_plan and os.path.exists(args.fault_plan):
+        # Static hook: a plan present before the member exists rides in
+        # on the (frozen) config itself.
+        overrides["fault_plan"] = FaultPlan.load(args.fault_plan)
+    return SwimConfig.lifeguard(
+        alpha=args.alpha, beta=args.beta, **overrides
+    )
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(prog="repro member")
+    parser.add_argument("--name", required=True, help="member name")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind interface (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="UDP/TCP port (default: 0 = ephemeral)")
+    parser.add_argument("--admin-port", type=int, default=0,
+                        help="admin API port (default: 0 = ephemeral)")
+    parser.add_argument("--admin-host", default="127.0.0.1",
+                        help="admin API interface (default: 127.0.0.1)")
+    parser.add_argument("--join", action="append", default=[],
+                        metavar="HOST:PORT",
+                        help="seed address to join (repeatable)")
+    parser.add_argument("--probe-interval", type=float, default=0.5,
+                        help="base probe interval, seconds (default: 0.5)")
+    parser.add_argument("--alpha", type=float, default=5.0,
+                        help="suspicion alpha (default: 5)")
+    parser.add_argument("--beta", type=float, default=6.0,
+                        help="suspicion beta (default: 6)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for this member (default: 0)")
+    parser.add_argument("--fault-plan", metavar="PATH",
+                        help="fault-plan JSON file (repro.faults)")
+    parser.add_argument("--watch-fault-plan", action="store_true",
+                        help="poll --fault-plan for (re)appearance and arm "
+                             "it on the live transport")
+    parser.add_argument("--parent-pid", type=int, default=0,
+                        help="exit when this process is no longer the "
+                             "parent (orphan protection)")
+    return parser.parse_args(argv)
+
+
+async def _watch_plan(path: str, transport, applied_mtime: float) -> None:
+    """Poll ``path``; arm each new plan version on ``transport``."""
+    last = applied_mtime
+    while True:
+        await asyncio.sleep(_WATCH_INTERVAL)
+        try:
+            mtime = os.stat(path).st_mtime
+        except OSError:
+            continue
+        if mtime == last:
+            continue
+        try:
+            plan = FaultPlan.load(path)
+        except (OSError, ValueError, KeyError):
+            continue  # partially written; the launcher replaces atomically
+        transport.set_fault_plan(plan)
+        last = mtime
+        print(
+            f"fault plan armed: {len(plan.windows)} window(s), "
+            f"epoch={plan.epoch:.3f}",
+            flush=True,
+        )
+
+
+async def _watch_parent(parent_pid: int, stop: asyncio.Event) -> None:
+    while not stop.is_set():
+        await asyncio.sleep(_WATCH_INTERVAL)
+        if os.getppid() != parent_pid:
+            stop.set()
+            try:
+                print("parent launcher died; exiting", flush=True)
+            except OSError:
+                pass  # stdout pipe died with the launcher
+            return
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.transport.udp import UdpMember
+
+    config = build_config(args)
+    member = await UdpMember.create(
+        args.name,
+        config,
+        host=args.host,
+        port=args.port,
+        rng=random.Random(args.seed),
+    )
+    print(
+        json.dumps(
+            {
+                "event": "ready",
+                "name": args.name,
+                "address": member.address,
+                "admin": member.admin_address,
+                "pid": os.getpid(),
+            },
+            separators=(",", ":"),
+        ),
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    member.start()
+    if args.join:
+        member.join(list(args.join))
+    tasks = []
+    if args.fault_plan and args.watch_fault_plan:
+        applied = -1.0
+        if config.fault_plan is not None:
+            applied = os.stat(args.fault_plan).st_mtime
+        tasks.append(
+            asyncio.ensure_future(
+                _watch_plan(args.fault_plan, member.transport, applied)
+            )
+        )
+    if args.parent_pid:
+        tasks.append(asyncio.ensure_future(_watch_parent(args.parent_pid, stop)))
+    try:
+        await stop.wait()
+    finally:
+        for task in tasks:
+            task.cancel()
+        await member.stop()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro member`` entry point; returns a process exit code."""
+    args = _parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - signal race on teardown
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

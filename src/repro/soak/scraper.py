@@ -1,0 +1,226 @@
+"""Polls every member's admin API into one merged wall-clock record.
+
+One scrape thread per member (the admin API is plain HTTP/1.1 with
+``Connection: close``; at soak scales — tens to low hundreds of members
+— a thread each is simpler and more robust than an async client sharing
+the harness process with everything else). Each thread:
+
+1. computes the member's **clock offset**: event timestamps from
+   ``/events`` are in the member's private ``loop.time()`` domain, so
+   the scraper brackets a ``GET /info`` with two wall-clock reads and
+   uses ``offset = wall_midpoint - info["now"]``. Every event is then
+   stamped ``wall_t = event["t"] + offset``, putting all members (and
+   the chaos driver's own log) on one comparable timeline;
+2. polls ``/events?since=<seq>`` with the last seen sequence number, so
+   each membership event is collected exactly once;
+3. periodically snapshots ``/info`` (alive/suspect counts, LHM) into a
+   time series and keeps the member's latest ``/metrics`` exposition
+   text for the report artifact.
+
+A member that stops answering (killed, paused, crashed) is retried with
+backoff rather than dropped: a SIGSTOP'd member answers again after
+SIGCONT, and its queued events are recovered on the next successful
+poll.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.soak.launcher import MemberRecord
+
+#: After this many consecutive failures the poll interval backs off
+#: (killed members would otherwise burn a connect timeout per tick).
+_BACKOFF_AFTER = 3
+_BACKOFF_FACTOR = 5.0
+
+
+def _fetch(url: str, timeout: float) -> bytes:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read()
+
+
+class SoakScraper:
+    """Background collector for a launched cluster's admin endpoints."""
+
+    def __init__(
+        self,
+        members: List[MemberRecord],
+        interval: float = 1.0,
+        timeout: float = 2.0,
+        snapshot_every: int = 2,
+    ) -> None:
+        self.members = members
+        self.interval = interval
+        self.timeout = timeout
+        self.snapshot_every = max(1, snapshot_every)
+        #: Merged membership events, each the ``/events`` record plus
+        #: ``member`` (observer index) and ``wall_t``.
+        self.events: List[dict] = []
+        #: Periodic ``/info`` snapshots: ``{"wall_t", "member", "name",
+        #: "alive", "by_state", "lhm", "suspicions"}``.
+        self.series: List[dict] = []
+        #: Latest ``/metrics`` exposition text per member name.
+        self.metrics_text: Dict[str, str] = {}
+        #: Wall-clock offset per member name (see module docstring).
+        self.offsets: Dict[str, float] = {}
+        self.scrape_errors = 0
+        #: Last /events sequence number seen per member index (shared by
+        #: the poll threads and the final stop() poll, so no event is
+        #: ever collected twice).
+        self._since: Dict[int, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("scraper already started")
+        for record in self.members:
+            thread = threading.Thread(
+                target=self._poll_member,
+                args=(record,),
+                daemon=True,
+                name=f"soak-scrape-{record.name}",
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
+
+    def stop(self, final_poll: bool = True) -> None:
+        """Stop polling; with ``final_poll`` each live member is scraped
+        one last time first so late events are not lost."""
+        if final_poll:
+            for record in self.members:
+                if record.alive:
+                    self._scrape_once(record, snapshot=True)
+                    # One more pass: events raised between the poll
+                    # threads' last tick and this call are now drained.
+                    self._scrape_once(record)
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=self.timeout + 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def merged_events(self) -> List[dict]:
+        """All collected events ordered by wall time."""
+        with self._lock:
+            return sorted(self.events, key=lambda e: e["wall_t"])
+
+    def wait_converged(
+        self, expected_alive: int, timeout: float, poll: float = 0.5
+    ) -> Optional[float]:
+        """Block until every live member reports ``expected_alive`` alive
+        members (its own row included). Returns the wall time of
+        convergence, or ``None`` on timeout."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if self._all_see_alive(expected_alive):
+                return time.time()
+            time.sleep(poll)
+        return None
+
+    def _all_see_alive(self, expected: int) -> bool:
+        for record in self.members:
+            if not record.alive:
+                return False
+            try:
+                raw = _fetch(record.admin_url + "/info", self.timeout)
+                info = json.loads(raw)
+            except (urllib.error.URLError, OSError, ValueError):
+                return False
+            if info["members"]["alive"] != expected:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Per-member polling
+    # ------------------------------------------------------------------ #
+
+    def _poll_member(self, record: MemberRecord) -> None:
+        failures = 0
+        ticks = 0
+        while not self._stop.is_set():
+            ok = self._scrape_once(
+                record, snapshot=(ticks % self.snapshot_every == 0)
+            )
+            ticks += 1
+            failures = 0 if ok else failures + 1
+            delay = self.interval
+            if failures >= _BACKOFF_AFTER:
+                delay *= _BACKOFF_FACTOR
+            self._stop.wait(delay)
+
+    def _scrape_once(self, record: MemberRecord, snapshot: bool = False) -> bool:
+        """One poll round; returns whether the member answered."""
+        base = record.admin_url
+        with self._lock:
+            since = self._since.get(record.index, 0)
+        try:
+            offset = self._ensure_offset(record)
+            raw = _fetch(f"{base}/events?since={since}", self.timeout)
+            batch = []
+            for line in raw.decode("utf-8").splitlines():
+                if not line:
+                    continue
+                event = json.loads(line)
+                event["member"] = record.index
+                event["wall_t"] = event["t"] + offset
+                batch.append(event)
+                since = max(since, event["seq"])
+            snap = None
+            if snapshot:
+                info = json.loads(_fetch(base + "/info", self.timeout))
+                snap = {
+                    "wall_t": time.time(),
+                    "member": record.index,
+                    "name": record.name,
+                    "alive": info["members"]["alive"],
+                    "by_state": info["members"]["by_state"],
+                    "lhm": info["lhm"]["score"],
+                    "suspicions": info["suspicions"],
+                }
+                self.metrics_text[record.name] = _fetch(
+                    base + "/metrics", self.timeout
+                ).decode("utf-8")
+        except (urllib.error.URLError, OSError, ValueError, KeyError):
+            with self._lock:
+                self.scrape_errors += 1
+            return False
+        with self._lock:
+            # Re-check under the lock: a concurrent poll of the same
+            # member may have landed these events already.
+            known = self._since.get(record.index, 0)
+            fresh = [event for event in batch if event["seq"] > known]
+            self.events.extend(fresh)
+            if since > known:
+                self._since[record.index] = since
+            if snap is not None:
+                self.series.append(snap)
+        return True
+
+    def _ensure_offset(self, record: MemberRecord) -> float:
+        offset = self.offsets.get(record.name)
+        if offset is not None:
+            return offset
+        before = time.time()
+        info = json.loads(_fetch(record.admin_url + "/info", self.timeout))
+        after = time.time()
+        offset = (before + after) / 2.0 - info["now"]
+        self.offsets[record.name] = offset
+        return offset

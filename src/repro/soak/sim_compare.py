@@ -1,0 +1,183 @@
+"""Replays a chaos schedule on the deterministic simulator.
+
+The soak report pairs every real-cluster run with a simulator run of the
+*same* schedule at the same protocol tuning, so a surprising wall-clock
+number can immediately be triaged: if the simulator agrees, the
+behaviour is protocol-inherent; if it disagrees, the delta came from
+real-world physics (scheduling jitter, socket buffers, slow host).
+
+Phase mapping onto the virtual fabric:
+
+* ``kill``      -> stop the node and unregister its transport endpoint
+  (packets to it vanish; a crash, not a leave);
+* ``pause``     -> an :class:`~repro.sim.anomaly.AnomalyController`
+  block window (the paper's unresponsive-member shape);
+* ``loss``      -> the global fabric loss rate for cluster-wide phases,
+  per-link loss for targeted ones (UDP only — matching the real
+  transport, where TCP retransmits through loss);
+* ``partition`` -> a fabric partition of the target group vs the rest,
+  healed at the window's end.
+
+The cluster bootstraps pre-seeded (the converged state the real run is
+in when its chaos epoch is chosen) and runs a short warm-up before the
+virtual epoch. Results use the same per-kill metrics as
+:func:`repro.soak.report.analyze`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config import SwimConfig
+from repro.soak.schedule import ChaosSchedule
+
+#: Virtual seconds of pre-epoch warm-up (lets initial probes settle).
+_WARMUP = 2.0
+
+
+def _median(values: Sequence[float]) -> Optional[float]:
+    clean = sorted(v for v in values if v is not None)
+    if not clean:
+        return None
+    mid = len(clean) // 2
+    if len(clean) % 2:
+        return clean[mid]
+    return (clean[mid - 1] + clean[mid]) / 2.0
+
+
+def run_sim_comparison(
+    schedule: ChaosSchedule,
+    n_members: int,
+    probe_interval: float = 0.5,
+    alpha: float = 5.0,
+    beta: float = 6.0,
+    seed: int = 0,
+    duration: Optional[float] = None,
+) -> dict:
+    """Run ``schedule`` on a fresh :class:`~repro.sim.runtime.SimCluster`
+    and return the comparison metrics as a JSON-safe dict."""
+    from repro.sim.runtime import SimCluster
+
+    config = SwimConfig.lifeguard(
+        alpha=alpha,
+        beta=beta,
+        probe_interval=probe_interval,
+        probe_timeout=min(0.5, probe_interval / 2.0),
+    )
+    cluster = SimCluster(n_members, config=config, seed=seed)
+    cluster.start()
+    cluster.run_for(_WARMUP)
+    epoch = cluster.now
+    names = cluster.names
+
+    killed: List[str] = [names[i] for i in schedule.killed_indices()]
+
+    def kill(name: str) -> None:
+        node = cluster.nodes[name]
+        if node.running:
+            node.stop()
+        cluster.network.unregister(name)
+
+    for phase in schedule.phases:
+        start = epoch + phase.start
+        end = epoch + phase.end
+        if phase.kind == "kill":
+            for target in phase.targets:
+                cluster.scheduler.call_at(
+                    start, lambda name=names[target]: kill(name)
+                )
+        elif phase.kind == "pause":
+            for target in phase.targets:
+                cluster.anomalies.block_window(names[target], start, end)
+        elif phase.kind == "loss":
+            if phase.targets:
+                links = [
+                    (names[t], other)
+                    for t in phase.targets
+                    for other in names
+                    if other != names[t]
+                ]
+
+                def set_links(rate: float, links=links) -> None:
+                    for src, dst in links:
+                        cluster.network.set_link_loss(src, dst, rate)
+                        cluster.network.set_link_loss(dst, src, rate)
+
+                cluster.scheduler.call_at(
+                    start, lambda rate=phase.rate, f=set_links: f(rate)
+                )
+                cluster.scheduler.call_at(end, lambda f=set_links: f(0.0))
+            else:
+                cluster.scheduler.call_at(
+                    start,
+                    lambda rate=phase.rate: setattr(
+                        cluster.network, "loss_rate", rate
+                    ),
+                )
+                cluster.scheduler.call_at(
+                    end, lambda: setattr(cluster.network, "loss_rate", 0.0)
+                )
+        elif phase.kind == "partition":
+            inside = [names[t] for t in phase.targets]
+            outside = [name for name in names if name not in inside]
+            cluster.scheduler.call_at(
+                start,
+                lambda a=inside, b=outside: cluster.network.partition(a, b),
+            )
+            cluster.scheduler.call_at(
+                end, lambda: cluster.network.heal_partition()
+            )
+
+    run_for = duration if duration is not None else schedule.end + 30.0
+    cluster.run_until(epoch + run_for)
+    cluster.stop()
+
+    survivors = [name for name in names if name not in killed]
+    kill_time = {}
+    for phase in schedule.of_kind("kill"):
+        for target in phase.targets:
+            kill_time.setdefault(names[target], epoch + phase.start)
+
+    kills = []
+    undetected = []
+    log = cluster.event_log
+    for victim, when in sorted(kill_time.items(), key=lambda kv: kv[1]):
+        first = log.first_failure_time(victim, since=when, observers=survivors)
+        dissemination = log.full_dissemination_time(
+            victim, survivors, since=when
+        )
+        observers = log.observers_declaring_failed(victim, since=when)
+        detected = dissemination is not None
+        if not detected:
+            undetected.append(victim)
+        kills.append(
+            {
+                "victim": victim,
+                "kill_t": when - epoch,
+                "first_detection": first - when if first is not None else None,
+                "dissemination": (
+                    dissemination - when if dissemination is not None else None
+                ),
+                "detected_by": len(observers & set(survivors)),
+                "survivors": len(survivors),
+                "detected": detected,
+            }
+        )
+
+    false_positives = sum(
+        1
+        for event in log.failure_events(since=epoch)
+        if event.subject not in killed
+        or event.time < kill_time.get(event.subject, float("inf"))
+    )
+    return {
+        "members": n_members,
+        "seed": seed,
+        "virtual_duration": run_for,
+        "kills": kills,
+        "undetected": undetected,
+        "detection_median": _median([k["first_detection"] for k in kills]),
+        "dissemination_median": _median([k["dissemination"] for k in kills]),
+        "false_positives": false_positives,
+        "events": len(log),
+    }

@@ -652,6 +652,8 @@ class BatchedUdpTransport(UdpTransport):
         if reliable:
             super().send(destination, payload, reliable=True)
             return
+        if self._fault_drop_datagram(destination, outbound=True):
+            return
         try:
             self._pump.send(payload, destination)
         except (OSError, ValueError):
@@ -668,7 +670,9 @@ class BatchedUdpTransport(UdpTransport):
         scratch = self._scratch
         del scratch[:]
         n = codec.encode_into(message, scratch)
-        if not self._closed:
+        if not self._closed and not self._fault_drop_datagram(
+            destination, outbound=True
+        ):
             try:
                 self._pump.send(scratch, destination)
             except (OSError, ValueError):
@@ -677,6 +681,8 @@ class BatchedUdpTransport(UdpTransport):
 
     def _on_pump_datagram(self, payload: memoryview, source: str) -> None:
         # Syscall/batch accounting already happened in the pump.
+        if self._fault_drop_datagram(source, outbound=False):
+            return
         if self._handler is not None:
             self._handler(payload, source, False)
 

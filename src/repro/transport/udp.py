@@ -36,9 +36,11 @@ import contextlib
 import random
 import socket
 import struct
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SwimConfig
+from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.telemetry import TransportStats
 from repro.swim.events import EventListener
 from repro.swim.node import SwimNode
@@ -336,6 +338,9 @@ class UdpTransport:
         self._pending_sends: set = set()
         self._reaper: Optional[asyncio.Task] = None
         self._stats = TransportStats()
+        self._faults: Optional[FaultInjector] = None
+        if self.config.fault_plan is not None:
+            self.set_fault_plan(self.config.fault_plan)
         #: Called with the destination address when a reliable send fails
         #: permanently (wired to the node's local-health hook by
         #: :class:`UdpMember`).
@@ -399,6 +404,43 @@ class UdpTransport:
     def loop_time(self) -> float:
         return self._loop.time()
 
+    # ------------------------------------------------------------------ #
+    # Fault injection (see repro.faults and docs/SOAK.md)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The active injector, or ``None`` (introspection for tests)."""
+        return self._faults
+
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Arm (or with ``None`` disarm) a fault plan on the live
+        transport. The soak launcher uses this path — via the member
+        process's plan-file watcher — to arm an already-converged
+        cluster against a shared wall-clock epoch; static plans arrive
+        through ``SwimConfig(fault_plan=...)`` at construction."""
+        self._faults = FaultInjector(plan) if plan is not None else None
+
+    def _fault_drop_datagram(self, peer: str, outbound: bool) -> bool:
+        if self._faults is None:
+            return False
+        if self._faults.drop_datagram(peer, time.time(), outbound):
+            self._stats.incr(
+                "faults_datagrams_dropped_out"
+                if outbound
+                else "faults_datagrams_dropped_in"
+            )
+            return True
+        return False
+
+    def _fault_block_reliable(self, peer: str) -> bool:
+        if self._faults is None:
+            return False
+        if self._faults.block_reliable(peer, time.time()):
+            self._stats.incr("faults_reliable_blocked")
+            return True
+        return False
+
     def pooled_connections(self, destination: str) -> int:
         """Idle pooled connections to ``destination`` (introspection)."""
         channel = self._channels.get(destination)
@@ -411,10 +453,17 @@ class UdpTransport:
         if self._closed:
             return
         if reliable:
+            if self._fault_block_reliable(destination):
+                self._stats.incr("reliable_send_failed")
+                if self.on_reliable_failure is not None:
+                    self.on_reliable_failure(destination)
+                return
             task = asyncio.ensure_future(self._send_reliable(destination, payload))
             self._pending_sends.add(task)
             task.add_done_callback(self._pending_sends.discard)
         else:
+            if self._fault_drop_datagram(destination, outbound=True):
+                return
             try:
                 self._udp.sendto(payload, parse_address(destination))
             except (OSError, ValueError):
@@ -465,6 +514,15 @@ class UdpTransport:
                     self._stats.incr("frames_truncated")
                     return
                 self._stats.incr("frames_received")
+                if self._faults is not None and self._faults.partitioned_from(
+                    addr, time.time()
+                ):
+                    # Inbound half of a partition: the peer's frame made
+                    # it through TCP before both sides armed, or only
+                    # this side carries the window — drop it here so the
+                    # cut is symmetric regardless.
+                    self._stats.incr("faults_reliable_blocked")
+                    continue
                 if self._handler is not None:
                     self._handler(payload, addr, True)
         except OSError:
@@ -475,8 +533,11 @@ class UdpTransport:
     def _on_datagram(self, data: bytes, addr) -> None:
         self._stats.incr("udp_recv_syscalls")
         self._stats.record_batch("recv", 1)
+        source = f"{addr[0]}:{addr[1]}"
+        if self._fault_drop_datagram(source, outbound=False):
+            return
         if self._handler is not None:
-            self._handler(data, f"{addr[0]}:{addr[1]}", False)
+            self._handler(data, source, False)
 
     async def _reap_idle_loop(self) -> None:
         idle_timeout = self.config.reliable_idle_timeout

@@ -1,0 +1,161 @@
+"""Chaos schedule spec: validation, JSON round-trip, plan translation."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.soak.schedule import (
+    SCHEDULE_SCHEMA,
+    ChaosPhase,
+    ChaosSchedule,
+    member_fault_plan,
+    member_fault_plans,
+)
+
+
+class TestChaosPhase:
+    def test_kill_is_permanent(self):
+        with pytest.raises(ValueError, match="permanent"):
+            ChaosPhase("kill", 5.0, duration=3.0, targets=(1,))
+
+    def test_non_kill_needs_duration(self):
+        with pytest.raises(ValueError, match="positive duration"):
+            ChaosPhase("pause", 5.0, targets=(1,))
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            ChaosPhase("loss", 0.0, 5.0, rate=0.0)
+        with pytest.raises(ValueError, match="rate"):
+            ChaosPhase("loss", 0.0, 5.0, rate=1.5)
+
+    def test_rate_only_on_loss(self):
+        with pytest.raises(ValueError, match="only meaningful"):
+            ChaosPhase("pause", 0.0, 5.0, targets=(1,), rate=0.5)
+
+    def test_targets_required_except_loss(self):
+        with pytest.raises(ValueError, match="target"):
+            ChaosPhase("partition", 0.0, 5.0)
+        # Cluster-wide loss is fine without targets.
+        ChaosPhase("loss", 0.0, 5.0, rate=0.2)
+
+    def test_duplicate_and_negative_targets(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ChaosPhase("pause", 0.0, 5.0, targets=(1, 1))
+        with pytest.raises(ValueError, match="0-based"):
+            ChaosPhase("pause", 0.0, 5.0, targets=(-1,))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            ChaosPhase("reboot", 0.0, 5.0, targets=(1,))
+
+    def test_kill_window_is_unbounded(self):
+        kill = ChaosPhase("kill", 10.0, targets=(1,))
+        late = ChaosPhase("pause", 100.0, 5.0, targets=(2,))
+        assert kill.overlaps(late)
+        assert late.overlaps(kill)
+
+
+class TestChaosScheduleValidation:
+    def test_target_after_kill_rejected(self):
+        with pytest.raises(ValueError, match="after their kill"):
+            ChaosSchedule((
+                ChaosPhase("kill", 5.0, targets=(1,)),
+                ChaosPhase("pause", 10.0, 5.0, targets=(1,)),
+            ))
+
+    def test_cluster_wide_loss_tolerates_dead_members(self):
+        ChaosSchedule((
+            ChaosPhase("kill", 5.0, targets=(1,)),
+            ChaosPhase("loss", 10.0, 5.0, rate=0.2),
+        ))
+
+    def test_overlapping_process_phases_on_one_member(self):
+        with pytest.raises(ValueError, match="process phases"):
+            ChaosSchedule((
+                ChaosPhase("pause", 0.0, 10.0, targets=(1,)),
+                ChaosPhase("pause", 5.0, 10.0, targets=(1, 2)),
+            ))
+
+    def test_overlapping_same_kind_transport_phases(self):
+        with pytest.raises(ValueError, match="merge them"):
+            ChaosSchedule((
+                ChaosPhase("loss", 0.0, 10.0, rate=0.1),
+                ChaosPhase("loss", 5.0, 10.0, rate=0.2, targets=(1,)),
+            ))
+
+    def test_disjoint_phases_compose(self):
+        schedule = ChaosSchedule((
+            ChaosPhase("loss", 0.0, 5.0, rate=0.1),
+            ChaosPhase("loss", 6.0, 5.0, rate=0.2),
+            ChaosPhase("pause", 2.0, 3.0, targets=(1,)),
+            ChaosPhase("pause", 2.0, 3.0, targets=(2,)),
+            ChaosPhase("kill", 20.0, targets=(3,)),
+        ))
+        assert schedule.end == 20.0
+        assert schedule.killed_indices() == (3,)
+        assert schedule.max_target() == 3
+
+
+class TestRoundTrip:
+    def test_json_round_trip_exact(self):
+        schedule = ChaosSchedule((
+            ChaosPhase("loss", 5.0, 10.0, rate=0.1, name="ambient"),
+            ChaosPhase("kill", 20.0, targets=(1, 2)),
+            ChaosPhase("partition", 30.0, 5.0, targets=(0, 3)),
+        ))
+        assert ChaosSchedule.loads(schedule.dumps()) == schedule
+        assert schedule.as_dict()["schema"] == SCHEDULE_SCHEMA
+
+    def test_file_round_trip(self, tmp_path):
+        schedule = ChaosSchedule((ChaosPhase("kill", 1.0, targets=(0,)),))
+        path = str(tmp_path / "schedule.json")
+        schedule.dump(path)
+        assert ChaosSchedule.load(path) == schedule
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            ChaosSchedule.from_dict({"schema": "bogus/v9", "phases": []})
+
+
+ADDRS = ["h:1", "h:2", "h:3", "h:4"]
+
+
+class TestMemberFaultPlan:
+    def test_loss_targets_only_members_in_scope(self):
+        schedule = ChaosSchedule((
+            ChaosPhase("loss", 2.0, 4.0, rate=0.3, targets=(1,)),
+        ))
+        plan0 = member_fault_plan(schedule, 0, ADDRS, epoch=100.0)
+        plan1 = member_fault_plan(schedule, 1, ADDRS, epoch=100.0)
+        assert plan0.windows == ()
+        assert len(plan1.windows) == 1
+        window = plan1.windows[0]
+        assert (window.kind, window.start, window.end, window.rate) == (
+            "loss", 2.0, 6.0, 0.3,
+        )
+
+    def test_partition_far_side_is_symmetric(self):
+        schedule = ChaosSchedule((
+            ChaosPhase("partition", 5.0, 10.0, targets=(0, 1)),
+        ))
+        inside = member_fault_plan(schedule, 0, ADDRS, epoch=0.0)
+        outside = member_fault_plan(schedule, 2, ADDRS, epoch=0.0)
+        assert inside.windows[0].peers == ("h:3", "h:4")
+        assert outside.windows[0].peers == ("h:1", "h:2")
+
+    def test_epoch_and_seed_flow_through(self):
+        schedule = ChaosSchedule((ChaosPhase("loss", 0.0, 1.0, rate=0.5),))
+        plan = member_fault_plan(schedule, 2, ADDRS, epoch=123.0, seed=7)
+        assert plan.epoch == 123.0
+        assert plan.seed == 7 * 7919 + 2
+        assert isinstance(plan, FaultPlan)
+
+    def test_member_fault_plans_skips_empty(self):
+        schedule = ChaosSchedule((
+            ChaosPhase("loss", 0.0, 1.0, rate=0.5, targets=(1,)),
+        ))
+        plans = member_fault_plans(schedule, ADDRS, epoch=0.0)
+        assert set(plans) == {1}
+
+    def test_kill_produces_no_transport_windows(self):
+        schedule = ChaosSchedule((ChaosPhase("kill", 1.0, targets=(0,)),))
+        assert member_fault_plans(schedule, ADDRS, epoch=0.0) == {}

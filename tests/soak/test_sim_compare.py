@@ -1,0 +1,53 @@
+"""The paired simulator run: phase mapping and determinism."""
+
+from repro.soak.schedule import ChaosPhase, ChaosSchedule
+from repro.soak.sim_compare import run_sim_comparison
+
+FAST = dict(probe_interval=0.2, alpha=2.0, beta=6.0)
+
+
+class TestSimComparison:
+    def test_kill_detected_by_all_survivors(self):
+        schedule = ChaosSchedule((ChaosPhase("kill", 2.0, targets=(1,)),))
+        result = run_sim_comparison(
+            schedule, 6, seed=1, duration=30.0, **FAST
+        )
+        (kill,) = result["kills"]
+        assert kill["victim"] == "m001"
+        assert kill["detected"]
+        assert kill["detected_by"] == kill["survivors"] == 5
+        assert 0 < kill["first_detection"] <= kill["dissemination"]
+        assert result["undetected"] == []
+        assert result["detection_median"] == kill["first_detection"]
+
+    def test_deterministic_under_seed(self):
+        schedule = ChaosSchedule((
+            ChaosPhase("kill", 2.0, targets=(0,)),
+            ChaosPhase("loss", 5.0, 3.0, rate=0.2),
+        ))
+        a = run_sim_comparison(schedule, 5, seed=9, duration=25.0, **FAST)
+        b = run_sim_comparison(schedule, 5, seed=9, duration=25.0, **FAST)
+        assert a == b
+
+    def test_pause_window_causes_failure_and_no_kill_rows(self):
+        schedule = ChaosSchedule((
+            ChaosPhase("pause", 2.0, 10.0, targets=(2,)),
+        ))
+        result = run_sim_comparison(
+            schedule, 5, seed=3, duration=25.0, **FAST
+        )
+        assert result["kills"] == []
+        # A long unresponsive window is detected: counted as FPs (the
+        # member's process is alive) exactly as the real analysis does.
+        assert result["false_positives"] > 0
+
+    def test_partition_cuts_and_heals(self):
+        schedule = ChaosSchedule((
+            ChaosPhase("partition", 2.0, 6.0, targets=(0, 1)),
+        ))
+        result = run_sim_comparison(
+            schedule, 6, seed=4, duration=40.0, **FAST
+        )
+        # Both sides declare the other failed during the cut.
+        assert result["false_positives"] > 0
+        assert result["undetected"] == []

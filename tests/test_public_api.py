@@ -66,6 +66,16 @@ class TestPublicApi:
             "repro.zones.cluster",
             "repro.zones.sharded",
             "repro.zones.metrics",
+            "repro.faults",
+            "repro.soak",
+            "repro.soak.schedule",
+            "repro.soak.launcher",
+            "repro.soak.chaos",
+            "repro.soak.scraper",
+            "repro.soak.report",
+            "repro.soak.sim_compare",
+            "repro.soak.runner",
+            "repro.soak.member_main",
             "repro.cli",
         ],
     )
