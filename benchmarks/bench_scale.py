@@ -76,6 +76,13 @@ MIN_EVENTS_PER_SEC_1024 = 4000.0
 #: under ``events_per_sec[n16384]``.
 MIN_EVENTS_PER_SEC_16384 = 1000.0
 
+#: Acceptance bar for the multi-process driver on a real multi-core box
+#: (PR 10): 4 shards must at least halve the single-process wall clock
+#: at the n=16384 rung. Gated both here (hard assert when >=4 cores are
+#: available) and in ``benchmarks/regression.py`` as the
+#: ``sharded_speedup`` row of the baseline.
+MIN_SHARDED_SPEEDUP = 2.0
+
 SEED = 1
 
 
@@ -197,46 +204,137 @@ class TestScaleThroughput:
             )
 
     def test_sharded_driver_beats_single_process(self):
-        """At n=16384 the multi-process driver must beat one process.
+        """At n=16384 the multi-process driver must be >=2x faster.
 
-        Only meaningful with real parallelism available, so the check
-        skips (rather than lies) on small CI runners; the digest
-        equality half of the contract is asserted regardless of core
-        count whenever the rung is in the grid.
+        The hard speedup assertion only runs with real parallelism
+        available (>=4 cores); 1-core runners skip it — with the
+        measured ratio in the skip message rather than a silent pass —
+        but the digest equality half of the contract is asserted
+        regardless of core count whenever the rung is in the grid. The
+        published ``scale_sharded`` payload feeds the direction-aware
+        ``sharded_speedup`` gate in ``benchmarks/regression.py``.
         """
-        if not any(n == 16384 for n, _, _ in _grid()):
-            import pytest
+        import pytest
 
+        if not any(n == 16384 for n, _, _ in _grid()):
             pytest.skip("16384 rung not in REPRO_SCALE_SIZES")
-        single = run_zoned(
-            16384, seed=SEED, zone_count=64, duration=1.0, shards=1
+        data = sweep_shards([4])
+        row = data["rows"][0]
+        speedup = row["speedup"]
+        cores = os.cpu_count() or 1
+        if cores < 4:
+            pytest.skip(
+                f"sharded speedup assertion needs >=4 cores (have {cores}); "
+                f"measured {speedup:.2f}x on this box, digest equality held"
+            )
+        assert speedup >= MIN_SHARDED_SPEEDUP, (
+            f"4-shard run ({row['wall_s']:.2f}s) is only {speedup:.2f}x "
+            f"single-process ({data['single_wall_s']:.2f}s) on {cores} "
+            f"cores; the bar is {MIN_SHARDED_SPEEDUP:.1f}x"
         )
+
+
+def sweep_shards(
+    shard_counts: List[int],
+    n_members: int = 16384,
+    zones: int = 64,
+    duration: float = 1.0,
+) -> Dict[str, object]:
+    """Run the sharded rung at each shard count against one single-process
+    reference run, assert the digest contract at every point, and publish
+    the ``scale_sharded`` table the regression gate distils.
+
+    Shared by ``test_sharded_driver_beats_single_process`` (CI runs the
+    ``[4]`` sweep) and the ``--shards`` CLI mode, so both publish the
+    identical schema.
+    """
+    single = run_zoned(
+        n_members, seed=SEED, zone_count=zones, duration=duration, shards=1
+    )
+    rows: List[Dict[str, float]] = []
+    for shards in shard_counts:
+        if shards <= 1:
+            continue  # the reference run already covers one process
         sharded = run_zoned(
-            16384, seed=SEED, zone_count=64, duration=1.0, shards=4
+            n_members,
+            seed=SEED,
+            zone_count=zones,
+            duration=duration,
+            shards=shards,
         )
         assert single.digest == sharded.digest, (
-            "sharded driver diverged from the single-process trace"
+            f"{shards}-shard driver diverged from the single-process trace"
         )
-        publish(
-            "scale_sharded",
-            (
-                f"n=16384 zones=64: single {single.wall_s:.2f}s vs "
-                f"{sharded.shards}-shard {sharded.wall_s:.2f}s "
-                f"({os.cpu_count()} cores)"
-            ),
+        assert (single.barrier_bytes, single.barrier_msgs) == (
+            sharded.barrier_bytes,
+            sharded.barrier_msgs,
+        ), f"{shards}-shard barrier volume diverged from single-process"
+        rows.append(
             {
-                "n_members": 16384,
-                "zones": 64,
-                "single_wall_s": single.wall_s,
-                "sharded_wall_s": sharded.wall_s,
                 "shards": sharded.shards,
-                "cpu_count": os.cpu_count(),
-                "digest_equal": single.digest == sharded.digest,
-            },
+                "wall_s": sharded.wall_s,
+                "speedup": single.wall_s / sharded.wall_s,
+                "exchange_s": sharded.barrier_exchange_s,
+                "overflows": sharded.barrier_overflows,
+            }
         )
-        if (os.cpu_count() or 1) >= 4:
-            assert sharded.wall_s < single.wall_s, (
-                f"4-shard run ({sharded.wall_s:.2f}s) did not beat "
-                f"single-process ({single.wall_s:.2f}s) on "
-                f"{os.cpu_count()} cores"
-            )
+    lines = [
+        f"Sharded driver at n={n_members} ({zones} zones, "
+        f"{duration:.1f} virtual s, {os.cpu_count()} cores): "
+        f"single {single.wall_s:.2f}s, "
+        f"{single.barriers} barrier(s), {single.barrier_msgs} msgs / "
+        f"{single.barrier_bytes} bytes exchanged",
+        f"{'shards':>6s} {'wall':>9s} {'speedup':>8s} {'exchange':>9s} "
+        f"{'overflow':>8s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{int(row['shards']):6d} {row['wall_s']:8.2f}s "
+            f"{row['speedup']:7.2f}x {row['exchange_s']:8.4f}s "
+            f"{int(row['overflows']):8d}"
+        )
+    data: Dict[str, object] = {
+        "n_members": n_members,
+        "zones": zones,
+        "duration": duration,
+        "cpu_count": os.cpu_count(),
+        "single_wall_s": single.wall_s,
+        "single_exchange_s": single.barrier_exchange_s,
+        "barriers": single.barriers,
+        "barrier_bytes": single.barrier_bytes,
+        "barrier_msgs": single.barrier_msgs,
+        "digest_equal": True,
+        "rows": rows,
+    }
+    publish("scale_sharded", "\n".join(lines), data)
+    return data
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    """CLI sweep mode: ``python -m benchmarks.bench_scale --shards 2,4``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Sharded-driver speedup sweep at the n=16384 rung"
+    )
+    parser.add_argument(
+        "--shards",
+        default="4",
+        help="comma-separated shard counts to sweep (default: 4)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=1.0,
+        help="virtual seconds per run (default: 1.0, the gated rung)",
+    )
+    args = parser.parse_args(argv)
+    counts = [int(s) for s in args.shards.split(",") if s.strip()]
+    sweep_shards(counts, duration=args.duration)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -30,6 +30,18 @@ Two subcommands, stdlib only (CI runs this between pytest steps):
       row is the ISSUE 8 acceptance bar in gate form: the committed
       baseline carries ~5x, so a drop past the threshold fires long
       before the batched path stops being >=3x the stock one.
+    * ``sharded_speedup`` — single-process wall over N-shard wall at the
+      n=16384 zoned rung from ``scale_sharded``; **lower** is worse.
+      The committed baseline carries the PR 10 acceptance bar (2x for 4
+      shards). Meaningless without real parallelism, so ``collect``
+      records it as *skipped* (not missing) when the benchmark ran with
+      ``cpu_count < 4``, and ``compare`` downgrades the hole to a
+      warning even under ``--strict`` — 1-core runners must not flake
+      the gate, but the skip stays loud in the report.
+    * ``barrier_bytes`` — cross-zone record volume (payload + frame
+      header per delivered message) at the same rung. Deterministic for
+      the seeded run and identical across shard counts, so a >15% rise
+      means the protocol started shipping more cross-zone traffic.
 
     ``ops_overhead`` numbers are wall-clock and therefore noisy on
     shared CI runners; they are carried in the artifact and printed for
@@ -63,7 +75,13 @@ DEFAULT_THRESHOLD = 0.15
 GATED_CONFIGURATIONS = ("SWIM", "Lifeguard")
 
 #: Gated metrics where a *drop* (not a rise) is the regression.
-HIGHER_IS_BETTER = frozenset({"events_per_sec", "packet_msgs_per_sec"})
+HIGHER_IS_BETTER = frozenset(
+    {"events_per_sec", "packet_msgs_per_sec", "sharded_speedup"}
+)
+
+#: Cores the sharded-speedup rung needs before its number means
+#: anything; below this ``collect`` marks the row skipped-with-warning.
+MIN_CORES_FOR_SPEEDUP = 4
 
 
 # --------------------------------------------------------------------- #
@@ -86,7 +104,10 @@ def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
         "scheduler_detection_latency_p50": {},
         "events_per_sec": {},
         "packet_msgs_per_sec": {},
+        "sharded_speedup": {},
+        "barrier_bytes": {},
     }
+    skipped: List[str] = []
 
     table5 = _load_result("table5_latency", results_dir)
     if table5 is not None:
@@ -140,7 +161,30 @@ def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
                 fast / stock
             )
 
+    sharded = _load_result("scale_sharded", results_dir)
+    if sharded is not None:
+        size = int(sharded.get("n_members", 0))
+        volume = sharded.get("barrier_bytes")
+        if volume:
+            metrics["barrier_bytes"][f"n{size}"] = volume
+        cores = int(sharded.get("cpu_count") or 0)
+        for row in sharded.get("rows", []):
+            speedup = row.get("speedup")
+            shards = row.get("shards")
+            if speedup is None or shards is None:
+                continue
+            label = f"n{size}x{int(shards)}"
+            if cores >= MIN_CORES_FOR_SPEEDUP:
+                metrics["sharded_speedup"][label] = speedup
+            else:
+                skipped.append(
+                    f"sharded_speedup[{label}]"
+                    f" (cpu_count={cores} < {MIN_CORES_FOR_SPEEDUP})"
+                )
+
     document = {"schema": SCHEMA, "metrics": metrics}
+    if skipped:
+        document["skipped"] = skipped
     ops = _load_result("ops_overhead", results_dir)
     if ops is not None:
         document["ops_overhead"] = {
@@ -153,8 +197,17 @@ def collect_metrics(results_dir: Path = RESULTS_DIR) -> dict:
 def cmd_collect(args: argparse.Namespace) -> int:
     document = collect_metrics(Path(args.results_dir))
     document["sha"] = args.sha
+    # A metric every row of which was skipped (e.g. sharded_speedup on a
+    # <4-core box) is accounted for, not missing — but say so loudly.
+    skipped_metrics = {
+        entry.split("[", 1)[0] for entry in document.get("skipped", ())
+    }
+    for entry in document.get("skipped", ()):
+        print(f"warning: {entry} — recorded as skipped, not gated")
     missing = [
-        name for name, values in document["metrics"].items() if not values
+        name
+        for name, values in document["metrics"].items()
+        if not values and name not in skipped_metrics
     ]
     if missing:
         print(
@@ -195,6 +248,13 @@ def compare_documents(
     uncovered: List[str] = []
     base_metrics = baseline.get("metrics", {})
     cur_metrics = current.get("metrics", {})
+    # Labels collect marked skipped (runner could not measure them, e.g.
+    # sharded_speedup below 4 cores): warn, never gate, even --strict.
+    skipped_labels = {
+        entry.split(" ", 1)[0]: entry
+        for entry in current.get("skipped", ())
+    }
+    skipped_reported = set()
     for metric in sorted(set(base_metrics) | set(cur_metrics)):
         base_rows = base_metrics.get(metric, {})
         cur_rows = cur_metrics.get(metric, {})
@@ -202,6 +262,13 @@ def compare_documents(
             base_value = base_rows.get(configuration)
             cur_value = cur_rows.get(configuration)
             label = f"{metric}[{configuration}]"
+            if label in skipped_labels and cur_value is None:
+                lines.append(
+                    f"  WARNING {skipped_labels[label]}: skipped on this "
+                    f"runner — NOT gated"
+                )
+                skipped_reported.add(label)
+                continue
             if base_value is None or cur_value is None:
                 side = "baseline" if base_value is None else "current"
                 lines.append(
@@ -225,6 +292,11 @@ def compare_documents(
             lines.append(
                 f"  {label}: {base_value:.4f} -> {cur_value:.4f} "
                 f"({ratio - 1.0:+.1%}) {verdict}"
+            )
+    for label, entry in sorted(skipped_labels.items()):
+        if label not in skipped_reported:
+            lines.append(
+                f"  WARNING {entry}: skipped on this runner — NOT gated"
             )
     ops = current.get("ops_overhead")
     if ops is not None:

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from typing import (
     TYPE_CHECKING,
     Callable,
     Dict,
     FrozenSet,
     Iterable,
+    Iterator,
     List,
     NamedTuple,
     Optional,
@@ -44,6 +46,7 @@ from repro.sim.runtime import SimCluster
 from repro.sim.scheduler import EventScheduler
 from repro.swim.node import SwimNode
 from repro.zones.bridge import ZoneBridge
+from repro.zones.frames import RECORD_HEAD, BridgeTable, FrameBuffer, iter_records
 from repro.zones.topology import ZoneLayout, build_layout, zone_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -53,9 +56,36 @@ __all__ = [
     "CrossZoneMessage",
     "ZoneShard",
     "ZonedCluster",
+    "barrier_schedule",
     "digest_zone_cluster",
     "merge_zone_digests",
 ]
+
+
+def barrier_schedule(
+    deadline: float,
+    epoch: float,
+    now: float = 0.0,
+    next_barrier: Optional[float] = None,
+) -> Iterator[Tuple[float, bool]]:
+    """Yield the ``(target, is_barrier)`` steps of an epoch drive loop.
+
+    This generator *is* the drive loop's float arithmetic: master,
+    workers and :meth:`ZonedCluster.run_until` all consume it, so every
+    party counts the identical number of barrier exchanges even when
+    ``deadline`` is not a clean multiple of ``epoch`` (accumulated
+    ``barrier += epoch`` float error and all). ``now``/``next_barrier``
+    resume a loop mid-flight — :class:`ZonedCluster` advances in
+    multiple ``run_until`` calls.
+    """
+    barrier = epoch if next_barrier is None else next_barrier
+    while now < deadline:
+        target = min(deadline, barrier)
+        is_barrier = target == barrier
+        yield target, is_barrier
+        now = target
+        if is_barrier:
+            barrier += epoch
 
 
 class CrossZoneMessage(NamedTuple):
@@ -91,6 +121,7 @@ class ZoneShard:
         config: SwimConfig,
         seed: int,
         loss_rate: float = 0.0,
+        bridge_table: Optional[BridgeTable] = None,
     ) -> None:
         self.layout = layout
         self.zone_indices: Tuple[int, ...] = tuple(sorted(zone_indices))
@@ -100,6 +131,13 @@ class ZoneShard:
         self._zone_index: Dict[str, int] = {z.name: z.index for z in layout.zones}
         self._outbox: List[CrossZoneMessage] = []
         self._seq: Dict[int, int] = {}
+        #: Frame mode (the sharded driver): senders pack records straight
+        #: into one reusable frame buffer instead of materializing
+        #: :class:`CrossZoneMessage` objects.
+        self.bridge_table = bridge_table
+        self._frame: Optional[FrameBuffer] = (
+            FrameBuffer() if bridge_table is not None else None
+        )
         for zi in self.zone_indices:
             zone = layout.zones[zi]
             zcfg = config.replace(zone=zone.name, zone_count=layout.zone_count)
@@ -129,6 +167,28 @@ class ZoneShard:
             self.bridges[zi] = bridges
 
     def _sender_for(self, src_zone: int) -> Callable[[str, str, bytes], None]:
+        if self.bridge_table is not None:
+            frame = self._frame
+            assert frame is not None
+            bridge_ids = self.bridge_table.ids
+            zone_index = self._zone_index
+            seq_map = self._seq
+
+            def send_packed(
+                dest_zone: str, dest_bridge: str, payload: bytes
+            ) -> None:
+                seq = seq_map[src_zone]
+                seq_map[src_zone] = seq + 1
+                frame.append(
+                    src_zone,
+                    seq,
+                    zone_index[dest_zone],
+                    bridge_ids[dest_bridge],
+                    payload,
+                )
+
+            return send_packed
+
         def send(dest_zone: str, dest_bridge: str, payload: bytes) -> None:
             seq = self._seq[src_zone]
             self._seq[src_zone] = seq + 1
@@ -158,6 +218,15 @@ class ZoneShard:
         out, self._outbox = self._outbox, []
         return out
 
+    def outbox_frame(self) -> FrameBuffer:
+        """Frame-mode outbox: the packed records produced since the last
+        barrier (same ``(src zone, send order)`` order as
+        :meth:`collect_outbox`). The caller ships ``.view()`` and then
+        calls ``.reset()`` — the buffer is reused every epoch."""
+        if self._frame is None:
+            raise RuntimeError("shard was not built with a bridge table")
+        return self._frame
+
     def deliver(self, messages: Iterable[CrossZoneMessage], at: float) -> None:
         """Inject routed messages at a barrier.
 
@@ -172,6 +241,34 @@ class ZoneShard:
                 at,
                 lambda b=bridge, p=message.payload: b.receive(p),  # type: ignore[misc]
             )
+
+    def deliver_frame(
+        self, frame: "bytes | memoryview", at: float
+    ) -> Tuple[int, int]:
+        """Frame-mode :meth:`deliver`: inject a routed inbound frame.
+
+        Records must already be in the globally sorted ``(src_zone,
+        seq)`` order (the master packs them that way); payloads are
+        materialized here because the scheduled closures outlive the
+        (reused) frame buffer. Returns ``(records, payload bytes)``
+        delivered."""
+        if self.bridge_table is None:
+            raise RuntimeError("shard was not built with a bridge table")
+        names = self.bridge_table.names
+        by_name = self._bridge_by_name
+        clusters = self.clusters
+        count = 0
+        payload_bytes = 0
+        for _src, _seq, dest_zone, bridge_id, view in iter_records(frame):
+            bridge = by_name[names[bridge_id]]
+            payload = bytes(view)
+            clusters[dest_zone].scheduler.call_at(
+                at,
+                lambda b=bridge, p=payload: b.receive(p),  # type: ignore[misc]
+            )
+            count += 1
+            payload_bytes += len(payload)
+        return count, payload_bytes
 
     def stop(self) -> None:
         for zi in self.zone_indices:
@@ -220,6 +317,15 @@ class ZonedCluster:
         #: Barrier-level traffic counters.
         self.cross_zone_delivered = 0
         self.cross_zone_dropped = 0
+        #: Exchange instrumentation, mirrored by the sharded driver so
+        #: ``ZonedRunResult`` carries comparable numbers either way:
+        #: barriers crossed, wall seconds spent routing exchanges, and
+        #: delivered record volume (payload + per-record frame header,
+        #: i.e. the bytes the barrier would put on the frame wire).
+        self.barriers = 0
+        self.barrier_exchange_s = 0.0
+        self.barrier_bytes = 0
+        self.barrier_msgs = 0
         #: Populated by :meth:`install_ops_registry`.
         self.ops_registry: Optional["MetricsRegistry"] = None
 
@@ -295,11 +401,12 @@ class ZonedCluster:
     def run_until(self, deadline: float) -> int:
         """Advance all zones to ``deadline`` in epoch lockstep."""
         executed = 0
-        while self._now < deadline:
-            target = min(deadline, self._next_barrier)
+        for target, is_barrier in barrier_schedule(
+            deadline, self.epoch, self._now, self._next_barrier
+        ):
             executed += self.shard.run_until(target)
             self._now = target
-            if target == self._next_barrier:
+            if is_barrier:
                 self._exchange(target)
                 self._next_barrier += self.epoch
         return executed
@@ -308,12 +415,19 @@ class ZonedCluster:
         return self.run_until(self._now + duration)
 
     def _exchange(self, barrier: float) -> None:
+        started = time.perf_counter()
         outbox = self.shard.collect_outbox()
         inbound = [m for m in outbox if not self._dropped(m, barrier)]
         self.cross_zone_dropped += len(outbox) - len(inbound)
         self.cross_zone_delivered += len(inbound)
         inbound.sort(key=lambda m: (m.src_zone, m.seq))
         self.shard.deliver(inbound, barrier)
+        self.barriers += 1
+        self.barrier_msgs += len(inbound)
+        self.barrier_bytes += sum(
+            RECORD_HEAD.size + len(m.payload) for m in inbound
+        )
+        self.barrier_exchange_s += time.perf_counter() - started
 
     def stop(self) -> None:
         self.shard.stop()

@@ -10,7 +10,10 @@ from benchmarks.regression import (
 )
 
 
-def write_results(tmp_path, *, p50=12.5, rate=2.8, throughput=25000.0):
+def write_results(
+    tmp_path, *, p50=12.5, rate=2.8, throughput=25000.0,
+    speedup=2.3, cpu_count=8,
+):
     (tmp_path / "table5_latency.json").write_text(
         json.dumps(
             {
@@ -67,6 +70,26 @@ def write_results(tmp_path, *, p50=12.5, rate=2.8, throughput=25000.0):
             }
         )
     )
+    (tmp_path / "scale_sharded.json").write_text(
+        json.dumps(
+            {
+                "n_members": 16384,
+                "zones": 64,
+                "cpu_count": cpu_count,
+                "single_wall_s": 20.0,
+                "barrier_bytes": 249984,
+                "barrier_msgs": 4032,
+                "rows": [
+                    {
+                        "shards": 4,
+                        "wall_s": 20.0 / speedup,
+                        "speedup": speedup,
+                        "overflows": 0,
+                    }
+                ],
+            }
+        )
+    )
     (tmp_path / "ops_overhead.json").write_text(
         json.dumps({"hook_overhead": 0.01, "scrape_overhead": 3.2})
     )
@@ -94,7 +117,34 @@ class TestCollect:
         assert metrics["packet_msgs_per_sec"]["asyncio"] == 30000.0
         assert metrics["packet_msgs_per_sec"]["batched"] == 150000.0
         assert metrics["packet_msgs_per_sec"]["batched_vs_asyncio"] == 5.0
+        assert metrics["sharded_speedup"]["n16384x4"] == 2.3
+        assert metrics["barrier_bytes"]["n16384"] == 249984
+        assert "skipped" not in document
         assert document["ops_overhead"]["hook_overhead"] == 0.01
+
+    def test_sharded_speedup_skipped_below_four_cores(self, tmp_path):
+        write_results(tmp_path, cpu_count=1)
+        document = collect_metrics(tmp_path)
+        # The row is recorded as skipped, not silently dropped — and the
+        # deterministic volume metric still gates regardless of cores.
+        assert document["metrics"]["sharded_speedup"] == {}
+        assert document["metrics"]["barrier_bytes"]["n16384"] == 249984
+        assert document["skipped"] == [
+            "sharded_speedup[n16384x4] (cpu_count=1 < 4)"
+        ]
+
+    def test_collect_cli_accepts_skipped_speedup(self, tmp_path, capsys):
+        write_results(tmp_path, cpu_count=2)
+        out = tmp_path / "out.json"
+        code = main(
+            [
+                "collect", "--sha", "abc",
+                "--results-dir", str(tmp_path), "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "recorded as skipped" in capsys.readouterr().out
+        assert json.loads(out.read_text())["skipped"]
 
     def test_collect_cli_fails_without_data(self, tmp_path, capsys):
         code = main(
@@ -226,6 +276,38 @@ class TestCompare:
             "WARNING" in line and "not collected" in line for line in lines
         )
 
+    def test_sharded_speedup_drop_fails(self):
+        baseline = doc()
+        baseline["metrics"]["sharded_speedup"] = {"n16384x4": 2.0}
+        current = doc(sha="cur")
+        current["metrics"]["sharded_speedup"] = {"n16384x4": 1.5}
+        lines, regressions, _ = compare_documents(baseline, current)
+        assert regressions == ["sharded_speedup[n16384x4]"]
+        assert any("dropped" in line for line in lines)
+
+    def test_sharded_speedup_rise_passes(self):
+        baseline = doc()
+        baseline["metrics"]["sharded_speedup"] = {"n16384x4": 2.0}
+        current = doc(sha="cur")
+        current["metrics"]["sharded_speedup"] = {"n16384x4": 3.1}
+        _, regressions, _ = compare_documents(baseline, current)
+        assert regressions == []
+
+    def test_skipped_speedup_warns_but_is_not_uncovered(self):
+        """A row collect marked skipped (runner below 4 cores) must not
+        count as a gate hole — even --strict treats it as a warning."""
+        baseline = doc()
+        baseline["metrics"]["sharded_speedup"] = {"n16384x4": 2.0}
+        current = doc(sha="cur")
+        current["skipped"] = ["sharded_speedup[n16384x4] (cpu_count=1 < 4)"]
+        lines, regressions, uncovered = compare_documents(baseline, current)
+        assert regressions == []
+        assert uncovered == []
+        assert any(
+            "WARNING" in line and "skipped on this runner" in line
+            for line in lines
+        )
+
     def test_custom_threshold(self):
         _, regressions, _ = compare_documents(
             doc(), doc(p50_swim=12.5 * 1.1), threshold=0.05
@@ -266,6 +348,14 @@ class TestCompareCli:
         current["metrics"]["events_per_sec"]["n16384"] = 5000.0
         assert self.run_compare(tmp_path, doc(), current, "--strict") == 1
         assert "FAILED (--strict)" in capsys.readouterr().out
+
+    def test_skipped_speedup_passes_strict(self, tmp_path, capsys):
+        baseline = doc()
+        baseline["metrics"]["sharded_speedup"] = {"n16384x4": 2.0}
+        current = doc(sha="cur")
+        current["skipped"] = ["sharded_speedup[n16384x4] (cpu_count=1 < 4)"]
+        assert self.run_compare(tmp_path, baseline, current, "--strict") == 0
+        assert "skipped on this runner" in capsys.readouterr().out
 
     def test_exit_one_on_regression(self, tmp_path, capsys):
         code = self.run_compare(tmp_path, doc(), doc(p50_swim=20.0, sha="cur"))
